@@ -1,0 +1,263 @@
+// Command couple runs one kernel-coupling study: it measures every kernel
+// of a NAS benchmark in isolation and every requested window chained, then
+// prints the coupling values, composition coefficients and execution-time
+// predictions next to the measured time.
+//
+//	couple -bench BT -class S -procs 4 -chains 2,5
+//	couple -bench LU -class W -procs 8 -chains 3 -trips 20
+//	couple -bench SP -grid 12 -procs 4 -chains 2   # custom tiny grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/npb/bt"
+	"repro/internal/npb/ft"
+	"repro/internal/npb/lu"
+	"repro/internal/npb/sp"
+	"repro/internal/prophesy"
+	"repro/internal/stats"
+	"repro/internal/tables"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "BT", "benchmark: BT, SP, LU or FT")
+		class  = flag.String("class", "S", "problem class: S, W, A or B")
+		procs  = flag.Int("procs", 4, "processor (rank) count")
+		chains = flag.String("chains", "2", "comma-separated coupling chain lengths")
+		trips  = flag.Int("trips", 0, "loop trip count (0 = scaled class default)")
+		blocks = flag.Int("blocks", 3, "timed blocks per measurement")
+		passes = flag.Int("passes", 1, "window passes per block")
+		grid   = flag.Int("grid", 0, "grid override: use an n³ grid instead of the class size")
+		net    = flag.Bool("net", false, "attach the IBM SP interconnect cost model")
+		saveDB = flag.String("save", "", "append this study's measurements to a coupling repository (JSON file)")
+		reuse  = flag.String("reuse", "", "repository to reuse coupling values from: only isolated kernels are measured fresh")
+		ref    = flag.String("ref", "", "reference configuration for -reuse as workload.class.procs (e.g. BT.W.4)")
+	)
+	flag.Parse()
+
+	var chainLens []int
+	for _, s := range strings.Split(*chains, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fail("bad -chains value %q: %v", s, err)
+		}
+		chainLens = append(chainLens, n)
+	}
+
+	cls := npb.Class(strings.ToUpper(*class))
+	var prob npb.Problem
+	var err error
+	benchName := strings.ToUpper(*bench)
+	switch benchName {
+	case "BT":
+		prob, err = npb.BTProblem(cls)
+	case "SP":
+		prob, err = npb.SPProblem(cls)
+	case "LU":
+		prob, err = npb.LUProblem(cls)
+	case "FT":
+		var ftCfg ft.Config
+		ftCfg, err = ft.ClassProblem(cls)
+		if err == nil {
+			prob = npb.Problem{Class: cls, N1: ftCfg.N, N2: ftCfg.N, N3: 1, Trips: 100}
+		}
+	default:
+		fail("unknown benchmark %q", *bench)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	if *grid > 0 {
+		if benchName == "FT" {
+			prob.N1, prob.N2 = *grid, *grid
+		} else {
+			prob = npb.TinyProblem(*grid, prob.Trips)
+		}
+	}
+	nTrips := *trips
+	if nTrips <= 0 {
+		nTrips = tables.DefaultTrips(cls)
+	}
+
+	var (
+		factory         npb.Factory
+		pre, loop, post []string
+	)
+	switch benchName {
+	case "BT":
+		factory, err = bt.Factory(bt.Config{Problem: prob, Procs: *procs})
+		pre, loop, post = bt.KernelNames()
+	case "SP":
+		factory, err = sp.Factory(sp.Config{Problem: prob, Procs: *procs})
+		pre, loop, post = sp.KernelNames()
+	case "LU":
+		factory, err = lu.Factory(lu.Config{Problem: prob, Procs: *procs})
+		pre, loop, post = lu.KernelNames()
+	case "FT":
+		factory, err = ft.Factory(ft.Config{N: prob.N1, Procs: *procs})
+		pre, loop, post = ft.KernelNames()
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	var worldOpts []mpi.Option
+	if *net {
+		worldOpts = append(worldOpts, mpi.WithNetModel(mpi.IBMSPModel()))
+	}
+	w := &harness.NPBWorkload{
+		WorkloadName: fmt.Sprintf("%s.%s.%d", benchName, cls, *procs),
+		Factory:      factory,
+		Pre:          pre, Loop: loop, Post: post,
+		Procs:     *procs,
+		WorldOpts: worldOpts,
+	}
+
+	if *reuse != "" {
+		runReuse(w, *reuse, *ref, cls, nTrips, chainLens, *blocks, *passes)
+		return
+	}
+
+	fmt.Printf("study: %s  grid %s  trips=%d  chains=%v\n\n", w.WorkloadName, prob, nTrips, chainLens)
+	study, err := harness.RunStudy(w, nTrips, chainLens, harness.Options{
+		Blocks: *blocks, Passes: *passes, ActualRuns: 3,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if *saveDB != "" {
+		db, err := prophesy.OpenFile(*saveDB)
+		if err != nil {
+			fail("open repository: %v", err)
+		}
+		key := prophesy.Key{Workload: benchName, Class: string(cls), Procs: *procs}
+		prophesy.ImportStudy(db, key, study)
+		if err := db.SaveFile(*saveDB); err != nil {
+			fail("save repository: %v", err)
+		}
+		fmt.Printf("saved %d measurements for %s to %s\n\n", db.Len(), key, *saveDB)
+	}
+
+	// Isolated kernel times.
+	tb := stats.NewTable("Isolated kernel times (per execution)", "Kernel", "Seconds")
+	for _, k := range study.App.KernelsSorted() {
+		tb.AddRow(k, stats.Seconds(study.Measurements.Isolated[k]))
+	}
+	fmt.Println(tb.String())
+
+	// Couplings and coefficients per chain length.
+	for _, L := range study.ChainLens() {
+		det := study.Details[L]
+		ct := stats.NewTable(fmt.Sprintf("Coupling values, chain length %d", L), "Window", "P_S", "C_S", "Regime")
+		for _, wc := range det.Couplings {
+			ct.AddRow(strings.Join(wc.Window, ", "), stats.Seconds(wc.Chained),
+				fmt.Sprintf("%.4f", wc.C), wc.Regime(0.02).String())
+		}
+		fmt.Println(ct.String())
+
+		kt := stats.NewTable(fmt.Sprintf("Composition coefficients, chain length %d", L), "Kernel", "Coefficient")
+		keys := make([]string, 0, len(det.Coefficients))
+		for k := range det.Coefficients {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			kt.AddRow(k, fmt.Sprintf("%.4f", det.Coefficients[k]))
+		}
+		fmt.Println(kt.String())
+	}
+
+	// Prediction comparison.
+	pt := stats.NewTable("Predictions", "Predictor", "Seconds", "Relative Error")
+	pt.AddRow("Actual", stats.Seconds(study.Actual), "-")
+	pt.AddRow(study.Summation.Label, stats.Seconds(study.Summation.Predicted), stats.Percent(study.Summation.RelErr))
+	for _, L := range study.ChainLens() {
+		p := study.Couplings[L]
+		pt.AddRow(p.Label, stats.Seconds(p.Predicted), stats.Percent(p.RelErr))
+	}
+	fmt.Println(pt.String())
+	best := study.BestPredictor()
+	fmt.Printf("best predictor: %s (%s relative error)\n", best.Label, stats.Percent(best.RelErr))
+}
+
+// runReuse is the experiment-reduction flow of the paper's future-work
+// section: only the isolated kernels (and one actual run for comparison)
+// are measured fresh; the window couplings come from the repository's
+// reference configuration.
+func runReuse(w *harness.NPBWorkload, dbPath, refSpec string, cls npb.Class, trips int, chainLens []int, blocks, passes int) {
+	db, err := prophesy.OpenFile(dbPath)
+	if err != nil {
+		fail("open repository: %v", err)
+	}
+	refKey := prophesy.Key{Workload: strings.SplitN(w.WorkloadName, ".", 2)[0], Class: string(cls), Procs: w.Procs}
+	if refSpec != "" {
+		parts := strings.Split(refSpec, ".")
+		if len(parts) != 3 {
+			fail("bad -ref %q, want workload.class.procs", refSpec)
+		}
+		p, err := strconv.Atoi(parts[2])
+		if err != nil {
+			fail("bad -ref procs: %v", err)
+		}
+		refKey = prophesy.Key{Workload: parts[0], Class: parts[1], Procs: p}
+	}
+	fmt.Printf("reuse study: %s with couplings from %s (%s)\n\n", w.WorkloadName, refKey, dbPath)
+
+	app := core.App{Name: w.WorkloadName, Pre: w.Pre, Loop: core.Ring(w.Loop), Post: w.Post, Trips: trips}
+	opts := harness.Options{Blocks: blocks, Passes: passes}
+	isolated := map[string]float64{}
+	for _, k := range app.KernelsSorted() {
+		v, err := w.MeasureWindow([]string{k}, opts)
+		if err != nil {
+			fail("isolated %s: %v", k, err)
+		}
+		isolated[k] = v
+	}
+	actual, err := w.MeasureActual(trips, opts)
+	if err != nil {
+		fail("actual run: %v", err)
+	}
+
+	pt := stats.NewTable("Predictions from reused couplings", "Predictor", "Seconds", "Relative Error")
+	pt.AddRow("Actual", stats.Seconds(actual), "-")
+	var sum float64
+	for _, k := range app.Pre {
+		sum += isolated[k]
+	}
+	for _, k := range app.Post {
+		sum += isolated[k]
+	}
+	var loop float64
+	for _, k := range app.Loop {
+		loop += isolated[k]
+	}
+	sum += float64(trips) * loop
+	pt.AddRow("Summation (fresh)", stats.Seconds(sum), stats.Percent(stats.RelativeError(sum, actual)))
+	for _, L := range chainLens {
+		pred, err := prophesy.PredictWithReusedCouplings(db, refKey, app, isolated, L)
+		if err != nil {
+			fail("reuse L=%d: %v", L, err)
+		}
+		saved, _ := prophesy.MeasurementsSaved(app.Loop, L)
+		pt.AddRow(fmt.Sprintf("Coupling: %d kernels (reused, %d windows saved)", L, saved),
+			stats.Seconds(pred.Total), stats.Percent(stats.RelativeError(pred.Total, actual)))
+	}
+	fmt.Println(pt.String())
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "couple: "+format+"\n", args...)
+	os.Exit(1)
+}

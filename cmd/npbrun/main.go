@@ -1,0 +1,140 @@
+// Command npbrun executes one of the reimplemented NAS benchmarks (BT, SP
+// or LU) directly: it runs the full application — one-shot pre-kernels,
+// the main loop, verification post-kernels — reports the wall-clock time
+// and prints the verification norms, which are invariant across rank
+// counts (the distributed solvers perform the same floating-point
+// operations in the same order as the serial ones).
+//
+//	npbrun -bench BT -class S -procs 4
+//	npbrun -bench LU -class W -procs 8 -trips 50
+//	npbrun -bench SP -grid 16 -procs 9 -trips 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/npb/bt"
+	"repro/internal/npb/ft"
+	"repro/internal/npb/lu"
+	"repro/internal/npb/sp"
+	"repro/internal/tables"
+	"repro/internal/trace"
+)
+
+// normReporter is implemented by every benchmark state.
+type normReporter interface {
+	Norms() [5]float64
+}
+
+func main() {
+	var (
+		bench   = flag.String("bench", "BT", "benchmark: BT, SP, LU or FT")
+		class   = flag.String("class", "S", "problem class: S, W, A or B")
+		procs   = flag.Int("procs", 4, "processor (rank) count")
+		trips   = flag.Int("trips", 0, "loop trip count (0 = scaled class default)")
+		grid    = flag.Int("grid", 0, "grid override: use an n³ grid instead of the class size")
+		net     = flag.Bool("net", false, "attach the IBM SP interconnect cost model")
+		doTrace = flag.Bool("trace", false, "record per-kernel events; print profile and timeline")
+	)
+	flag.Parse()
+
+	cls := npb.Class(strings.ToUpper(*class))
+	var prob npb.Problem
+	var err error
+	var factory npb.Factory
+	var pre, loop, post []string
+	switch strings.ToUpper(*bench) {
+	case "BT":
+		prob, err = npb.BTProblem(cls)
+		if err == nil {
+			if *grid > 0 {
+				prob = npb.TinyProblem(*grid, prob.Trips)
+			}
+			factory, err = bt.Factory(bt.Config{Problem: prob, Procs: *procs})
+		}
+		pre, loop, post = bt.KernelNames()
+	case "SP":
+		prob, err = npb.SPProblem(cls)
+		if err == nil {
+			if *grid > 0 {
+				prob = npb.TinyProblem(*grid, prob.Trips)
+			}
+			factory, err = sp.Factory(sp.Config{Problem: prob, Procs: *procs})
+		}
+		pre, loop, post = sp.KernelNames()
+	case "LU":
+		prob, err = npb.LUProblem(cls)
+		if err == nil {
+			if *grid > 0 {
+				prob = npb.TinyProblem(*grid, prob.Trips)
+			}
+			factory, err = lu.Factory(lu.Config{Problem: prob, Procs: *procs})
+		}
+		pre, loop, post = lu.KernelNames()
+	case "FT":
+		var ftCfg ft.Config
+		ftCfg, err = ft.ClassProblem(cls)
+		if err == nil {
+			if *grid > 0 {
+				ftCfg.N = *grid
+			}
+			ftCfg.Procs = *procs
+			prob = npb.Problem{Class: cls, N1: ftCfg.N, N2: ftCfg.N, N3: 1, Trips: 100}
+			factory, err = ft.Factory(ftCfg)
+		}
+		pre, loop, post = ft.KernelNames()
+	default:
+		err = fmt.Errorf("unknown benchmark %q", *bench)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "npbrun: %v\n", err)
+		os.Exit(1)
+	}
+
+	nTrips := *trips
+	if nTrips <= 0 {
+		nTrips = tables.DefaultTrips(cls)
+	}
+	var worldOpts []mpi.Option
+	if *net {
+		worldOpts = append(worldOpts, mpi.WithNetModel(mpi.IBMSPModel()))
+	}
+
+	var tracer *trace.Tracer
+	if *doTrace {
+		tracer = trace.NewTracer()
+		factory = trace.WrapFactory(factory, tracer)
+	}
+
+	fmt.Printf("%s class %s  grid %s  %d procs  %d loop trips\n",
+		strings.ToUpper(*bench), cls, prob, *procs, nTrips)
+	start := time.Now()
+	var norms [5]float64
+	err = npb.RunOnce(factory, pre, loop, nTrips, post, *procs, func(ks npb.KernelSet) {
+		if u, ok := ks.(interface{ Unwrap() npb.KernelSet }); ok {
+			ks = u.Unwrap()
+		}
+		if nr, ok := ks.(normReporter); ok {
+			norms = nr.Norms()
+		}
+	}, worldOpts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "npbrun: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("completed in %v\n", elapsed.Round(time.Millisecond))
+	fmt.Println("verification norms (rank-count invariant):")
+	for c, v := range norms {
+		fmt.Printf("  component %d: %.12e\n", c, v)
+	}
+	if tracer != nil {
+		fmt.Printf("\nper-kernel profile:\n%s\n%s", tracer, tracer.Timeline(72))
+	}
+}

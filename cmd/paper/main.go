@@ -1,0 +1,111 @@
+// Command paper regenerates the evaluation tables of "Using Kernel
+// Couplings to Predict Parallel Application Performance" (HPDC 2002):
+// the data-set tables (1, 5, 7), the coupling-value tables (2a, 3a, 4a),
+// the prediction-comparison tables (2b, 3b, 4b, 6a–c, 8a–c) and the
+// Section 4.1 cache-transition sweep.
+//
+//	paper                 # run every table with laptop-scale defaults
+//	paper -table 4b       # one table
+//	paper -table 2b -trips 60 -blocks 5
+//	paper -fast           # tiny grids, smoke-test scale
+//	paper -net            # attach the IBM SP interconnect cost model
+//
+// Loop trip counts default to scaled-down values (see -trips); the
+// relative errors the tables compare are nearly independent of the count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/tables"
+)
+
+func main() {
+	var (
+		table  = flag.String("table", "", "table ID to run (e.g. 2a); empty runs all")
+		trips  = flag.Int("trips", 0, "loop trip count override (0 = class default)")
+		blocks = flag.Int("blocks", 0, "timed blocks per measurement (0 = default)")
+		passes = flag.Int("passes", 0, "window passes per block (0 = 1)")
+		grid   = flag.Int("grid", 0, "grid override: use an n³ grid instead of the class size")
+		procs  = flag.String("procs", "", "comma-separated processor counts override")
+		net    = flag.Bool("net", false, "attach the IBM SP interconnect cost model")
+		fast   = flag.Bool("fast", false, "smoke-test scale: 8³ grids, 2 trips")
+		out    = flag.String("out", "", "also append the rendered tables to this file")
+	)
+	flag.Parse()
+
+	scale := tables.Scale{Trips: *trips, Blocks: *blocks, Passes: *passes, GridOverride: *grid}
+	if *fast {
+		scale.GridOverride = 8
+		if scale.Trips == 0 {
+			scale.Trips = 2
+		}
+		if scale.Blocks == 0 {
+			scale.Blocks = 2
+		}
+	}
+	if *net {
+		m := mpi.IBMSPModel()
+		scale.Net = &m
+	}
+
+	var procsOverride []int
+	if *procs != "" {
+		for _, p := range strings.Split(*procs, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paper: bad -procs value %q: %v\n", p, err)
+				os.Exit(2)
+			}
+			procsOverride = append(procsOverride, n)
+		}
+	}
+
+	exps := tables.All()
+	if *table != "" {
+		e, ok := tables.Find(*table)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "paper: unknown table %q; known tables:", *table)
+			for _, e := range exps {
+				fmt.Fprintf(os.Stderr, " %s", e.ID)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(2)
+		}
+		exps = []tables.Experiment{e}
+	}
+
+	var outFile *os.File
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paper: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		outFile = f
+	}
+
+	for _, e := range exps {
+		if procsOverride != nil && len(e.Procs) > 0 {
+			e.Procs = procsOverride
+		}
+		start := time.Now()
+		res, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paper: table %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Text)
+		fmt.Printf("[table %s regenerated in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if outFile != nil {
+			fmt.Fprintf(outFile, "```\n%s```\n\n", res.Text)
+		}
+	}
+}

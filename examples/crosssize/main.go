@@ -1,0 +1,176 @@
+// crosssize demonstrates the paper's complete modeling workflow on BT:
+// calibrate analytical kernel models E_k on small configurations, take
+// coupling values from one reference study, and predict a configuration
+// that was never measured — then check against a real run.
+//
+// Steps:
+//
+//  1. measure every BT kernel in isolation on a training set of small
+//     grids and rank counts;
+//
+//  2. fit each kernel's analytical model (constant + cells/rank +
+//     communication terms) by least squares;
+//
+//  3. run one coupling study on the largest training grid to obtain the
+//     window coupling values;
+//
+//  4. predict the target grid: E_k from the models, windows from the
+//     reused couplings, composition algebra on top;
+//
+//  5. measure the target for real and report the errors.
+//
+//     go run ./examples/crosssize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/model"
+	"repro/internal/npb"
+	"repro/internal/npb/bt"
+	"repro/internal/stats"
+)
+
+// workload builds a BT harness workload for an n³ grid on procs ranks.
+func workload(n, procs int) (*harness.NPBWorkload, error) {
+	factory, err := bt.Factory(bt.Config{Problem: npb.TinyProblem(n, 1), Procs: procs})
+	if err != nil {
+		return nil, err
+	}
+	pre, loop, post := bt.KernelNames()
+	return &harness.NPBWorkload{
+		WorkloadName: fmt.Sprintf("BT.%d.%d", n, procs),
+		Factory:      factory,
+		Pre:          pre, Loop: loop, Post: post,
+		Procs: procs,
+	}, nil
+}
+
+func main() {
+	// Training configurations: big enough that per-measurement noise does
+	// not corrupt the fit, spread over two rank counts so the pipeline-
+	// depth terms are identifiable.
+	training := []model.Params{
+		{N1: 12, N2: 12, N3: 12, Procs: 1},
+		{N1: 16, N2: 16, N3: 16, Procs: 1},
+		{N1: 20, N2: 20, N3: 20, Procs: 1},
+		{N1: 12, N2: 12, N3: 12, Procs: 4},
+		{N1: 16, N2: 16, N3: 16, Procs: 4},
+		{N1: 20, N2: 20, N3: 20, Procs: 4},
+	}
+	target := model.Params{N1: 24, N2: 24, N3: 24, Procs: 4}
+	const trips = 10
+	opts := harness.Options{Blocks: 3}
+
+	// Step 1: isolated measurements across the training set.
+	// The cost terms encode the execution substrate: this reproduction
+	// runs its ranks as goroutines time-sharing the host CPUs, so
+	// wall-clock time follows the *total* work (model.CellsTotal), not
+	// the per-rank tile (model.CellsPerRank) it would follow with one
+	// CPU per rank. Bring your own terms for your own machines.
+	fmt.Println("step 1: measuring isolated kernels on the training set...")
+	models := map[string]*model.KernelModel{}
+	for k := range model.BTModels() {
+		models[k] = model.NewKernelModel(k, model.Constant(), model.CellsTotal())
+	}
+	obs := map[string][]model.Observation{}
+	for _, cfg := range training {
+		w, err := workload(cfg.N1, cfg.Procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for k := range models {
+			secs, err := w.MeasureWindow([]string{k}, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			obs[k] = append(obs[k], model.Observation{Params: cfg, Seconds: secs})
+		}
+	}
+
+	// Step 2: calibrate each kernel's analytical model.
+	fmt.Println("step 2: calibrating analytical kernel models (least squares)...")
+	for k, m := range models {
+		if err := m.Calibrate(obs[k]); err != nil {
+			log.Fatalf("calibrate %s: %v", k, err)
+		}
+	}
+
+	// Step 3: couplings from a reference study on the largest training
+	// configuration.
+	fmt.Println("step 3: measuring coupling values at the 20³/4-rank reference...")
+	ref, err := workload(20, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refStudy, err := harness.RunStudy(ref, trips, []int{2, 5}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	couplings := map[string]float64{}
+	for _, L := range refStudy.ChainLens() {
+		for _, wc := range refStudy.Details[L].Couplings {
+			couplings[wc.Key()] = wc.C
+		}
+	}
+
+	// Step 4: predict the never-measured target configuration.
+	fmt.Printf("step 4: predicting BT %d³ on %d ranks from models + couplings...\n", target.N1, target.Procs)
+	_, loop, _ := bt.KernelNames()
+	app := core.App{Name: "BT", Pre: []string{bt.KInit}, Loop: core.Ring(loop), Post: []string{bt.KFinal}, Trips: trips}
+	predL2, err := model.PredictApp(app, models, couplings, target, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	predL5, err := model.PredictApp(app, models, couplings, target, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Model-only summation baseline: Σ E_k with no coupling correction.
+	var sumPred float64
+	for _, k := range app.KernelsSorted() {
+		v, err := models[k].Predict(target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if contains(loop, k) {
+			sumPred += float64(trips) * v
+		} else {
+			sumPred += v
+		}
+	}
+
+	// Step 5: ground truth.
+	fmt.Println("step 5: measuring the target for real...")
+	tw, err := workload(target.N1, target.Procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	actual, err := tw.MeasureActual(trips, harness.Options{ActualRuns: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb := stats.NewTable(fmt.Sprintf("\nCross-size prediction: BT %d³ on %d ranks (never measured)", target.N1, target.Procs),
+		"Predictor", "Seconds", "Relative Error")
+	tb.AddRow("Actual (measured afterwards)", stats.Seconds(actual), "-")
+	tb.AddRow("Model summation", stats.Seconds(sumPred), stats.Percent(stats.RelativeError(sumPred, actual)))
+	tb.AddRow("Model + coupling (2 kernels)", stats.Seconds(predL2.Total), stats.Percent(stats.RelativeError(predL2.Total, actual)))
+	tb.AddRow("Model + coupling (5 kernels)", stats.Seconds(predL5.Total), stats.Percent(stats.RelativeError(predL5.Total, actual)))
+	fmt.Println(tb.String())
+	fmt.Println("The target was predicted purely from small-grid calibration runs and")
+	fmt.Println("the reference configuration's coupling values — the paper's future-work")
+	fmt.Println("scenario of reusing coupling values to avoid new measurement campaigns.")
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,74 @@
+// Quickstart: the coupling methodology end to end on a deterministic toy
+// application, with no wall-clock noise.
+//
+// The toy app is a loop over four kernels A→B→C→D where A's output stays
+// cached for B (constructive coupling, the chain costs less than its
+// parts) and C thrashes D (destructive). We measure each kernel alone and
+// every adjacent window together, compute coupling values C_S = P_S/ΣP_k,
+// build the composition coefficients, and compare the coupling predictor
+// against the traditional sum-of-isolated-times baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+func main() {
+	app := &harness.Synthetic{
+		SyntheticName: "quickstart",
+		Pre:           []string{"SETUP"},
+		Loop:          []string{"A", "B", "C", "D"},
+		Post:          []string{"TEARDOWN"},
+		Base: map[string]float64{
+			"SETUP": 3.0, "TEARDOWN": 1.0,
+			"A": 1.0, "B": 2.0, "C": 0.5, "D": 1.5,
+		},
+		Delta: map[string]float64{
+			"A|B": -0.30, // B reuses A's cached output: constructive
+			"C|D": +0.40, // D thrashes C's working set: destructive
+		},
+	}
+
+	const trips = 100
+	study, err := harness.RunStudy(app, trips, []int{2, 3, 4}, harness.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("application: %d loop trips over ring %v\n\n", trips, app.Loop)
+
+	// The pairwise coupling values (Eq. 1 of the paper).
+	ct := stats.NewTable("Pairwise coupling values", "Kernel Pair", "C_ij", "Regime")
+	for _, wc := range study.Details[2].Couplings {
+		ct.AddRow(strings.Join(wc.Window, ", "), fmt.Sprintf("%.3f", wc.C), wc.Regime(0.02).String())
+	}
+	fmt.Println(ct.String())
+
+	// The composition coefficients for L=2 (Section 3 of the paper).
+	kt := stats.NewTable("Composition coefficients (chain length 2)", "Kernel", "alpha")
+	for _, k := range app.Loop {
+		kt.AddRow(k, fmt.Sprintf("%.4f", study.Details[2].Coefficients[k]))
+	}
+	fmt.Println(kt.String())
+
+	// Predictions vs. the measured time.
+	pt := stats.NewTable("Predicted execution time", "Predictor", "Time", "Relative Error")
+	pt.AddRow("Actual (measured)", fmt.Sprintf("%.2f", study.Actual), "-")
+	pt.AddRow("Summation", fmt.Sprintf("%.2f", study.Summation.Predicted), stats.Percent(study.Summation.RelErr))
+	for _, L := range study.ChainLens() {
+		p := study.Couplings[L]
+		pt.AddRow(p.Label, fmt.Sprintf("%.2f", p.Predicted), stats.Percent(p.RelErr))
+	}
+	fmt.Println(pt.String())
+
+	fmt.Println("The summation baseline cannot see the +0.1s/trip net interaction;")
+	fmt.Println("the coupling predictors fold it in through the window measurements,")
+	fmt.Println("and the full-ring predictor (chain length 4) is exact by construction.")
+}

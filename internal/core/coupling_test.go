@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPairCoupling(t *testing.T) {
+	// Eq. 1: C_ij = P_ij / (P_i + P_j).
+	c, err := PairCoupling(1.8, 1.0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0.9 {
+		t.Errorf("C = %v, want 0.9", c)
+	}
+}
+
+func TestCouplingChain(t *testing.T) {
+	// Eq. 2 with a chain of three.
+	c, err := Coupling(3.3, []float64{1, 1, 1}, Time, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-1.1) > 1e-12 {
+		t.Errorf("C = %v, want 1.1", c)
+	}
+}
+
+func TestCouplingDefaultsToTimeMetric(t *testing.T) {
+	c, err := Coupling(2, []float64{1, 1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 1 {
+		t.Errorf("C = %v, want 1", c)
+	}
+}
+
+func TestCouplingErrors(t *testing.T) {
+	if _, err := Coupling(1, nil, Time, nil); err == nil {
+		t.Error("empty window should fail")
+	}
+	if _, err := Coupling(1, []float64{0, 0}, Time, nil); err == nil {
+		t.Error("zero expectation should fail")
+	}
+	if _, err := Coupling(-1, []float64{1}, Time, nil); err == nil {
+		t.Error("negative chained measurement should fail")
+	}
+}
+
+func TestCouplingWithRateMetric(t *testing.T) {
+	// Two kernels at 100 and 300 Mflop/s spending 75% and 25% of the
+	// time: expected rate = 0.75*100 + 0.25*300 = 150. Chain measured at
+	// 150 -> C = 1 (no interaction).
+	c, err := Coupling(150, []float64{100, 300}, FlopRate, []float64{0.75, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-1) > 1e-12 {
+		t.Errorf("rate coupling = %v, want 1", c)
+	}
+}
+
+func TestRateMetricFallsBackToMean(t *testing.T) {
+	m := RateMetric{MetricName: "r"}
+	if got := m.Combine([]float64{100, 300}, nil); got != 200 {
+		t.Errorf("unweighted rate combine = %v, want 200", got)
+	}
+	if got := m.Combine([]float64{100, 300}, []float64{0, 0}); got != 200 {
+		t.Errorf("degenerate-weight rate combine = %v, want 200", got)
+	}
+}
+
+func TestAdditiveMetricIgnoresWeights(t *testing.T) {
+	m := AdditiveMetric{MetricName: "t"}
+	if got := m.Combine([]float64{1, 2, 3}, []float64{9, 9, 9}); got != 6 {
+		t.Errorf("additive combine = %v, want 6", got)
+	}
+	if m.Name() != "t" || Time.Name() != "time" || FlopRate.Name() != "flop/s" {
+		t.Error("metric names wrong")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		c, tol float64
+		want   Regime
+	}{
+		{0.8, 0.02, Constructive},
+		{1.0, 0.02, Neutral},
+		{0.99, 0.02, Neutral},
+		{1.01, 0.02, Neutral},
+		{1.2, 0.02, Destructive},
+		{0.999, 0, Constructive},
+		{1.0, -5, Neutral}, // negative tolerance clamps to zero
+	}
+	for _, c := range cases {
+		if got := Classify(c.c, c.tol); got != c.want {
+			t.Errorf("Classify(%v, %v) = %v, want %v", c.c, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestRegimeString(t *testing.T) {
+	if Constructive.String() != "constructive" || Neutral.String() != "neutral" || Destructive.String() != "destructive" {
+		t.Error("regime names wrong")
+	}
+	if Regime(42).String() != "Regime(42)" {
+		t.Errorf("unknown regime: %s", Regime(42))
+	}
+}
+
+func TestWindowCouplingAccessors(t *testing.T) {
+	wc := WindowCoupling{Window: []string{"A", "B"}, Chained: 1.8, Expected: 2.0, C: 0.9}
+	if wc.Key() != "A|B" {
+		t.Errorf("Key = %q", wc.Key())
+	}
+	if wc.Regime(0.02) != Constructive {
+		t.Errorf("Regime = %v", wc.Regime(0.02))
+	}
+}

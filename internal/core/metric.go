@@ -1,0 +1,86 @@
+// Package core implements the kernel-coupling performance-prediction
+// methodology of Taylor, Wu, Geisler and Stevens (HPDC 2002).
+//
+// A kernel is a unit of computation inside an application's main loop. The
+// coupling parameter of a chain of kernels S,
+//
+//	C_S = P_S / Σ_{k∈S} P_k,
+//
+// compares the measured performance of the chain executed together (P_S)
+// against the no-interaction expectation built from each kernel's isolated
+// performance (P_k). C_S < 1 is constructive coupling (shared resources
+// help, e.g. cache reuse between kernels), C_S > 1 is destructive
+// (interference), and C_S = 1 means the kernels do not interact.
+//
+// The package's centerpiece is the composition algebra of Section 3 of the
+// paper: the application time is modeled as T = Σ_k α_k·E_k where E_k is an
+// isolated model of kernel k and the coefficient α_k is the weighted
+// average of the coupling values of every length-L window of the loop's
+// cyclic control flow that contains k, weighted by each window's measured
+// time. App.CouplingPrediction implements this; App.SummationPrediction is
+// the traditional baseline that simply sums isolated kernel times.
+package core
+
+import "repro/internal/stats"
+
+// Metric describes how isolated kernel performances combine into the
+// expected performance of a chain when there is no interaction. Execution
+// time and cache misses are additive; rate metrics such as flop/s are not
+// — the paper notes they call for a weighted average instead.
+type Metric interface {
+	// Name identifies the metric (e.g. "time").
+	Name() string
+	// Combine returns the no-interaction expectation for a chain given
+	// each kernel's isolated value. weights carries each kernel's share
+	// of the chain (execution-time fractions); additive metrics ignore
+	// it, and it may be nil in that case.
+	Combine(isolated, weights []float64) float64
+}
+
+// AdditiveMetric combines isolated values by summation: correct for
+// execution time, cache misses, message counts and other extensive
+// quantities.
+type AdditiveMetric struct {
+	// MetricName is the display name, e.g. "time".
+	MetricName string
+}
+
+// Name returns the metric's display name.
+func (m AdditiveMetric) Name() string { return m.MetricName }
+
+// Combine sums the isolated values.
+func (m AdditiveMetric) Combine(isolated, _ []float64) float64 {
+	return stats.Sum(isolated)
+}
+
+// Time is the execution-time metric used throughout the paper's evaluation.
+var Time Metric = AdditiveMetric{MetricName: "time"}
+
+// CacheMisses is an additive metric for hardware-counter studies.
+var CacheMisses Metric = AdditiveMetric{MetricName: "cache-misses"}
+
+// RateMetric combines isolated values by weighted average: correct for
+// intensive quantities such as flop/s, where the chain's rate is the
+// time-weighted mean of the kernels' rates.
+type RateMetric struct {
+	// MetricName is the display name, e.g. "flop/s".
+	MetricName string
+}
+
+// Name returns the metric's display name.
+func (m RateMetric) Name() string { return m.MetricName }
+
+// Combine returns the weighted mean of the isolated rates. When weights is
+// nil or degenerate, it falls back to the unweighted mean.
+func (m RateMetric) Combine(isolated, weights []float64) float64 {
+	if len(weights) == len(isolated) {
+		if v, err := stats.WeightedMean(isolated, weights); err == nil {
+			return v
+		}
+	}
+	return stats.Mean(isolated)
+}
+
+// FlopRate is the floating-point-rate metric the paper cites as the example
+// that must not be summed.
+var FlopRate Metric = RateMetric{MetricName: "flop/s"}

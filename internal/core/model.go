@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Measurements holds the raw inputs to the composition algebra, all in the
+// same metric and all normalized to one execution: Isolated[k] is kernel
+// k's performance alone (P_k per pass), and Window[Key(w)] is the chain's
+// performance per pass through the window (P_S).
+type Measurements struct {
+	Isolated map[string]float64
+	Window   map[string]float64
+}
+
+// NewMeasurements returns an empty measurement set ready to fill.
+func NewMeasurements() Measurements {
+	return Measurements{
+		Isolated: make(map[string]float64),
+		Window:   make(map[string]float64),
+	}
+}
+
+// isolatedOf gathers the isolated values of a window's kernels.
+func (m Measurements) isolatedOf(window []string) ([]float64, error) {
+	vals := make([]float64, len(window))
+	for i, k := range window {
+		v, ok := m.Isolated[k]
+		if !ok {
+			return nil, fmt.Errorf("core: missing isolated measurement for kernel %q", k)
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+// CouplingOf computes the window's coupling value from the measurement set
+// using the time metric.
+func (m Measurements) CouplingOf(window []string) (WindowCoupling, error) {
+	iso, err := m.isolatedOf(window)
+	if err != nil {
+		return WindowCoupling{}, err
+	}
+	key := Key(window)
+	chained, ok := m.Window[key]
+	if !ok {
+		return WindowCoupling{}, fmt.Errorf("core: missing window measurement for %q", key)
+	}
+	c, err := Coupling(chained, iso, Time, nil)
+	if err != nil {
+		return WindowCoupling{}, fmt.Errorf("core: window %q: %w", key, err)
+	}
+	return WindowCoupling{
+		Window:   append([]string(nil), window...),
+		Chained:  chained,
+		Expected: chained / c,
+		C:        c,
+	}, nil
+}
+
+// CoefficientOptions tunes how window couplings are folded into per-kernel
+// coefficients.
+type CoefficientOptions struct {
+	// Unweighted averages the coupling values of the windows containing a
+	// kernel without weighting by window time. The paper weights by
+	// window time ("the weight is needed such that a large coupling value
+	// for a pair that attributes very little to the execution time
+	// results in an appropriate valued coefficient"); this switch exists
+	// for the ablation study of that choice.
+	Unweighted bool
+}
+
+// Coefficients computes the composition coefficient α_k for every kernel in
+// the ring, using chain length L, per Section 3 of the paper:
+//
+//	α_k = Σ_{W∋k} C_W·P_W / Σ_{W∋k} P_W
+//
+// where the windows W range over the length-L cyclic windows of the ring
+// that contain k. For L=1 every coefficient is 1 (coupling prediction
+// degenerates to summation); for L=len(ring) every coefficient equals the
+// whole-loop coupling value and the prediction is exact by construction.
+func Coefficients(ring Ring, L int, m Measurements, opts CoefficientOptions) (map[string]float64, []WindowCoupling, error) {
+	windows, err := ring.Windows(L)
+	if err != nil {
+		return nil, nil, err
+	}
+	couplings := make([]WindowCoupling, 0, len(windows))
+	byKey := make(map[string]WindowCoupling, len(windows))
+	for _, w := range windows {
+		var wc WindowCoupling
+		if L == 1 {
+			// Isolated "windows" have C = 1 by definition; synthesize
+			// them so L=1 cleanly degenerates to summation.
+			iso, err := m.isolatedOf(w)
+			if err != nil {
+				return nil, nil, err
+			}
+			wc = WindowCoupling{Window: append([]string(nil), w...), Chained: iso[0], Expected: iso[0], C: 1}
+		} else {
+			wc, err = m.CouplingOf(w)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		couplings = append(couplings, wc)
+		byKey[wc.Key()] = wc
+	}
+
+	coeffs := make(map[string]float64, len(ring))
+	for _, k := range ring {
+		var num, den float64
+		for _, wc := range couplings {
+			if !contains(wc.Window, k) {
+				continue
+			}
+			weight := wc.Chained
+			if opts.Unweighted {
+				weight = 1
+			}
+			num += wc.C * weight
+			den += weight
+		}
+		if den == 0 {
+			return nil, nil, fmt.Errorf("core: zero total weight for kernel %q (all windows measured zero)", k)
+		}
+		coeffs[k] = num / den
+	}
+	return coeffs, couplings, nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// App describes an application in the paper's shape: optional one-shot
+// kernels before and after a main loop whose body is a cyclic ring of
+// kernels executed Trips times. BT class S, for example, is
+// Pre={INITIALIZATION}, Loop={COPY_FACES, X_SOLVE, Y_SOLVE, Z_SOLVE, ADD},
+// Post={FINAL}, Trips=60.
+type App struct {
+	Name  string
+	Pre   []string
+	Loop  Ring
+	Post  []string
+	Trips int
+}
+
+// Validate checks the app's structural invariants.
+func (a App) Validate() error {
+	if err := a.Loop.Validate(); err != nil {
+		return fmt.Errorf("core: app %q: %w", a.Name, err)
+	}
+	if a.Trips < 1 {
+		return fmt.Errorf("core: app %q: loop trip count %d must be >= 1", a.Name, a.Trips)
+	}
+	return nil
+}
+
+// onceTime sums the isolated times of the pre- and post-kernels.
+func (a App) onceTime(m Measurements) (float64, error) {
+	var t float64
+	for _, k := range append(append([]string(nil), a.Pre...), a.Post...) {
+		v, ok := m.Isolated[k]
+		if !ok {
+			return 0, fmt.Errorf("core: missing isolated measurement for one-shot kernel %q", k)
+		}
+		t += v
+	}
+	return t, nil
+}
+
+// SummationPrediction is the traditional baseline: the sum of every
+// kernel's isolated time, with loop kernels multiplied by the trip count —
+// e.g. Tinit + Trips·(Tc-f + Tx-s + Ty-s + Tz-s + Tadd) + Tfinal.
+func (a App) SummationPrediction(m Measurements) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	once, err := a.onceTime(m)
+	if err != nil {
+		return 0, err
+	}
+	iso, err := m.isolatedOf(a.Loop)
+	if err != nil {
+		return 0, err
+	}
+	var loop float64
+	for _, v := range iso {
+		loop += v
+	}
+	return once + float64(a.Trips)*loop, nil
+}
+
+// Prediction is the outcome of the coupling predictor, with the
+// intermediate quantities the paper tabulates.
+type Prediction struct {
+	// Total is the predicted application execution time.
+	Total float64
+	// ChainLen is the window length L used.
+	ChainLen int
+	// Coefficients maps each loop kernel to its composition coefficient.
+	Coefficients map[string]float64
+	// Couplings holds the window coupling values the coefficients came
+	// from, in ring order.
+	Couplings []WindowCoupling
+}
+
+// CouplingPrediction predicts the application time with the composition
+// algebra at chain length L:
+//
+//	T = Σ_pre P_k + Trips·Σ_loop α_k·P_k + Σ_post P_k
+func (a App) CouplingPrediction(m Measurements, L int, opts CoefficientOptions) (Prediction, error) {
+	if err := a.Validate(); err != nil {
+		return Prediction{}, err
+	}
+	once, err := a.onceTime(m)
+	if err != nil {
+		return Prediction{}, err
+	}
+	coeffs, couplings, err := Coefficients(a.Loop, L, m, opts)
+	if err != nil {
+		return Prediction{}, err
+	}
+	var loop float64
+	for _, k := range a.Loop {
+		loop += coeffs[k] * m.Isolated[k]
+	}
+	return Prediction{
+		Total:        once + float64(a.Trips)*loop,
+		ChainLen:     L,
+		Coefficients: coeffs,
+		Couplings:    couplings,
+	}, nil
+}
+
+// KernelsSorted returns every kernel of the app (pre, loop, post) sorted by
+// name; handy for deterministic reporting.
+func (a App) KernelsSorted() []string {
+	all := make([]string, 0, len(a.Pre)+len(a.Loop)+len(a.Post))
+	all = append(all, a.Pre...)
+	all = append(all, a.Loop...)
+	all = append(all, a.Post...)
+	sort.Strings(all)
+	return all
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Path is one control path through an application's main loop: the paper
+// notes that "for each unique application control path that has N kernels,
+// only (N-1) pairwise interactions are measured" — an application whose
+// loop body branches (e.g. a periodic checkpoint every k-th iteration)
+// has several such paths, each executed some number of times.
+type Path struct {
+	// Ring is the path's kernel sequence (cyclic, like App.Loop).
+	Ring Ring
+	// Trips is how many loop iterations take this path.
+	Trips int
+}
+
+// MultiPathApp is an application whose loop body follows one of several
+// control paths. It generalizes App, which is the single-path special
+// case; windows shared between paths are measured once.
+type MultiPathApp struct {
+	Name  string
+	Pre   []string
+	Post  []string
+	Paths []Path
+}
+
+// Validate checks the structural invariants of every path.
+func (a MultiPathApp) Validate() error {
+	if len(a.Paths) == 0 {
+		return fmt.Errorf("core: app %q has no control paths", a.Name)
+	}
+	for i, p := range a.Paths {
+		if err := p.Ring.Validate(); err != nil {
+			return fmt.Errorf("core: app %q path %d: %w", a.Name, i, err)
+		}
+		if p.Trips < 1 {
+			return fmt.Errorf("core: app %q path %d: trips %d must be >= 1", a.Name, i, p.Trips)
+		}
+	}
+	return nil
+}
+
+// chainFor clamps the requested chain length to a path's ring size, so a
+// short side path (say, a 2-kernel checkpoint path) still participates in
+// an L=4 study with its own full ring.
+func chainFor(L int, ring Ring) int {
+	if L > len(ring) {
+		return len(ring)
+	}
+	return L
+}
+
+// RequiredWindows returns the union of every path's measurement plan at
+// chain length L (clamped per path), deduplicated, in first-seen order.
+func (a MultiPathApp) RequiredWindows(L int) ([]string, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var keys []string
+	add := func(ks []string) {
+		for _, k := range ks {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	for _, k := range append(append([]string(nil), a.Pre...), a.Post...) {
+		add([]string{k})
+	}
+	for _, p := range a.Paths {
+		ks, err := p.Ring.RequiredWindows(chainFor(L, p.Ring))
+		if err != nil {
+			return nil, err
+		}
+		add(ks)
+	}
+	return keys, nil
+}
+
+func (a MultiPathApp) onceTime(m Measurements) (float64, error) {
+	var t float64
+	for _, k := range append(append([]string(nil), a.Pre...), a.Post...) {
+		v, ok := m.Isolated[k]
+		if !ok {
+			return 0, fmt.Errorf("core: missing isolated measurement for one-shot kernel %q", k)
+		}
+		t += v
+	}
+	return t, nil
+}
+
+// SummationPrediction is the baseline: isolated times, with each path's
+// kernels multiplied by that path's trip count.
+func (a MultiPathApp) SummationPrediction(m Measurements) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	total, err := a.onceTime(m)
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range a.Paths {
+		iso, err := m.isolatedOf(p.Ring)
+		if err != nil {
+			return 0, err
+		}
+		var loop float64
+		for _, v := range iso {
+			loop += v
+		}
+		total += float64(p.Trips) * loop
+	}
+	return total, nil
+}
+
+// MultiPrediction is the coupling predictor's outcome for a multi-path
+// application.
+type MultiPrediction struct {
+	// Total is the predicted application execution time.
+	Total float64
+	// PerPath holds each path's prediction detail (coefficients and
+	// couplings), in path order; each PerPath[i].Total is the predicted
+	// time of path i's trips.
+	PerPath []Prediction
+}
+
+// CouplingPrediction predicts the application time by applying the
+// composition algebra to each control path independently (each with chain
+// length min(L, len(path))) and summing:
+//
+//	T = Σ_pre P_k + Σ_paths Trips_p·Σ_{k∈path} α_k·P_k + Σ_post P_k
+func (a MultiPathApp) CouplingPrediction(m Measurements, L int, opts CoefficientOptions) (MultiPrediction, error) {
+	if err := a.Validate(); err != nil {
+		return MultiPrediction{}, err
+	}
+	once, err := a.onceTime(m)
+	if err != nil {
+		return MultiPrediction{}, err
+	}
+	out := MultiPrediction{Total: once}
+	for i, p := range a.Paths {
+		lp := chainFor(L, p.Ring)
+		coeffs, couplings, err := Coefficients(p.Ring, lp, m, opts)
+		if err != nil {
+			return MultiPrediction{}, fmt.Errorf("core: app %q path %d: %w", a.Name, i, err)
+		}
+		var loop float64
+		for _, k := range p.Ring {
+			loop += coeffs[k] * m.Isolated[k]
+		}
+		pathTotal := float64(p.Trips) * loop
+		out.Total += pathTotal
+		out.PerPath = append(out.PerPath, Prediction{
+			Total:        pathTotal,
+			ChainLen:     lp,
+			Coefficients: coeffs,
+			Couplings:    couplings,
+		})
+	}
+	return out, nil
+}
+
+// AsApp converts a single-path MultiPathApp to the plain App form.
+// It fails when the app has more than one path.
+func (a MultiPathApp) AsApp() (App, error) {
+	if err := a.Validate(); err != nil {
+		return App{}, err
+	}
+	if len(a.Paths) != 1 {
+		return App{}, fmt.Errorf("core: app %q has %d paths, cannot flatten", a.Name, len(a.Paths))
+	}
+	return App{
+		Name:  a.Name,
+		Pre:   a.Pre,
+		Loop:  a.Paths[0].Ring,
+		Post:  a.Post,
+		Trips: a.Paths[0].Trips,
+	}, nil
+}
+
+// KernelsSorted returns every distinct kernel of the app, sorted.
+func (a MultiPathApp) KernelsSorted() []string {
+	seen := map[string]bool{}
+	var all []string
+	add := func(ks []string) {
+		for _, k := range ks {
+			if !seen[k] {
+				seen[k] = true
+				all = append(all, k)
+			}
+		}
+	}
+	add(a.Pre)
+	for _, p := range a.Paths {
+		add(p.Ring)
+	}
+	add(a.Post)
+	sort.Strings(all)
+	return all
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// checkpointApp is a loop that usually runs A→B→C but every few iterations
+// takes the A→B→CHKPT path instead.
+func checkpointApp() MultiPathApp {
+	return MultiPathApp{
+		Name: "chk",
+		Pre:  []string{"INIT"},
+		Post: []string{"FINAL"},
+		Paths: []Path{
+			{Ring: Ring{"A", "B", "C"}, Trips: 90},
+			{Ring: Ring{"A", "B", "CHKPT"}, Trips: 10},
+		},
+	}
+}
+
+func multiMeasurements() Measurements {
+	m := NewMeasurements()
+	m.Isolated["INIT"] = 2
+	m.Isolated["FINAL"] = 1
+	m.Isolated["A"] = 1
+	m.Isolated["B"] = 2
+	m.Isolated["C"] = 0.5
+	m.Isolated["CHKPT"] = 5
+	// Pairwise windows for both paths; shared pair A|B measured once.
+	m.Window["A|B"] = 2.7
+	m.Window["B|C"] = 2.5
+	m.Window["C|A"] = 1.5
+	m.Window["B|CHKPT"] = 7.7
+	m.Window["CHKPT|A"] = 6.0
+	return m
+}
+
+func TestMultiPathValidate(t *testing.T) {
+	if err := checkpointApp().Validate(); err != nil {
+		t.Errorf("valid app rejected: %v", err)
+	}
+	bad := MultiPathApp{Name: "x"}
+	if err := bad.Validate(); err == nil {
+		t.Error("no paths should be invalid")
+	}
+	bad = MultiPathApp{Name: "x", Paths: []Path{{Ring: Ring{"A"}, Trips: 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero trips should be invalid")
+	}
+	bad = MultiPathApp{Name: "x", Paths: []Path{{Ring: Ring{"A", "A"}, Trips: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate kernels should be invalid")
+	}
+}
+
+func TestMultiPathRequiredWindowsUnion(t *testing.T) {
+	app := checkpointApp()
+	keys, err := app.RequiredWindows(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"INIT", "FINAL",
+		"A", "B", "C", "A|B", "B|C", "C|A",
+		"CHKPT", "B|CHKPT", "CHKPT|A",
+	}
+	if !reflect.DeepEqual(keys, want) {
+		t.Errorf("RequiredWindows = %v\nwant %v", keys, want)
+	}
+	// The shared A|B window appears exactly once.
+	count := 0
+	for _, k := range keys {
+		if k == "A|B" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("shared window duplicated %d times", count)
+	}
+}
+
+func TestMultiPathSummation(t *testing.T) {
+	app := checkpointApp()
+	m := multiMeasurements()
+	got, err := app.SummationPrediction(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 + 1.0 + 90*(1+2+0.5) + 10*(1+2+5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("summation = %v, want %v", got, want)
+	}
+}
+
+func TestMultiPathCouplingNoInteractionEqualsSummation(t *testing.T) {
+	app := checkpointApp()
+	m := multiMeasurements()
+	// Overwrite windows with exact sums: no interaction anywhere.
+	m.Window["A|B"] = 3
+	m.Window["B|C"] = 2.5
+	m.Window["C|A"] = 1.5
+	m.Window["B|CHKPT"] = 7
+	m.Window["CHKPT|A"] = 6
+	sum, err := app.SummationPrediction(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := app.CouplingPrediction(m, 2, CoefficientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred.Total-sum) > 1e-9 {
+		t.Errorf("no-interaction multi-path prediction %v != summation %v", pred.Total, sum)
+	}
+}
+
+func TestMultiPathFullRingExactPerPath(t *testing.T) {
+	app := checkpointApp()
+	m := multiMeasurements()
+	m.Window["A|B|C"] = 3.2     // whole main path chained
+	m.Window["A|B|CHKPT"] = 8.8 // whole checkpoint path chained
+	pred, err := app.CouplingPrediction(m, 3, CoefficientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3.0 + 90*3.2 + 10*8.8
+	if math.Abs(pred.Total-want) > 1e-9 {
+		t.Errorf("full-ring multi-path prediction %v, want exact %v", pred.Total, want)
+	}
+	if len(pred.PerPath) != 2 {
+		t.Fatalf("PerPath has %d entries", len(pred.PerPath))
+	}
+	if math.Abs(pred.PerPath[0].Total-90*3.2) > 1e-9 {
+		t.Errorf("path 0 total %v", pred.PerPath[0].Total)
+	}
+}
+
+func TestMultiPathChainClamping(t *testing.T) {
+	// A 2-kernel side path in an L=3 study uses its own full ring.
+	app := MultiPathApp{
+		Name: "clamp",
+		Paths: []Path{
+			{Ring: Ring{"A", "B", "C"}, Trips: 5},
+			{Ring: Ring{"A", "D"}, Trips: 1},
+		},
+	}
+	m := NewMeasurements()
+	m.Isolated["A"], m.Isolated["B"], m.Isolated["C"], m.Isolated["D"] = 1, 1, 1, 1
+	m.Window["A|B|C"] = 3.3
+	m.Window["A|D"] = 1.8
+	pred, err := app.CouplingPrediction(m, 3, CoefficientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.PerPath[1].ChainLen != 2 {
+		t.Errorf("side path chain length %d, want clamped 2", pred.PerPath[1].ChainLen)
+	}
+	want := 5*3.3 + 1*1.8
+	if math.Abs(pred.Total-want) > 1e-9 {
+		t.Errorf("clamped prediction %v, want %v", pred.Total, want)
+	}
+}
+
+func TestMultiPathSinglePathMatchesApp(t *testing.T) {
+	mp := MultiPathApp{
+		Name:  "single",
+		Pre:   []string{"INIT"},
+		Post:  []string{"FINAL"},
+		Paths: []Path{{Ring: Ring{"A", "B", "C", "D"}, Trips: 10}},
+	}
+	app, err := mp.AsApp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := measurementsForApp(map[string]float64{
+		"A|B": 3.3, "B|C": 2.2, "C|D": 2.1, "D|A": 2.4,
+	})
+	single, err := app.CouplingPrediction(m, 2, CoefficientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := mp.CouplingPrediction(m, 2, CoefficientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(single.Total-multi.Total) > 1e-12 {
+		t.Errorf("single-path multi app %v != App %v", multi.Total, single.Total)
+	}
+
+	sumS, _ := app.SummationPrediction(m)
+	sumM, _ := mp.SummationPrediction(m)
+	if math.Abs(sumS-sumM) > 1e-12 {
+		t.Errorf("summation mismatch: %v vs %v", sumM, sumS)
+	}
+}
+
+func TestMultiPathAsAppRejectsMultiple(t *testing.T) {
+	if _, err := checkpointApp().AsApp(); err == nil {
+		t.Error("two-path app should not flatten")
+	}
+}
+
+func TestMultiPathKernelsSorted(t *testing.T) {
+	got := checkpointApp().KernelsSorted()
+	want := []string{"A", "B", "C", "CHKPT", "FINAL", "INIT"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("KernelsSorted = %v, want %v", got, want)
+	}
+}
+
+func TestMultiPathMissingMeasurement(t *testing.T) {
+	app := checkpointApp()
+	m := multiMeasurements()
+	delete(m.Isolated, "CHKPT")
+	if _, err := app.SummationPrediction(m); err == nil {
+		t.Error("missing isolated measurement should fail")
+	}
+	if _, err := app.CouplingPrediction(m, 2, CoefficientOptions{}); err == nil {
+		t.Error("missing isolated measurement should fail for coupling too")
+	}
+}

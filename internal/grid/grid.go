@@ -1,0 +1,115 @@
+// Package grid provides the domain-decomposition arithmetic shared by the
+// NAS-benchmark reimplementations: balanced 1-D block ranges, the square
+// process grids BT and SP require, and the power-of-two pencil partitions
+// LU uses (the grid is halved repeatedly in the first two dimensions,
+// alternately x then y, per the paper's description).
+package grid
+
+import "fmt"
+
+// Range is a half-open index interval [Lo, Hi) owned by one rank along one
+// dimension.
+type Range struct {
+	Lo, Hi int
+}
+
+// N returns the number of indices in the range.
+func (r Range) N() int { return r.Hi - r.Lo }
+
+// Contains reports whether global index i falls in the range.
+func (r Range) Contains(i int) bool { return i >= r.Lo && i < r.Hi }
+
+// Block1D splits n indices over p parts and returns part r's range.
+// The first n%p parts get one extra index, so sizes differ by at most one.
+func Block1D(n, p, r int) Range {
+	if p <= 0 || r < 0 || r >= p {
+		panic(fmt.Sprintf("grid: Block1D(n=%d, p=%d, r=%d) invalid", n, p, r))
+	}
+	base := n / p
+	rem := n % p
+	lo := r*base + min(r, rem)
+	size := base
+	if r < rem {
+		size++
+	}
+	return Range{Lo: lo, Hi: lo + size}
+}
+
+// SquareSide returns s where s*s == p, or an error when p is not a perfect
+// square. BT and SP require square process counts.
+func SquareSide(p int) (int, error) {
+	for s := 1; s*s <= p; s++ {
+		if s*s == p {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("grid: %d processes is not a perfect square (BT/SP requirement)", p)
+}
+
+// IsPowerOfTwo reports whether p is a positive power of two (the LU
+// requirement).
+func IsPowerOfTwo(p int) bool {
+	return p > 0 && p&(p-1) == 0
+}
+
+// PencilDims returns the 2-D process grid (px, py) LU uses for p ranks:
+// the domain is halved repeatedly, alternately in x then y, so for
+// p = 2^k, px = 2^ceil(k/2) and py = 2^floor(k/2).
+func PencilDims(p int) (px, py int, err error) {
+	if !IsPowerOfTwo(p) {
+		return 0, 0, fmt.Errorf("grid: %d processes is not a power of two (LU requirement)", p)
+	}
+	px, py = 1, 1
+	halveX := true
+	for p > 1 {
+		if halveX {
+			px *= 2
+		} else {
+			py *= 2
+		}
+		halveX = !halveX
+		p /= 2
+	}
+	return px, py, nil
+}
+
+// Decomp2D describes a rank's tile in a 2-D decomposition of an
+// (N1 × N2) index space over a (P1 × P2) process grid.
+type Decomp2D struct {
+	P1, P2 int   // process grid shape
+	C1, C2 int   // this rank's process coordinates
+	R1, R2 Range // owned index ranges along each dimension
+}
+
+// NewDecomp2D computes rank r's tile for n1×n2 indices over a p1×p2
+// process grid, with ranks laid out row-major ((c1, c2) -> c1*p2 + c2,
+// matching mpi.Cart).
+func NewDecomp2D(n1, n2, p1, p2, r int) Decomp2D {
+	if r < 0 || r >= p1*p2 {
+		panic(fmt.Sprintf("grid: rank %d out of range for %dx%d grid", r, p1, p2))
+	}
+	c1, c2 := r/p2, r%p2
+	return Decomp2D{
+		P1: p1, P2: p2,
+		C1: c1, C2: c2,
+		R1: Block1D(n1, p1, c1),
+		R2: Block1D(n2, p2, c2),
+	}
+}
+
+// Rank returns the rank at process coordinates (c1, c2), or -1 when the
+// coordinates fall outside the process grid.
+func (d Decomp2D) Rank(c1, c2 int) int {
+	if c1 < 0 || c1 >= d.P1 || c2 < 0 || c2 >= d.P2 {
+		return -1
+	}
+	return c1*d.P2 + c2
+}
+
+// Neighbors returns the ranks adjacent to this tile in the four cardinal
+// directions along the two decomposed dimensions; -1 marks a physical
+// boundary.
+func (d Decomp2D) Neighbors() (lo1, hi1, lo2, hi2 int) {
+	return d.Rank(d.C1-1, d.C2), d.Rank(d.C1+1, d.C2),
+		d.Rank(d.C1, d.C2-1), d.Rank(d.C1, d.C2+1)
+}

@@ -1,0 +1,253 @@
+// Package harness orchestrates the paper's measurement campaign: for an
+// application decomposed into kernels it measures every kernel in
+// isolation, every length-L window of the loop ring executed together, and
+// the full application, then feeds the measurements to the coupling
+// composition algebra and reports the predictions next to the traditional
+// summation baseline — the structure of the paper's comparison tables.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/stats"
+)
+
+// Options tunes how much measurement effort a study spends.
+type Options struct {
+	// Blocks is the number of independently timed blocks per window
+	// measurement (default 3).
+	Blocks int
+	// Passes is the number of window passes per block (default 1).
+	Passes int
+	// ActualRuns is how many times the full application is run; the
+	// median is reported (default 1).
+	ActualRuns int
+	// TrimFrac is the two-sided trim fraction when aggregating a window
+	// measurement's timed blocks. Zero picks the workload's default
+	// (median-of-blocks for NPB workloads); negative forces the raw
+	// mean — the knob behind the trimming ablation.
+	TrimFrac float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Blocks <= 0 {
+		o.Blocks = 3
+	}
+	if o.Passes <= 0 {
+		o.Passes = 1
+	}
+	if o.ActualRuns <= 0 {
+		o.ActualRuns = 1
+	}
+	return o
+}
+
+// Workload is an application the harness can measure. Implementations
+// exist for the NPB benchmarks (NPBWorkload) and for deterministic
+// synthetic cost models used in tests and examples (see Synthetic).
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Kernels returns the kernel names grouped as pre / loop ring / post.
+	Kernels() (pre, loop, post []string)
+	// MeasureWindow returns the per-pass time in seconds of the given
+	// kernels executed together in application order inside a loop.
+	MeasureWindow(window []string, o Options) (float64, error)
+	// MeasureActual returns the wall-clock seconds of a full application
+	// run with the given loop trip count.
+	MeasureActual(trips int, o Options) (float64, error)
+}
+
+// NPBWorkload adapts an npb.Factory (BT, SP or LU) to the harness.
+type NPBWorkload struct {
+	// WorkloadName identifies the benchmark instance, e.g. "BT.A.4".
+	WorkloadName string
+	// Factory builds per-rank state.
+	Factory npb.Factory
+	// Pre, Loop and Post are the kernel groups.
+	Pre, Loop, Post []string
+	// Procs is the rank count.
+	Procs int
+	// WorldOpts configures the MPI world (e.g. a network model).
+	WorldOpts []mpi.Option
+}
+
+// Name implements Workload.
+func (w *NPBWorkload) Name() string { return w.WorkloadName }
+
+// Kernels implements Workload.
+func (w *NPBWorkload) Kernels() (pre, loop, post []string) {
+	return w.Pre, w.Loop, w.Post
+}
+
+// MeasureWindow implements Workload via npb.MeasureWindow.
+func (w *NPBWorkload) MeasureWindow(window []string, o Options) (float64, error) {
+	o = o.withDefaults()
+	return npb.MeasureWindow(w.Factory, window, npb.MeasureOptions{
+		Procs:     w.Procs,
+		Blocks:    o.Blocks,
+		Passes:    o.Passes,
+		TrimFrac:  o.TrimFrac,
+		WorldOpts: w.WorldOpts,
+	})
+}
+
+// MeasureActual implements Workload via npb.MeasureFull.
+func (w *NPBWorkload) MeasureActual(trips int, o Options) (float64, error) {
+	return npb.MeasureFull(w.Factory, w.Pre, w.Loop, trips, w.Post, npb.MeasureOptions{
+		Procs:     w.Procs,
+		WorldOpts: w.WorldOpts,
+	})
+}
+
+// PredictionResult is one predictor's outcome against the measured time.
+type PredictionResult struct {
+	// Label names the predictor, e.g. "Summation" or "Coupling: 3 kernels".
+	Label string
+	// Predicted is the predicted execution time in seconds.
+	Predicted float64
+	// RelErr is |Predicted-Actual|/Actual.
+	RelErr float64
+	// ChainLen is the window length for coupling predictors, 0 for the
+	// summation baseline.
+	ChainLen int
+}
+
+// Study is a complete measurement-and-prediction campaign for one
+// workload configuration — the content of one column of the paper's
+// comparison tables, for every requested chain length.
+type Study struct {
+	// Workload is the measured workload's name.
+	Workload string
+	// Trips is the loop trip count used.
+	Trips int
+	// App is the application structure handed to the composition algebra.
+	App core.App
+	// Measurements holds every isolated and window measurement taken.
+	Measurements core.Measurements
+	// Actual is the measured full-application time in seconds.
+	Actual float64
+	// Summation is the baseline prediction.
+	Summation PredictionResult
+	// Couplings maps chain length to the coupling predictor's outcome.
+	Couplings map[int]PredictionResult
+	// Details maps chain length to the full prediction (coefficients and
+	// window couplings) for reporting.
+	Details map[int]core.Prediction
+}
+
+// RunStudy measures the workload and produces predictions for every chain
+// length in chainLens (each in [2, len(loop)]), plus the summation
+// baseline. trips is the loop trip count for both the actual run and the
+// predictions.
+func RunStudy(w Workload, trips int, chainLens []int, o Options) (*Study, error) {
+	o = o.withDefaults()
+	pre, loop, post := w.Kernels()
+	app := core.App{Name: w.Name(), Pre: pre, Loop: core.Ring(loop), Post: post, Trips: trips}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+
+	m := core.NewMeasurements()
+	// Isolated measurements for every kernel.
+	for _, k := range app.KernelsSorted() {
+		v, err := w.MeasureWindow([]string{k}, o)
+		if err != nil {
+			return nil, fmt.Errorf("harness: isolated %s: %w", k, err)
+		}
+		m.Isolated[k] = v
+	}
+	// Window measurements for every requested chain length.
+	sorted := append([]int(nil), chainLens...)
+	sort.Ints(sorted)
+	for _, L := range sorted {
+		if L < 2 || L > len(loop) {
+			return nil, fmt.Errorf("harness: chain length %d out of range [2,%d]", L, len(loop))
+		}
+		windows, err := app.Loop.Windows(L)
+		if err != nil {
+			return nil, err
+		}
+		for _, win := range windows {
+			key := core.Key(win)
+			if _, done := m.Window[key]; done {
+				continue
+			}
+			v, err := w.MeasureWindow(win, o)
+			if err != nil {
+				return nil, fmt.Errorf("harness: window %s: %w", key, err)
+			}
+			m.Window[key] = v
+		}
+	}
+
+	// Actual runs: median over ActualRuns.
+	actuals := make([]float64, 0, o.ActualRuns)
+	for r := 0; r < o.ActualRuns; r++ {
+		a, err := w.MeasureActual(trips, o)
+		if err != nil {
+			return nil, fmt.Errorf("harness: actual run: %w", err)
+		}
+		actuals = append(actuals, a)
+	}
+	actual := stats.Median(actuals)
+
+	study := &Study{
+		Workload:     w.Name(),
+		Trips:        trips,
+		App:          app,
+		Measurements: m,
+		Actual:       actual,
+		Couplings:    make(map[int]PredictionResult, len(sorted)),
+		Details:      make(map[int]core.Prediction, len(sorted)),
+	}
+	sum, err := app.SummationPrediction(m)
+	if err != nil {
+		return nil, err
+	}
+	study.Summation = PredictionResult{
+		Label:     "Summation",
+		Predicted: sum,
+		RelErr:    stats.RelativeError(sum, actual),
+	}
+	for _, L := range sorted {
+		pred, err := app.CouplingPrediction(m, L, core.CoefficientOptions{})
+		if err != nil {
+			return nil, err
+		}
+		study.Couplings[L] = PredictionResult{
+			Label:     fmt.Sprintf("Coupling: %d kernels", L),
+			Predicted: pred.Total,
+			RelErr:    stats.RelativeError(pred.Total, actual),
+			ChainLen:  L,
+		}
+		study.Details[L] = pred
+	}
+	return study, nil
+}
+
+// BestPredictor returns the prediction (summation or any coupling length)
+// with the smallest relative error.
+func (s *Study) BestPredictor() PredictionResult {
+	best := s.Summation
+	for _, p := range s.Couplings {
+		if p.RelErr < best.RelErr {
+			best = p
+		}
+	}
+	return best
+}
+
+// ChainLens returns the measured chain lengths in ascending order.
+func (s *Study) ChainLens() []int {
+	ls := make([]int, 0, len(s.Couplings))
+	for l := range s.Couplings {
+		ls = append(ls, l)
+	}
+	sort.Ints(ls)
+	return ls
+}

@@ -1,0 +1,149 @@
+// Package linalg provides the small dense linear algebra the NAS-benchmark
+// solvers are built from: 5×5 block operations for BT's block-tridiagonal
+// systems, scalar pentadiagonal elimination primitives for SP, and dense
+// Gaussian elimination used as the test oracle for both.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat5 is a dense 5×5 matrix in row-major order.
+type Mat5 [25]float64
+
+// Vec5 is a 5-component vector, matching the five solution components of
+// the NAS benchmarks.
+type Vec5 [5]float64
+
+// Identity5 returns the 5×5 identity.
+func Identity5() Mat5 {
+	var m Mat5
+	for i := 0; i < 5; i++ {
+		m[i*5+i] = 1
+	}
+	return m
+}
+
+// MulMM stores a·b into dst. dst must not alias a or b.
+func MulMM(dst, a, b *Mat5) {
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			s := 0.0
+			for k := 0; k < 5; k++ {
+				s += a[i*5+k] * b[k*5+j]
+			}
+			dst[i*5+j] = s
+		}
+	}
+}
+
+// MulMV stores a·v into dst. dst must not alias v.
+func MulMV(dst *Vec5, a *Mat5, v *Vec5) {
+	for i := 0; i < 5; i++ {
+		s := 0.0
+		for k := 0; k < 5; k++ {
+			s += a[i*5+k] * v[k]
+		}
+		dst[i] = s
+	}
+}
+
+// SubMM stores a-b into dst; aliasing dst with a or b is fine.
+func SubMM(dst, a, b *Mat5) {
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// SubMV stores a-b into dst; aliasing is fine.
+func SubMV(dst, a, b *Vec5) {
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// LU5 is the in-place LU factorization of a 5×5 matrix without pivoting,
+// as used by the NAS BT solver whose blocks are diagonally dominant by
+// construction. Factor reports failure on a vanishing pivot.
+type LU5 struct {
+	m Mat5
+}
+
+// Factor computes the factorization of a. It returns an error when a pivot
+// underflows, which signals a loss of the diagonal dominance the solver
+// relies on.
+func (lu *LU5) Factor(a *Mat5) error {
+	lu.m = *a
+	m := &lu.m
+	for p := 0; p < 5; p++ {
+		piv := m[p*5+p]
+		if math.Abs(piv) < 1e-300 {
+			return fmt.Errorf("linalg: zero pivot at row %d", p)
+		}
+		inv := 1 / piv
+		for i := p + 1; i < 5; i++ {
+			l := m[i*5+p] * inv
+			m[i*5+p] = l
+			for j := p + 1; j < 5; j++ {
+				m[i*5+j] -= l * m[p*5+j]
+			}
+		}
+	}
+	return nil
+}
+
+// SolveVec solves A·x = b in place: b is overwritten with x.
+func (lu *LU5) SolveVec(b *Vec5) {
+	m := &lu.m
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < 5; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= m[i*5+j] * b[j]
+		}
+		b[i] = s
+	}
+	// Back substitution.
+	for i := 4; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < 5; j++ {
+			s -= m[i*5+j] * b[j]
+		}
+		b[i] = s / m[i*5+i]
+	}
+}
+
+// SolveMat solves A·X = B column by column, overwriting B with X.
+func (lu *LU5) SolveMat(b *Mat5) {
+	var col Vec5
+	for j := 0; j < 5; j++ {
+		for i := 0; i < 5; i++ {
+			col[i] = b[i*5+j]
+		}
+		lu.SolveVec(&col)
+		for i := 0; i < 5; i++ {
+			b[i*5+j] = col[i]
+		}
+	}
+}
+
+// MaxAbsDiffM returns the largest absolute elementwise difference between
+// two matrices; a convenience for tests.
+func MaxAbsDiffM(a, b *Mat5) float64 {
+	d := 0.0
+	for i := range a {
+		d = math.Max(d, math.Abs(a[i]-b[i]))
+	}
+	return d
+}
+
+// MaxAbsDiffV returns the largest absolute elementwise difference between
+// two vectors.
+func MaxAbsDiffV(a, b *Vec5) float64 {
+	d := 0.0
+	for i := range a {
+		d = math.Max(d, math.Abs(a[i]-b[i]))
+	}
+	return d
+}

@@ -1,0 +1,286 @@
+// Package memmodel reproduces the paper's memory-subsystem observation:
+// as the problem size (and hence the per-processor working set) scales,
+// coupling values go through a finite number of major transitions, one per
+// cache-capacity boundary. It provides streaming kernels with a
+// configurable working set, a harness.Workload pairing two of them, a
+// sweep that measures the pair coupling across working-set sizes on the
+// host's real cache hierarchy, and a detector for the transitions.
+//
+// The mechanism: two kernels that each stream read-modify-write over their
+// own array of W bytes run fast in isolation whenever W fits in a cache
+// level (the loop reuses the cached array), but run together they need 2W;
+// in the band where W fits and 2W does not, the kernels evict each other
+// and the pair coupling rises above 1 (destructive). Once W alone exceeds
+// the cache, both the isolated and chained runs miss everywhere and the
+// coupling falls back toward 1. Each cache level contributes one such
+// plateau change, so C(W) shows a small, finite number of transitions.
+package memmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// Kernel streams read-modify-write over its array once per Run: the
+// canonical cache-pressure workload.
+type Kernel struct {
+	// KernelName identifies the kernel.
+	KernelName string
+	// Data is the kernel's working set.
+	Data []float64
+	// sink defeats dead-code elimination.
+	sink float64
+}
+
+// NewKernel allocates a streaming kernel with a working set of the given
+// size in bytes (rounded down to whole float64 words, minimum one).
+func NewKernel(name string, bytes int) *Kernel {
+	words := bytes / 8
+	if words < 1 {
+		words = 1
+	}
+	d := make([]float64, words)
+	for i := range d {
+		d[i] = float64(i%17) * 0.25
+	}
+	return &Kernel{KernelName: name, Data: d}
+}
+
+// Run performs one read-modify-write pass over the working set.
+func (k *Kernel) Run() {
+	s := k.sink
+	d := k.Data
+	for i := range d {
+		v := d[i]*0.999 + 0.001
+		d[i] = v
+		s += v
+	}
+	k.sink = s
+}
+
+// WorkingSetBytes returns the kernel's array size in bytes.
+func (k *Kernel) WorkingSetBytes() int { return len(k.Data) * 8 }
+
+// NewSharedKernel returns a kernel that streams over another kernel's
+// array instead of its own: the chained pair's combined working set is W
+// rather than 2W, so where the disjoint pair shows destructive coupling
+// (mutual eviction) the shared pair shows neutral-to-constructive coupling
+// — the producer/consumer data reuse the paper attributes constructive
+// coupling to.
+func NewSharedKernel(name string, owner *Kernel) *Kernel {
+	return &Kernel{KernelName: name, Data: owner.Data}
+}
+
+// PairWorkload adapts two kernels into a harness.Workload whose loop ring
+// is [A, B], measured with real wall-clock timing. MinBlockBytes controls
+// how many bytes each timed block streams (per-pass times below the clock
+// resolution are otherwise meaningless); the default is 64 MiB.
+type PairWorkload struct {
+	A, B *Kernel
+	// Blocks is the number of timed blocks per measurement (default 5).
+	Blocks int
+	// MinBlockBytes sets the streaming volume of one timed block
+	// (default 64 MiB).
+	MinBlockBytes int
+}
+
+// Name implements harness.Workload.
+func (p *PairWorkload) Name() string {
+	return fmt.Sprintf("memmodel(%s,%s,%dB)", p.A.KernelName, p.B.KernelName, p.A.WorkingSetBytes())
+}
+
+// Kernels implements harness.Workload: no pre/post kernels, loop = [A, B].
+func (p *PairWorkload) Kernels() (pre, loop, post []string) {
+	return nil, []string{p.A.KernelName, p.B.KernelName}, nil
+}
+
+func (p *PairWorkload) kernel(name string) (*Kernel, error) {
+	switch name {
+	case p.A.KernelName:
+		return p.A, nil
+	case p.B.KernelName:
+		return p.B, nil
+	}
+	return nil, fmt.Errorf("memmodel: unknown kernel %q", name)
+}
+
+// MeasureWindow implements harness.Workload with wall-clock timing.
+func (p *PairWorkload) MeasureWindow(window []string, _ harness.Options) (float64, error) {
+	ks := make([]*Kernel, len(window))
+	bytesPerPass := 0
+	for i, name := range window {
+		k, err := p.kernel(name)
+		if err != nil {
+			return 0, err
+		}
+		ks[i] = k
+		bytesPerPass += k.WorkingSetBytes()
+	}
+	if bytesPerPass == 0 {
+		return 0, fmt.Errorf("memmodel: empty window")
+	}
+	minBytes := p.MinBlockBytes
+	if minBytes <= 0 {
+		minBytes = 64 << 20
+	}
+	passes := minBytes / bytesPerPass
+	if passes < 1 {
+		passes = 1
+	}
+	blocks := p.Blocks
+	if blocks <= 0 {
+		blocks = 5
+	}
+	res, err := timing.Measure(func() {
+		for _, k := range ks {
+			k.Run()
+		}
+	}, timing.Options{Blocks: blocks, PassesPerBlock: passes})
+	if err != nil {
+		return 0, err
+	}
+	return res.PerPass, nil
+}
+
+// MeasureActual implements harness.Workload: trips passes over the ring.
+func (p *PairWorkload) MeasureActual(trips int, o harness.Options) (float64, error) {
+	per, err := p.MeasureWindow([]string{p.A.KernelName, p.B.KernelName}, o)
+	if err != nil {
+		return 0, err
+	}
+	return float64(trips) * per, nil
+}
+
+// SweepPoint is one working-set size's measured pair coupling.
+type SweepPoint struct {
+	// Bytes is the per-kernel working-set size.
+	Bytes int
+	// C is the measured pair coupling C_AB.
+	C float64
+}
+
+// Sweep measures the pair coupling of two disjoint streaming kernels at
+// each working-set size and returns the series in input order. blocks and
+// minBlockBytes are passed to PairWorkload (zero for defaults).
+func Sweep(sizes []int, blocks, minBlockBytes int) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(sizes))
+	for _, bytes := range sizes {
+		a := NewKernel("A", bytes)
+		b := NewKernel("B", bytes)
+		p := &PairWorkload{A: a, B: b, Blocks: blocks, MinBlockBytes: minBlockBytes}
+		pa, err := p.MeasureWindow([]string{"A"}, harness.Options{})
+		if err != nil {
+			return nil, err
+		}
+		pb, err := p.MeasureWindow([]string{"B"}, harness.Options{})
+		if err != nil {
+			return nil, err
+		}
+		pab, err := p.MeasureWindow([]string{"A", "B"}, harness.Options{})
+		if err != nil {
+			return nil, err
+		}
+		c, err := core.PairCoupling(pab, pa, pb)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{Bytes: bytes, C: c})
+	}
+	return points, nil
+}
+
+// SweepShared is Sweep for a producer/consumer pair sharing one array:
+// the second kernel re-reads the first's working set. Comparing its series
+// against Sweep's at equal sizes separates capacity effects (present only
+// in the disjoint pair) from fixed chaining overheads.
+func SweepShared(sizes []int, blocks, minBlockBytes int) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(sizes))
+	for _, bytes := range sizes {
+		a := NewKernel("A", bytes)
+		b := NewSharedKernel("B", a)
+		p := &PairWorkload{A: a, B: b, Blocks: blocks, MinBlockBytes: minBlockBytes}
+		pa, err := p.MeasureWindow([]string{"A"}, harness.Options{})
+		if err != nil {
+			return nil, err
+		}
+		pb, err := p.MeasureWindow([]string{"B"}, harness.Options{})
+		if err != nil {
+			return nil, err
+		}
+		pab, err := p.MeasureWindow([]string{"A", "B"}, harness.Options{})
+		if err != nil {
+			return nil, err
+		}
+		c, err := core.PairCoupling(pab, pa, pb)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{Bytes: bytes, C: c})
+	}
+	return points, nil
+}
+
+// GeometricSizes returns count working-set sizes from lo to hi bytes,
+// geometrically spaced — the natural axis for cache-boundary sweeps.
+func GeometricSizes(lo, hi, count int) []int {
+	if count < 2 || lo <= 0 || hi <= lo {
+		return []int{lo}
+	}
+	sizes := make([]int, count)
+	ratio := float64(hi) / float64(lo)
+	for i := range sizes {
+		f := float64(i) / float64(count-1)
+		sizes[i] = int(float64(lo) * math.Pow(ratio, f))
+	}
+	return sizes
+}
+
+// Transitions returns the indices i (into points, i >= 1) where the
+// coupling value changes by more than threshold relative to the previous
+// point — the "major value changes" of the paper's observation. A smooth
+// series yields few transitions; the count is what the finite-transitions
+// claim is about.
+func Transitions(points []SweepPoint, threshold float64) []int {
+	var idx []int
+	for i := 1; i < len(points); i++ {
+		if abs(points[i].C-points[i-1].C) > threshold {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Plateaus summarizes a sweep as the mean coupling between transitions.
+func Plateaus(points []SweepPoint, threshold float64) []float64 {
+	if len(points) == 0 {
+		return nil
+	}
+	trans := Transitions(points, threshold)
+	var plateaus []float64
+	start := 0
+	for _, t := range append(trans, len(points)) {
+		seg := points[start:t]
+		if len(seg) == 0 {
+			continue
+		}
+		vals := make([]float64, len(seg))
+		for i, p := range seg {
+			vals[i] = p.C
+		}
+		plateaus = append(plateaus, stats.Mean(vals))
+		start = t
+	}
+	return plateaus
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,252 @@
+// Package model provides the analytical kernel models the composition
+// algebra combines. In the paper, E_k is "an analytical model of kernel k"
+// — a closed-form cost expression — and the coupling coefficients say how
+// to combine those models into an application model. This package
+// expresses a kernel model as a linear combination of symbolic cost terms
+// (cells per rank, face areas, message counts, ...), calibrates the
+// coefficients against measured isolated times by least squares, and
+// combines calibrated models with coupling values to predict
+// configurations that were never measured — the full modeling workflow the
+// paper's Prophesy infrastructure automates.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+)
+
+// Params identifies a workload configuration for the cost terms.
+type Params struct {
+	// N1, N2, N3 are the global grid dimensions.
+	N1, N2, N3 int
+	// Procs is the processor count.
+	Procs int
+}
+
+// Cells returns the global cell count.
+func (p Params) Cells() float64 { return float64(p.N1) * float64(p.N2) * float64(p.N3) }
+
+// Term is one symbolic cost component of a kernel model.
+type Term struct {
+	// Name identifies the term in diagnostics, e.g. "cells/rank".
+	Name string
+	// Scale evaluates the term for a configuration.
+	Scale func(p Params) float64
+}
+
+// Standard terms for grid benchmarks.
+
+// Constant is the fixed per-invocation overhead term.
+func Constant() Term {
+	return Term{Name: "const", Scale: func(Params) float64 { return 1 }}
+}
+
+// CellsPerRank scales with the local tile volume — the compute term of
+// every cell-streaming kernel on a machine with one CPU per rank.
+func CellsPerRank() Term {
+	return Term{Name: "cells/rank", Scale: func(p Params) float64 {
+		return p.Cells() / float64(p.Procs)
+	}}
+}
+
+// CellsTotal scales with the global volume — the correct compute term
+// when ranks time-share CPUs (wall-clock follows total work, not per-rank
+// work). Choosing between CellsPerRank and CellsTotal encodes the
+// execution substrate; with training runs spanning several rank counts,
+// least squares can also be given both and will weight them itself.
+func CellsTotal() Term {
+	return Term{Name: "cells", Scale: func(p Params) float64 {
+		return p.Cells()
+	}}
+}
+
+// FacePerRank scales with a tile's face area under a square decomposition
+// of the last two dimensions — the halo-exchange volume term.
+func FacePerRank() Term {
+	return Term{Name: "face/rank", Scale: func(p Params) float64 {
+		s := math.Sqrt(float64(p.Procs))
+		return float64(p.N1) * (float64(p.N2)/s + float64(p.N3)/s)
+	}}
+}
+
+// SweepStages scales with the pipeline depth of a distributed line solve
+// (√P stages under the square decomposition).
+func SweepStages() Term {
+	return Term{Name: "sweep-stages", Scale: func(p Params) float64 {
+		return math.Sqrt(float64(p.Procs))
+	}}
+}
+
+// MessagesPerRank scales with the number of per-plane pipeline messages
+// (LU's small-message term: one per z-plane per neighbor).
+func MessagesPerRank() Term {
+	return Term{Name: "messages/rank", Scale: func(p Params) float64 {
+		return float64(p.N3)
+	}}
+}
+
+// KernelModel is E_k(params) = Σ_i coef_i · term_i(params).
+type KernelModel struct {
+	// Kernel is the modeled kernel's name.
+	Kernel string
+	// Terms are the symbolic cost components.
+	Terms []Term
+	// Coef holds the calibrated coefficients, one per term; nil before
+	// calibration.
+	Coef []float64
+}
+
+// NewKernelModel builds an uncalibrated model.
+func NewKernelModel(kernel string, terms ...Term) *KernelModel {
+	return &KernelModel{Kernel: kernel, Terms: terms}
+}
+
+// Predict evaluates the calibrated model for a configuration.
+func (m *KernelModel) Predict(p Params) (float64, error) {
+	if len(m.Coef) != len(m.Terms) {
+		return 0, fmt.Errorf("model: kernel %q not calibrated", m.Kernel)
+	}
+	var v float64
+	for i, t := range m.Terms {
+		v += m.Coef[i] * t.Scale(p)
+	}
+	return v, nil
+}
+
+// Observation is one measured isolated time at a configuration.
+type Observation struct {
+	Params  Params
+	Seconds float64
+}
+
+// Calibrate fits the model's coefficients to the observations by ordinary
+// least squares (normal equations). It needs at least as many observations
+// as terms and fails on a singular design (e.g. terms indistinguishable on
+// the observed configurations).
+func (m *KernelModel) Calibrate(obs []Observation) error {
+	nTerms := len(m.Terms)
+	if nTerms == 0 {
+		return fmt.Errorf("model: kernel %q has no terms", m.Kernel)
+	}
+	if len(obs) < nTerms {
+		return fmt.Errorf("model: kernel %q needs >= %d observations, have %d", m.Kernel, nTerms, len(obs))
+	}
+	// Normal equations: (XᵀX)·c = Xᵀy.
+	xtx := make([][]float64, nTerms)
+	for i := range xtx {
+		xtx[i] = make([]float64, nTerms)
+	}
+	xty := make([]float64, nTerms)
+	for _, o := range obs {
+		row := make([]float64, nTerms)
+		for i, t := range m.Terms {
+			row[i] = t.Scale(o.Params)
+		}
+		for i := 0; i < nTerms; i++ {
+			for j := 0; j < nTerms; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			xty[i] += row[i] * o.Seconds
+		}
+	}
+	coef, err := linalg.DenseSolve(xtx, xty)
+	if err != nil {
+		return fmt.Errorf("model: kernel %q: singular design — observations cannot distinguish the terms: %w", m.Kernel, err)
+	}
+	m.Coef = coef
+	return nil
+}
+
+// Residuals returns each observation's relative model error; a quick
+// goodness-of-fit check.
+func (m *KernelModel) Residuals(obs []Observation) ([]float64, error) {
+	out := make([]float64, len(obs))
+	for i, o := range obs {
+		pred, err := m.Predict(o.Params)
+		if err != nil {
+			return nil, err
+		}
+		if o.Seconds == 0 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		out[i] = (pred - o.Seconds) / o.Seconds
+	}
+	return out, nil
+}
+
+// PredictApp combines calibrated kernel models with coupling values into
+// an application prediction for a configuration that was never measured:
+// each kernel's E_k comes from its model, each window's chained time is
+// reconstructed as C_W·Σ E_k, and the usual composition algebra runs on
+// top — the end-to-end modeling workflow of the paper.
+func PredictApp(app core.App, models map[string]*KernelModel, couplings map[string]float64, p Params, L int) (core.Prediction, error) {
+	m := core.NewMeasurements()
+	for _, k := range app.KernelsSorted() {
+		km, ok := models[k]
+		if !ok {
+			return core.Prediction{}, fmt.Errorf("model: no model for kernel %q", k)
+		}
+		v, err := km.Predict(p)
+		if err != nil {
+			return core.Prediction{}, err
+		}
+		if v <= 0 {
+			return core.Prediction{}, fmt.Errorf("model: kernel %q predicts non-positive time %v at %+v", k, v, p)
+		}
+		m.Isolated[k] = v
+	}
+	windows, err := app.Loop.Windows(L)
+	if err != nil {
+		return core.Prediction{}, err
+	}
+	for _, w := range windows {
+		key := core.Key(w)
+		c, ok := couplings[key]
+		if !ok {
+			return core.Prediction{}, fmt.Errorf("model: no coupling value for window %q", key)
+		}
+		var sum float64
+		for _, k := range w {
+			sum += m.Isolated[k]
+		}
+		m.Window[key] = c * sum
+	}
+	return app.CouplingPrediction(m, L, core.CoefficientOptions{})
+}
+
+// BTModels returns the analytical model skeletons for BT's kernels: the
+// solves stream cell-proportional block arithmetic with a pipeline-depth
+// term for the distributed directions, COPY_FACES adds a face-area
+// communication term, and ADD is pure cell streaming.
+func BTModels() map[string]*KernelModel {
+	return map[string]*KernelModel{
+		"INITIALIZATION": NewKernelModel("INITIALIZATION", Constant(), CellsPerRank()),
+		"COPY_FACES":     NewKernelModel("COPY_FACES", Constant(), CellsPerRank(), FacePerRank()),
+		"X_SOLVE":        NewKernelModel("X_SOLVE", Constant(), CellsPerRank()),
+		"Y_SOLVE":        NewKernelModel("Y_SOLVE", Constant(), CellsPerRank(), SweepStages()),
+		"Z_SOLVE":        NewKernelModel("Z_SOLVE", Constant(), CellsPerRank(), SweepStages()),
+		"ADD":            NewKernelModel("ADD", Constant(), CellsPerRank()),
+		"FINAL":          NewKernelModel("FINAL", Constant(), CellsPerRank()),
+	}
+}
+
+// LUModels returns the analytical model skeletons for LU's loop kernels:
+// the sweeps add the per-plane small-message term the paper highlights.
+func LUModels() map[string]*KernelModel {
+	return map[string]*KernelModel{
+		"INITIALIZATION": NewKernelModel("INITIALIZATION", Constant(), CellsPerRank()),
+		"ERHS":           NewKernelModel("ERHS", Constant(), CellsPerRank()),
+		"SSOR_INIT":      NewKernelModel("SSOR_INIT", Constant(), CellsPerRank()),
+		"SSOR_ITER":      NewKernelModel("SSOR_ITER", Constant(), CellsPerRank(), FacePerRank()),
+		"SSOR_LT":        NewKernelModel("SSOR_LT", Constant(), CellsPerRank(), MessagesPerRank()),
+		"SSOR_UT":        NewKernelModel("SSOR_UT", Constant(), CellsPerRank(), MessagesPerRank()),
+		"SSOR_RS":        NewKernelModel("SSOR_RS", Constant(), CellsPerRank()),
+		"ERROR":          NewKernelModel("ERROR", Constant(), CellsPerRank()),
+		"PINTGR":         NewKernelModel("PINTGR", Constant(), CellsPerRank()),
+		"FINAL":          NewKernelModel("FINAL", Constant(), CellsPerRank()),
+	}
+}

@@ -1,0 +1,227 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestParamsCells(t *testing.T) {
+	p := Params{N1: 4, N2: 5, N3: 6, Procs: 2}
+	if p.Cells() != 120 {
+		t.Errorf("Cells = %v", p.Cells())
+	}
+}
+
+func TestStandardTerms(t *testing.T) {
+	p := Params{N1: 64, N2: 64, N3: 64, Procs: 16}
+	if got := Constant().Scale(p); got != 1 {
+		t.Errorf("Constant = %v", got)
+	}
+	if got := CellsPerRank().Scale(p); got != 64*64*64/16 {
+		t.Errorf("CellsPerRank = %v", got)
+	}
+	if got := SweepStages().Scale(p); got != 4 {
+		t.Errorf("SweepStages = %v", got)
+	}
+	if got := MessagesPerRank().Scale(p); got != 64 {
+		t.Errorf("MessagesPerRank = %v", got)
+	}
+	// Face area: N1·(N2/√P + N3/√P) = 64·(16+16) = 2048.
+	if got := FacePerRank().Scale(p); math.Abs(got-2048) > 1e-9 {
+		t.Errorf("FacePerRank = %v", got)
+	}
+}
+
+func TestCalibrateRecoversExactCoefficients(t *testing.T) {
+	// Data generated exactly from the model must be recovered exactly.
+	m := NewKernelModel("K", Constant(), CellsPerRank())
+	trueCoef := []float64{0.003, 2e-7}
+	var obs []Observation
+	for _, cfg := range []Params{
+		{N1: 8, N2: 8, N3: 8, Procs: 1},
+		{N1: 16, N2: 16, N3: 16, Procs: 4},
+		{N1: 32, N2: 32, N3: 32, Procs: 4},
+		{N1: 32, N2: 32, N3: 32, Procs: 16},
+	} {
+		y := trueCoef[0]*Constant().Scale(cfg) + trueCoef[1]*CellsPerRank().Scale(cfg)
+		obs = append(obs, Observation{Params: cfg, Seconds: y})
+	}
+	if err := m.Calibrate(obs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range trueCoef {
+		if math.Abs(m.Coef[i]-trueCoef[i]) > 1e-12*(1+math.Abs(trueCoef[i])) {
+			t.Errorf("coef[%d] = %v, want %v", i, m.Coef[i], trueCoef[i])
+		}
+	}
+	res, err := m.Residuals(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if math.Abs(r) > 1e-9 {
+			t.Errorf("residual[%d] = %v", i, r)
+		}
+	}
+}
+
+func TestCalibrateRecoveryProperty(t *testing.T) {
+	// Property: for random positive coefficients and a well-spread design,
+	// least squares recovers the generator.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c0 := 0.001 + rng.Float64()
+		c1 := 1e-8 + 1e-6*rng.Float64()
+		m := NewKernelModel("K", Constant(), CellsPerRank())
+		var obs []Observation
+		for _, n := range []int{8, 12, 16, 24, 32} {
+			cfg := Params{N1: n, N2: n, N3: n, Procs: 1 + rng.Intn(3)}
+			y := c0 + c1*CellsPerRank().Scale(cfg)
+			obs = append(obs, Observation{Params: cfg, Seconds: y})
+		}
+		if err := m.Calibrate(obs); err != nil {
+			return false
+		}
+		return math.Abs(m.Coef[0]-c0) < 1e-6*(1+c0) && math.Abs(m.Coef[1]-c1) < 1e-9*(1+c1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	m := NewKernelModel("K")
+	if err := m.Calibrate(nil); err == nil {
+		t.Error("no terms should fail")
+	}
+	m = NewKernelModel("K", Constant(), CellsPerRank())
+	if err := m.Calibrate([]Observation{{Params: Params{N1: 8, N2: 8, N3: 8, Procs: 1}, Seconds: 1}}); err == nil {
+		t.Error("fewer observations than terms should fail")
+	}
+	// Singular design: identical configurations can't distinguish terms.
+	same := Params{N1: 8, N2: 8, N3: 8, Procs: 1}
+	err := m.Calibrate([]Observation{{same, 1}, {same, 1}})
+	if err == nil {
+		t.Error("singular design should fail")
+	}
+}
+
+func TestPredictRequiresCalibration(t *testing.T) {
+	m := NewKernelModel("K", Constant())
+	if _, err := m.Predict(Params{N1: 8, N2: 8, N3: 8, Procs: 1}); err == nil {
+		t.Error("uncalibrated predict should fail")
+	}
+}
+
+// calibratedToyModels builds models for a 2-kernel app where A costs
+// 1e-6·cells/rank and B costs 2e-6·cells/rank.
+func calibratedToyModels(t *testing.T) map[string]*KernelModel {
+	t.Helper()
+	models := map[string]*KernelModel{
+		"A": NewKernelModel("A", CellsPerRank()),
+		"B": NewKernelModel("B", CellsPerRank()),
+	}
+	var obsA, obsB []Observation
+	for _, n := range []int{8, 16} {
+		cfg := Params{N1: n, N2: n, N3: n, Procs: 1}
+		obsA = append(obsA, Observation{cfg, 1e-6 * CellsPerRank().Scale(cfg)})
+		obsB = append(obsB, Observation{cfg, 2e-6 * CellsPerRank().Scale(cfg)})
+	}
+	if err := models["A"].Calibrate(obsA); err != nil {
+		t.Fatal(err)
+	}
+	if err := models["B"].Calibrate(obsB); err != nil {
+		t.Fatal(err)
+	}
+	return models
+}
+
+func TestPredictAppWithUnitCouplings(t *testing.T) {
+	// With all couplings 1 the model prediction equals the summation of
+	// model values — checks the plumbing end to end.
+	models := calibratedToyModels(t)
+	app := core.App{Name: "toy", Loop: core.Ring{"A", "B"}, Trips: 10}
+	target := Params{N1: 32, N2: 32, N3: 32, Procs: 1}
+	pred, err := PredictApp(app, models, map[string]float64{"A|B": 1}, target, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := CellsPerRank().Scale(target)
+	want := 10 * (1e-6 + 2e-6) * cells
+	if math.Abs(pred.Total-want) > 1e-9*(1+want) {
+		t.Errorf("prediction %v, want %v", pred.Total, want)
+	}
+}
+
+func TestPredictAppWithCouplings(t *testing.T) {
+	// A destructive coupling of 1.2 inflates the loop cost by exactly
+	// that factor at full-ring length.
+	models := calibratedToyModels(t)
+	app := core.App{Name: "toy", Loop: core.Ring{"A", "B"}, Trips: 10}
+	target := Params{N1: 32, N2: 32, N3: 32, Procs: 1}
+	pred, err := PredictApp(app, models, map[string]float64{"A|B": 1.2}, target, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := CellsPerRank().Scale(target)
+	want := 10 * 1.2 * (1e-6 + 2e-6) * cells
+	if math.Abs(pred.Total-want) > 1e-9*(1+want) {
+		t.Errorf("prediction %v, want %v", pred.Total, want)
+	}
+}
+
+func TestPredictAppErrors(t *testing.T) {
+	models := calibratedToyModels(t)
+	app := core.App{Name: "toy", Loop: core.Ring{"A", "B"}, Trips: 1}
+	target := Params{N1: 8, N2: 8, N3: 8, Procs: 1}
+	if _, err := PredictApp(app, models, map[string]float64{}, target, 2); err == nil {
+		t.Error("missing coupling should fail")
+	}
+	delete(models, "B")
+	if _, err := PredictApp(app, models, map[string]float64{"A|B": 1}, target, 2); err == nil {
+		t.Error("missing kernel model should fail")
+	}
+}
+
+func TestBTAndLUModelSkeletons(t *testing.T) {
+	bt := BTModels()
+	if len(bt) != 7 {
+		t.Errorf("BT has %d kernel models, want 7", len(bt))
+	}
+	lu := LUModels()
+	if len(lu) != 10 {
+		t.Errorf("LU has %d kernel models, want 10", len(lu))
+	}
+	for name, m := range bt {
+		if m.Kernel != name || len(m.Terms) == 0 {
+			t.Errorf("malformed BT model %q", name)
+		}
+	}
+	// The sweep kernels must carry the small-message term.
+	hasMsg := func(m *KernelModel) bool {
+		for _, tm := range m.Terms {
+			if tm.Name == "messages/rank" {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasMsg(lu["SSOR_LT"]) || !hasMsg(lu["SSOR_UT"]) {
+		t.Error("LU sweep models missing the per-plane message term")
+	}
+}
+
+func TestCellsTotalTerm(t *testing.T) {
+	p := Params{N1: 10, N2: 10, N3: 10, Procs: 4}
+	if got := CellsTotal().Scale(p); got != 1000 {
+		t.Errorf("CellsTotal = %v", got)
+	}
+	// Distinguishable from CellsPerRank whenever Procs > 1.
+	if CellsTotal().Scale(p) == CellsPerRank().Scale(p) {
+		t.Error("terms should differ for Procs > 1")
+	}
+}

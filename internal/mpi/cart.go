@@ -1,0 +1,111 @@
+package mpi
+
+import "fmt"
+
+// Cart is a Cartesian process topology over a communicator, mirroring the
+// MPI_Cart_* family. Rank 0 has coordinate (0,...,0); ranks are laid out in
+// row-major order (last dimension varies fastest), matching MPI convention.
+type Cart struct {
+	comm   *Comm
+	dims   []int
+	coords []int
+}
+
+// NewCart builds a Cartesian view over comm with the given dimensions.
+// The product of dims must equal comm.Size().
+func NewCart(comm *Comm, dims ...int) *Cart {
+	p := 1
+	for _, d := range dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("mpi: Cartesian dimension %d must be positive", d))
+		}
+		p *= d
+	}
+	if p != comm.Size() {
+		panic(fmt.Sprintf("mpi: Cartesian dims %v require %d ranks, communicator has %d", dims, p, comm.Size()))
+	}
+	c := &Cart{comm: comm, dims: append([]int(nil), dims...)}
+	c.coords = c.CoordsOf(comm.Rank())
+	return c
+}
+
+// Dims2D factors n into the most square pair (a, b) with a*b == n and
+// a <= b, the equivalent of MPI_Dims_create for two dimensions.
+func Dims2D(n int) (int, int) {
+	best := 1
+	for a := 1; a*a <= n; a++ {
+		if n%a == 0 {
+			best = a
+		}
+	}
+	return best, n / best
+}
+
+// Comm returns the underlying communicator.
+func (c *Cart) Comm() *Comm { return c.comm }
+
+// Dims returns a copy of the topology's dimensions.
+func (c *Cart) Dims() []int { return append([]int(nil), c.dims...) }
+
+// Coords returns a copy of the calling rank's coordinates.
+func (c *Cart) Coords() []int { return append([]int(nil), c.coords...) }
+
+// CoordsOf returns the coordinates of an arbitrary rank.
+func (c *Cart) CoordsOf(rank int) []int {
+	coords := make([]int, len(c.dims))
+	for i := len(c.dims) - 1; i >= 0; i-- {
+		coords[i] = rank % c.dims[i]
+		rank /= c.dims[i]
+	}
+	return coords
+}
+
+// RankOf returns the rank at the given coordinates, or -1 when any
+// coordinate is outside the grid (no periodic wraparound).
+func (c *Cart) RankOf(coords ...int) int {
+	if len(coords) != len(c.dims) {
+		panic(fmt.Sprintf("mpi: RankOf got %d coords for %d dims", len(coords), len(c.dims)))
+	}
+	rank := 0
+	for i, x := range coords {
+		if x < 0 || x >= c.dims[i] {
+			return -1
+		}
+		rank = rank*c.dims[i] + x
+	}
+	return rank
+}
+
+// Shift returns the source and destination ranks for a displacement along
+// one dimension, the equivalent of MPI_Cart_shift with non-periodic
+// boundaries: src is the neighbor displacement steps "behind" the caller,
+// dst the neighbor "ahead"; either is -1 at the boundary.
+func (c *Cart) Shift(dim, disp int) (src, dst int) {
+	if dim < 0 || dim >= len(c.dims) {
+		panic(fmt.Sprintf("mpi: Shift dimension %d out of range", dim))
+	}
+	from := append([]int(nil), c.coords...)
+	to := append([]int(nil), c.coords...)
+	from[dim] -= disp
+	to[dim] += disp
+	return c.RankOf(from...), c.RankOf(to...)
+}
+
+// Sub splits the communicator into one sub-communicator per line of the
+// kept dimension: keep selects the dimension that remains, and all ranks
+// sharing coordinates in every other dimension form one sub-communicator,
+// ordered by their coordinate along keep. This mirrors MPI_Cart_sub for a
+// single retained dimension and is what the pipelined line solves use.
+func (c *Cart) Sub(keep int) *Comm {
+	if keep < 0 || keep >= len(c.dims) {
+		panic(fmt.Sprintf("mpi: Sub dimension %d out of range", keep))
+	}
+	color := 0
+	for i, x := range c.coords {
+		if i == keep {
+			continue
+		}
+		color = color*c.dims[i] + x
+	}
+	return c.comm.Split(color, c.coords[keep])
+}

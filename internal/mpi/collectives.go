@@ -1,0 +1,231 @@
+package mpi
+
+import "fmt"
+
+// Barrier blocks until every rank in the communicator has entered it.
+// It uses the dissemination algorithm: ceil(log2 n) rounds of paired
+// send/receive, correct for any communicator size.
+func (c *Comm) Barrier() {
+	n := len(c.group)
+	if n == 1 {
+		return
+	}
+	token := []float64{0}
+	buf := make([]float64, 1)
+	for step := 1; step < n; step <<= 1 {
+		dst := (c.rank + step) % n
+		src := (c.rank - step + n) % n
+		c.internalSend(dst, tagBarrier, token)
+		c.internalRecv(src, tagBarrier, buf)
+	}
+}
+
+// Bcast broadcasts buf from root to every rank using a binomial tree.
+// On non-root ranks buf is overwritten with root's data; every rank must
+// pass a buffer of the same length.
+func (c *Comm) Bcast(root int, buf []float64) {
+	n := len(c.group)
+	if n == 1 {
+		return
+	}
+	if root < 0 || root >= n {
+		panic(fmt.Sprintf("mpi: Bcast root %d out of range [0,%d)", root, n))
+	}
+	relrank := (c.rank - root + n) % n
+
+	// Receive phase: a non-root rank receives from the rank that differs
+	// in its lowest set bit.
+	mask := 1
+	for mask < n {
+		if relrank&mask != 0 {
+			src := ((relrank &^ mask) + root) % n
+			c.internalRecv(src, tagBcast, buf)
+			break
+		}
+		mask <<= 1
+	}
+	// Send phase: forward down the remaining subtrees.
+	mask >>= 1
+	for mask > 0 {
+		if relrank+mask < n {
+			dst := ((relrank + mask) + root) % n
+			c.internalSend(dst, tagBcast, buf)
+		}
+		mask >>= 1
+	}
+}
+
+// Reduce combines each rank's contribution elementwise with op, leaving the
+// result in out on root (out is ignored on other ranks and may be nil
+// there). in and out must not alias. Every rank must pass equal-length in.
+func (c *Comm) Reduce(root int, op Op, in []float64, out []float64) {
+	n := len(c.group)
+	if root < 0 || root >= n {
+		panic(fmt.Sprintf("mpi: Reduce root %d out of range [0,%d)", root, n))
+	}
+	acc := append([]float64(nil), in...)
+	tmp := make([]float64, len(in))
+	relrank := (c.rank - root + n) % n
+	mask := 1
+	for mask < n {
+		if relrank&mask != 0 {
+			dst := ((relrank &^ mask) + root) % n
+			c.internalSend(dst, tagReduce, acc)
+			break
+		}
+		src := relrank | mask
+		if src < n {
+			wsrc := (src + root) % n
+			c.internalRecv(wsrc, tagReduce, tmp)
+			for i := range acc {
+				acc[i] = op.fn(acc[i], tmp[i])
+			}
+		}
+		mask <<= 1
+	}
+	if c.rank == root {
+		if len(out) < len(in) {
+			panic("mpi: Reduce output buffer too small on root")
+		}
+		copy(out, acc)
+	}
+}
+
+// Allreduce combines each rank's contribution elementwise with op and
+// leaves the result in out on every rank. Implemented as a reduce to rank 0
+// followed by a broadcast, which keeps the result bit-identical across
+// ranks (important for the NPB verification stages).
+func (c *Comm) Allreduce(op Op, in []float64, out []float64) {
+	if len(out) < len(in) {
+		panic("mpi: Allreduce output buffer too small")
+	}
+	c.Reduce(0, op, in, out)
+	c.Bcast(0, out[:len(in)])
+}
+
+// AllreduceScalar is Allreduce for a single value.
+func (c *Comm) AllreduceScalar(op Op, x float64) float64 {
+	in := [1]float64{x}
+	var out [1]float64
+	c.Allreduce(op, in[:], out[:])
+	return out[0]
+}
+
+// Gather collects each rank's equal-length contribution into out on root,
+// ordered by rank: out[r*len(in) : (r+1)*len(in)] holds rank r's data.
+// out is ignored on non-root ranks.
+func (c *Comm) Gather(root int, in []float64, out []float64) {
+	n := len(c.group)
+	if root < 0 || root >= n {
+		panic(fmt.Sprintf("mpi: Gather root %d out of range [0,%d)", root, n))
+	}
+	if c.rank != root {
+		c.internalSend(root, tagGather, in)
+		return
+	}
+	if len(out) < n*len(in) {
+		panic("mpi: Gather output buffer too small on root")
+	}
+	copy(out[root*len(in):], in)
+	tmp := make([]float64, len(in))
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		c.internalRecv(r, tagGather, tmp)
+		copy(out[r*len(in):], tmp)
+	}
+}
+
+// Allgather collects each rank's equal-length contribution into out on
+// every rank, ordered by rank. Implemented with the ring algorithm:
+// n-1 steps, each passing the most recently received block to the right.
+func (c *Comm) Allgather(in []float64, out []float64) {
+	n := len(c.group)
+	k := len(in)
+	if len(out) < n*k {
+		panic("mpi: Allgather output buffer too small")
+	}
+	copy(out[c.rank*k:], in)
+	if n == 1 {
+		return
+	}
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	for step := 0; step < n-1; step++ {
+		sendBlock := (c.rank - step + n) % n
+		recvBlock := (c.rank - step - 1 + n) % n
+		c.internalSend(right, tagAllgather, out[sendBlock*k:(sendBlock+1)*k])
+		c.internalRecv(left, tagAllgather, out[recvBlock*k:(recvBlock+1)*k])
+	}
+}
+
+// Scatter distributes root's buffer in equal blocks: rank r receives
+// in[r*len(out) : (r+1)*len(out)] into out. in is ignored on non-root ranks.
+func (c *Comm) Scatter(root int, in []float64, out []float64) {
+	n := len(c.group)
+	if root < 0 || root >= n {
+		panic(fmt.Sprintf("mpi: Scatter root %d out of range [0,%d)", root, n))
+	}
+	k := len(out)
+	if c.rank == root {
+		if len(in) < n*k {
+			panic("mpi: Scatter input buffer too small on root")
+		}
+		for r := 0; r < n; r++ {
+			if r == root {
+				copy(out, in[r*k:(r+1)*k])
+				continue
+			}
+			c.internalSend(r, tagScatter, in[r*k:(r+1)*k])
+		}
+		return
+	}
+	c.internalRecv(root, tagScatter, out)
+}
+
+// Alltoall performs a complete exchange: rank r sends
+// in[d*k:(d+1)*k] to rank d and receives rank s's block into
+// out[s*k:(s+1)*k], where k = len(in)/Size(). Implemented with n-1
+// pairwise shifted exchanges (plus the local copy), which cannot deadlock
+// because sends are eager.
+func (c *Comm) Alltoall(in []float64, out []float64) {
+	n := len(c.group)
+	if len(in)%n != 0 {
+		panic(fmt.Sprintf("mpi: Alltoall input length %d not divisible by communicator size %d", len(in), n))
+	}
+	k := len(in) / n
+	if len(out) < len(in) {
+		panic("mpi: Alltoall output buffer too small")
+	}
+	copy(out[c.rank*k:(c.rank+1)*k], in[c.rank*k:(c.rank+1)*k])
+	for step := 1; step < n; step++ {
+		dst := (c.rank + step) % n
+		src := (c.rank - step + n) % n
+		c.internalSend(dst, tagAlltoall, in[dst*k:(dst+1)*k])
+		c.internalRecv(src, tagAlltoall, out[src*k:(src+1)*k])
+	}
+}
+
+// Scan computes the inclusive prefix reduction: rank r's out holds
+// op(in_0, in_1, ..., in_r) elementwise. Linear chain implementation.
+func (c *Comm) Scan(op Op, in []float64, out []float64) {
+	n := len(c.group)
+	if len(out) < len(in) {
+		panic("mpi: Scan output buffer too small")
+	}
+	copy(out, in)
+	if n == 1 {
+		return
+	}
+	if c.rank > 0 {
+		tmp := make([]float64, len(in))
+		c.internalRecv(c.rank-1, tagScan, tmp)
+		for i := range in {
+			out[i] = op.fn(tmp[i], in[i])
+		}
+	}
+	if c.rank < n-1 {
+		c.internalSend(c.rank+1, tagScan, out[:len(in)])
+	}
+}

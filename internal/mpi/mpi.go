@@ -1,0 +1,188 @@
+// Package mpi is a message-passing runtime modeled on the MPI subset that
+// the NAS Parallel Benchmarks use. Ranks are goroutines inside one process;
+// point-to-point messages are matched on (source, tag, communicator) in
+// arrival order, and the usual collectives (barrier, broadcast, reduce,
+// allreduce, gather, allgather, scatter, alltoall) are built on top of the
+// point-to-point layer with binomial-tree and ring algorithms.
+//
+// The package stands in for the IBM SP's MPI in the coupling-paper
+// reproduction: the kernels of BT, SP and LU communicate through it, and an
+// optional network cost model (see NetModel) charges a latency/bandwidth
+// delay per message so that message-count and message-size effects show up
+// in measured kernel couplings the way they did on the SP's switch.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AnySource matches a message from any sender in Recv.
+const AnySource = -1
+
+// AnyTag matches a message with any non-negative tag in Recv.
+const AnyTag = -1
+
+// worldContext is the context id of the world communicator. Communicator
+// contexts isolate message matching between communicators.
+const worldContext = 0
+
+// World owns the mailboxes and shared state of a set of ranks. A World is
+// created implicitly by Run; tests that need finer control can use NewWorld
+// and Launch directly.
+type World struct {
+	size     int
+	boxes    []*mailbox
+	nextCtx  atomic.Int64
+	net      *NetModel
+	deadline time.Duration // zero means no receive timeout
+
+	// bufPool recycles float64 message payloads: solver workloads send
+	// the same-shaped messages millions of times, and per-send
+	// allocation would turn the GC into a dominant noise source in the
+	// timing measurements this runtime exists to support.
+	bufPool sync.Pool
+
+	panicOnce sync.Once
+	panicErr  error
+}
+
+// getBuf returns a length-n payload slice, recycled when possible.
+func (w *World) getBuf(n int) []float64 {
+	if v := w.bufPool.Get(); v != nil {
+		s := v.([]float64)
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// putBuf recycles a payload slice whose contents have been copied out.
+func (w *World) putBuf(s []float64) {
+	if cap(s) > 0 {
+		w.bufPool.Put(s[:0]) //nolint:staticcheck // slice header boxing is fine here
+	}
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithNetModel attaches a network cost model that delays message delivery
+// by latency + size/bandwidth, emulating an interconnect.
+func WithNetModel(m NetModel) Option {
+	return func(w *World) {
+		mm := m
+		w.net = &mm
+	}
+}
+
+// WithRecvTimeout makes any Recv that waits longer than d panic with a
+// deadlock diagnosis. Intended for tests; zero disables the timeout.
+func WithRecvTimeout(d time.Duration) Option {
+	return func(w *World) { w.deadline = d }
+}
+
+// NewWorld creates a World with n ranks. n must be positive.
+func NewWorld(n int, opts ...Option) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("mpi: world size %d must be positive", n))
+	}
+	w := &World{size: n, boxes: make([]*mailbox, n)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	w.nextCtx.Store(worldContext + 1)
+	for _, o := range opts {
+		o(w)
+	}
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Run creates a world of n ranks, runs fn once per rank concurrently, and
+// waits for all ranks to return. If any rank panics, Run recovers the first
+// panic and returns it as an error after all surviving ranks finish or the
+// world is torn down.
+func Run(n int, fn func(*Comm), opts ...Option) error {
+	w := NewWorld(n, opts...)
+	return w.Launch(fn)
+}
+
+// Launch runs fn on every rank of the world and waits for completion.
+func (w *World) Launch(fn func(*Comm)) error {
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	group := make([]int, w.size)
+	for i := range group {
+		group[i] = i
+	}
+	for r := 0; r < w.size; r++ {
+		comm := &Comm{world: w, ctx: worldContext, rank: r, group: group}
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					w.recordPanic(fmt.Errorf("mpi: rank %d panicked: %v", comm.rank, p))
+					// Wake every waiting rank so the program can
+					// unwind rather than hang on a dead peer.
+					for _, b := range w.boxes {
+						b.poison()
+					}
+				}
+			}()
+			fn(comm)
+		}()
+	}
+	wg.Wait()
+	return w.panicErr
+}
+
+func (w *World) recordPanic(err error) {
+	w.panicOnce.Do(func() { w.panicErr = err })
+}
+
+// Comm is a communicator: an ordered group of ranks with an isolated
+// message-matching context. The world communicator is passed to each rank's
+// function by Run; sub-communicators are created with Split.
+type Comm struct {
+	world *World
+	ctx   int
+	rank  int   // rank within this communicator
+	group []int // communicator rank -> world rank
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// WorldRank returns the caller's rank in the world communicator.
+func (c *Comm) WorldRank() int { return c.group[c.rank] }
+
+// Wtime returns the current monotonic time; it mirrors MPI_Wtime and exists
+// so benchmark kernels read time through the same façade they communicate
+// through.
+func (c *Comm) Wtime() time.Time { return time.Now() }
+
+func (c *Comm) worldOf(commRank int) int {
+	if commRank < 0 || commRank >= len(c.group) {
+		panic(fmt.Sprintf("mpi: rank %d out of range for communicator of size %d", commRank, len(c.group)))
+	}
+	return c.group[commRank]
+}
+
+// Abort tears down the world by waking all waiting ranks with a panic.
+// It mirrors MPI_Abort and is intended for unrecoverable rank-local errors.
+func (c *Comm) Abort(reason string) {
+	c.world.recordPanic(fmt.Errorf("mpi: abort from rank %d: %s", c.rank, reason))
+	for _, b := range c.world.boxes {
+		b.poison()
+	}
+	panic("mpi: abort: " + reason)
+}

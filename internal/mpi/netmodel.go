@@ -1,0 +1,56 @@
+package mpi
+
+import (
+	"runtime"
+	"time"
+)
+
+// NetModel is a first-order interconnect cost model: each message is
+// charged Latency + size/Bandwidth before it can be received. It stands in
+// for the IBM SP switch of the paper's testbed — with it enabled, kernels
+// that send many small messages (LU's pipelined sweeps) or few large ones
+// (face exchanges) pay the corresponding costs, which is one of the three
+// mechanisms the paper identifies behind coupling-value trends.
+//
+// The zero model charges nothing (messages are limited only by goroutine
+// scheduling), which is the default for a World.
+type NetModel struct {
+	// Latency is the per-message overhead.
+	Latency time.Duration
+	// Bandwidth is the payload rate in bytes per second; zero means
+	// infinite bandwidth.
+	Bandwidth float64
+}
+
+// IBMSPModel approximates the Argonne IBM SP's switch of the paper's era:
+// ~30 microseconds MPI latency and ~100 MB/s sustained bandwidth.
+func IBMSPModel() NetModel {
+	return NetModel{Latency: 30 * time.Microsecond, Bandwidth: 100e6}
+}
+
+// cost returns the modeled transfer time of a message of the given size.
+func (m NetModel) cost(bytes int) time.Duration {
+	d := m.Latency
+	if m.Bandwidth > 0 {
+		d += time.Duration(float64(bytes) / m.Bandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// waitUntil delays the caller until t, sleeping for coarse waits and
+// yielding-spinning for the final stretch so that microsecond-scale
+// latencies are honored without burning the (possibly single) CPU for the
+// whole wait.
+func waitUntil(t time.Time) {
+	for {
+		remaining := time.Until(t)
+		if remaining <= 0 {
+			return
+		}
+		if remaining > 200*time.Microsecond {
+			time.Sleep(remaining - 100*time.Microsecond)
+			continue
+		}
+		runtime.Gosched()
+	}
+}

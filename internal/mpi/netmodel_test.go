@@ -1,0 +1,96 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNetModelCost(t *testing.T) {
+	m := NetModel{Latency: 10 * time.Microsecond, Bandwidth: 1e6} // 1 MB/s
+	// 1000 bytes at 1 MB/s = 1ms, plus 10us latency.
+	got := m.cost(1000)
+	want := time.Millisecond + 10*time.Microsecond
+	if got != want {
+		t.Errorf("cost(1000) = %v, want %v", got, want)
+	}
+}
+
+func TestNetModelZeroBandwidth(t *testing.T) {
+	m := NetModel{Latency: 5 * time.Microsecond}
+	if got := m.cost(1 << 20); got != 5*time.Microsecond {
+		t.Errorf("infinite-bandwidth cost = %v", got)
+	}
+}
+
+func TestNetModelDelaysDelivery(t *testing.T) {
+	lat := 20 * time.Millisecond
+	var elapsed time.Duration
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []float64{1})
+			return
+		}
+		start := time.Now()
+		buf := make([]float64, 1)
+		c.Recv(0, 0, buf)
+		elapsed = time.Since(start)
+	}, WithNetModel(NetModel{Latency: lat}), WithRecvTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < lat/2 {
+		t.Errorf("receive completed in %v, modeled latency %v not charged", elapsed, lat)
+	}
+}
+
+func TestNetModelBandwidthScalesWithSize(t *testing.T) {
+	// 8000 bytes at 100 KB/s = 80ms; a 1-float message is ~free.
+	model := NetModel{Bandwidth: 100e3}
+	var small, large time.Duration
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []float64{1})
+			c.Send(1, 1, make([]float64, 1000))
+			return
+		}
+		buf := make([]float64, 1000)
+		t0 := time.Now()
+		c.Recv(0, 0, buf)
+		small = time.Since(t0)
+		t1 := time.Now()
+		c.Recv(0, 1, buf)
+		large = time.Since(t1)
+	}, WithNetModel(model), WithRecvTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large < 40*time.Millisecond {
+		t.Errorf("large message took %v, bandwidth cost not charged", large)
+	}
+	if large < small {
+		t.Errorf("large (%v) should take longer than small (%v)", large, small)
+	}
+}
+
+func TestIBMSPModelParameters(t *testing.T) {
+	m := IBMSPModel()
+	if m.Latency <= 0 || m.Bandwidth <= 0 {
+		t.Errorf("IBMSPModel not fully specified: %+v", m)
+	}
+}
+
+func TestWaitUntilPast(t *testing.T) {
+	start := time.Now()
+	waitUntil(start.Add(-time.Second)) // already past: returns immediately
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("waitUntil on a past deadline blocked")
+	}
+}
+
+func TestWaitUntilShortFuture(t *testing.T) {
+	start := time.Now()
+	waitUntil(start.Add(2 * time.Millisecond))
+	if elapsed := time.Since(start); elapsed < 1*time.Millisecond {
+		t.Errorf("waitUntil returned after %v, want >= ~2ms", elapsed)
+	}
+}

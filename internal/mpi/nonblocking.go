@@ -1,0 +1,85 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Request is the handle of a nonblocking operation, mirroring MPI_Request.
+// Wait blocks until the operation completes and returns its Status.
+// A Request must be waited on exactly once.
+type Request struct {
+	once   sync.Once
+	done   chan struct{}
+	status Status
+	err    error
+}
+
+func newRequest() *Request {
+	return &Request{done: make(chan struct{})}
+}
+
+func (r *Request) complete(st Status, err error) {
+	r.status = st
+	r.err = err
+	close(r.done)
+}
+
+// Wait blocks until the operation completes. For receives, the returned
+// Status reports the source, tag and element count. Wait panics if the
+// underlying operation panicked (e.g. a type mismatch or buffer overrun),
+// mirroring the blocking API's failure behavior.
+func (r *Request) Wait() Status {
+	<-r.done
+	if r.err != nil {
+		panic(r.err)
+	}
+	return r.status
+}
+
+// Test reports whether the operation has completed, without blocking.
+func (r *Request) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Isend starts a nonblocking send. Because this runtime's sends are eager
+// (the payload is copied into the destination mailbox immediately), the
+// request completes at once; it exists so ported MPI code keeps its
+// structure.
+func (c *Comm) Isend(dest int, tag int, buf []float64) *Request {
+	r := newRequest()
+	c.Send(dest, tag, buf)
+	r.complete(Status{Source: c.rank, Tag: tag, Count: len(buf)}, nil)
+	return r
+}
+
+// Irecv starts a nonblocking receive into buf. The message is matched and
+// copied by a background goroutine; buf must not be read until Wait
+// returns, and must not be reused for anything else in between.
+func (c *Comm) Irecv(src int, tag int, buf []float64) *Request {
+	r := newRequest()
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				r.complete(Status{}, fmt.Errorf("mpi: Irecv: %v", p))
+			}
+		}()
+		st := c.Recv(src, tag, buf)
+		r.complete(st, nil)
+	}()
+	return r
+}
+
+// Waitall waits for every request and returns their statuses in order.
+func Waitall(reqs ...*Request) []Status {
+	sts := make([]Status, len(reqs))
+	for i, r := range reqs {
+		sts[i] = r.Wait()
+	}
+	return sts
+}

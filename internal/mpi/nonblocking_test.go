@@ -1,0 +1,229 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIsendIrecvRoundTrip(t *testing.T) {
+	run(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			r := c.Isend(1, 5, []float64{1, 2, 3})
+			st := r.Wait()
+			if st.Count != 3 {
+				t.Errorf("Isend status %+v", st)
+			}
+		} else {
+			buf := make([]float64, 3)
+			r := c.Irecv(0, 5, buf)
+			st := r.Wait()
+			if st.Source != 0 || st.Tag != 5 || st.Count != 3 {
+				t.Errorf("Irecv status %+v", st)
+			}
+			if buf[0] != 1 || buf[2] != 3 {
+				t.Errorf("payload %v", buf)
+			}
+		}
+	})
+}
+
+func TestIrecvOverlapsCompute(t *testing.T) {
+	// Post the receive before the send happens; Test must report
+	// incomplete until the message arrives.
+	run(t, 2, func(c *Comm) {
+		if c.Rank() == 1 {
+			buf := make([]float64, 1)
+			r := c.Irecv(0, 0, buf)
+			if r.Test() {
+				// It may legitimately complete fast, but not before the
+				// sender has even been told to go (barrier below).
+				t.Log("receive completed surprisingly early (scheduling)")
+			}
+			c.Barrier() // release the sender
+			st := r.Wait()
+			if st.Count != 1 || buf[0] != 42 {
+				t.Errorf("got %v, %+v", buf, st)
+			}
+			return
+		}
+		c.Barrier()
+		c.Send(1, 0, []float64{42})
+	})
+}
+
+func TestWaitall(t *testing.T) {
+	const n = 4
+	run(t, n, func(c *Comm) {
+		if c.Rank() == 0 {
+			bufs := make([][]float64, n-1)
+			reqs := make([]*Request, n-1)
+			for r := 1; r < n; r++ {
+				bufs[r-1] = make([]float64, 1)
+				reqs[r-1] = c.Irecv(r, 9, bufs[r-1])
+			}
+			sts := Waitall(reqs...)
+			for i, st := range sts {
+				if st.Source != i+1 {
+					t.Errorf("request %d from %d", i, st.Source)
+				}
+				if bufs[i][0] != float64((i+1)*10) {
+					t.Errorf("request %d payload %v", i, bufs[i][0])
+				}
+			}
+		} else {
+			c.Send(0, 9, []float64{float64(c.Rank() * 10)})
+		}
+	})
+}
+
+func TestRequestTestBeforeAndAfter(t *testing.T) {
+	run(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			time.Sleep(20 * time.Millisecond)
+			c.Send(1, 0, []float64{1})
+			return
+		}
+		buf := make([]float64, 1)
+		r := c.Irecv(0, 0, buf)
+		if r.Test() {
+			t.Error("request complete before any send")
+		}
+		r.Wait()
+		if !r.Test() {
+			t.Error("request incomplete after Wait")
+		}
+	})
+}
+
+func TestIrecvFailureSurfacesOnWait(t *testing.T) {
+	run(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []float64{1, 2, 3})
+			return
+		}
+		buf := make([]float64, 1) // too small: the Recv panics
+		r := c.Irecv(0, 0, buf)
+		defer func() {
+			if recover() == nil {
+				t.Error("Wait should repanic the Irecv failure")
+			}
+		}()
+		r.Wait()
+	})
+}
+
+func TestGatherv(t *testing.T) {
+	const n = 4
+	counts := []int{1, 0, 2, 3}
+	run(t, n, func(c *Comm) {
+		in := make([]float64, counts[c.Rank()])
+		for i := range in {
+			in[i] = float64(c.Rank()*10 + i)
+		}
+		var out []float64
+		if c.Rank() == 2 {
+			out = make([]float64, 6)
+		}
+		c.Gatherv(2, in, counts, out)
+		if c.Rank() == 2 {
+			want := []float64{0, 20, 21, 30, 31, 32}
+			for i := range want {
+				if out[i] != want[i] {
+					t.Fatalf("out = %v, want %v", out, want)
+				}
+			}
+		}
+	})
+}
+
+func TestGathervThenAnotherCollective(t *testing.T) {
+	// A zero-count rank must not leave stray messages that break the
+	// next collective's matching.
+	counts := []int{0, 2}
+	run(t, 2, func(c *Comm) {
+		in := make([]float64, counts[c.Rank()])
+		for i := range in {
+			in[i] = 7
+		}
+		out := make([]float64, 2)
+		c.Gatherv(0, in, counts, out)
+		got := c.AllreduceScalar(OpSum, 1)
+		if got != 2 {
+			t.Errorf("follow-up allreduce = %v", got)
+		}
+	})
+}
+
+func TestScatterv(t *testing.T) {
+	const n = 3
+	counts := []int{2, 0, 1}
+	run(t, n, func(c *Comm) {
+		var in []float64
+		if c.Rank() == 0 {
+			in = []float64{1, 2, 3}
+		}
+		out := make([]float64, counts[c.Rank()])
+		c.Scatterv(0, in, counts, out)
+		switch c.Rank() {
+		case 0:
+			if out[0] != 1 || out[1] != 2 {
+				t.Errorf("rank 0 got %v", out)
+			}
+		case 2:
+			if out[0] != 3 {
+				t.Errorf("rank 2 got %v", out)
+			}
+		}
+	})
+}
+
+func TestAllgatherv(t *testing.T) {
+	const n = 3
+	counts := []int{1, 2, 1}
+	run(t, n, func(c *Comm) {
+		in := make([]float64, counts[c.Rank()])
+		for i := range in {
+			in[i] = float64(c.Rank()) + float64(i)/10
+		}
+		out := make([]float64, 4)
+		c.Allgatherv(in, counts, out)
+		want := []float64{0, 1, 1.1, 2}
+		for i := range want {
+			if diff := out[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("rank %d out = %v, want %v", c.Rank(), out, want)
+			}
+		}
+	})
+}
+
+func TestReduceScatter(t *testing.T) {
+	const n = 3
+	counts := []int{1, 2, 1}
+	run(t, n, func(c *Comm) {
+		// Every rank contributes [r, r, r, r]; the reduced vector is
+		// [3, 3, 3, 3] (sum of 0+1+2), scattered as 1/2/1.
+		in := []float64{float64(c.Rank()), float64(c.Rank()), float64(c.Rank()), float64(c.Rank())}
+		out := make([]float64, counts[c.Rank()])
+		c.ReduceScatter(OpSum, in, counts, out)
+		for i, v := range out {
+			if v != 3 {
+				t.Errorf("rank %d out[%d] = %v, want 3", c.Rank(), i, v)
+			}
+		}
+	})
+}
+
+func TestVCollectiveValidation(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		c.Gatherv(0, []float64{1}, []int{1}, nil) // wrong counts length
+	})
+	if err == nil {
+		t.Error("bad counts length should panic")
+	}
+	err = Run(2, func(c *Comm) {
+		c.Gatherv(0, []float64{1, 2}, []int{1, 1}, make([]float64, 2)) // wrong in length
+	})
+	if err == nil {
+		t.Error("contribution/count mismatch should panic")
+	}
+}

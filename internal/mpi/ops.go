@@ -1,0 +1,30 @@
+package mpi
+
+import "math"
+
+// Op is a reduction operator over float64 vectors. Reduce and Allreduce
+// apply it elementwise; it must be associative and commutative for the
+// tree-based reduction to be well defined.
+type Op struct {
+	name string
+	fn   func(a, b float64) float64
+}
+
+// Name returns the operator's display name.
+func (o Op) Name() string { return o.name }
+
+// Apply combines two values with the operator.
+func (o Op) Apply(a, b float64) float64 { return o.fn(a, b) }
+
+// Built-in reduction operators.
+var (
+	OpSum  = Op{"sum", func(a, b float64) float64 { return a + b }}
+	OpProd = Op{"prod", func(a, b float64) float64 { return a * b }}
+	OpMax  = Op{"max", math.Max}
+	OpMin  = Op{"min", math.Min}
+)
+
+// CustomOp wraps a user-supplied associative, commutative combiner.
+func CustomOp(name string, fn func(a, b float64) float64) Op {
+	return Op{name: name, fn: fn}
+}

@@ -1,0 +1,287 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// message is the unit carried between ranks. Exactly one of f64 and raw is
+// set, recording which typed Send produced it so a mismatched Recv fails
+// loudly instead of silently reinterpreting bytes.
+type message struct {
+	src       int // sender's rank within the communicator identified by ctx
+	tag       int
+	ctx       int
+	f64       []float64
+	raw       []byte
+	isFloat   bool
+	deliverAt time.Time // zero when no network model is attached
+}
+
+// mailbox is an unbounded, mutex-guarded message queue with condition-
+// variable wakeup. Matching scans pending messages in arrival order, which
+// yields the per-(source,tag) FIFO ordering MPI guarantees.
+type mailbox struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []message
+	poisoned bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(m message) {
+	b.mu.Lock()
+	b.pending = append(b.pending, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// poison wakes all waiters and makes any current or future receive panic;
+// used to unwind the world after a rank dies.
+func (b *mailbox) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// take removes and returns the first pending message matching (src, tag,
+// ctx), blocking until one arrives. src may be AnySource and tag AnyTag.
+func (b *mailbox) take(src, tag, ctx int, timeout time.Duration) message {
+	var timer *time.Timer
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		timer = time.AfterFunc(timeout, b.cond.Broadcast)
+		defer timer.Stop()
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.poisoned {
+			panic("mpi: world torn down while receiving (peer rank died)")
+		}
+		for i := range b.pending {
+			m := &b.pending[i]
+			if m.ctx != ctx {
+				continue
+			}
+			if src != AnySource && m.src != src {
+				continue
+			}
+			if tag == AnyTag {
+				// The wildcard only matches user messages, never
+				// internal collective traffic.
+				if m.tag < 0 {
+					continue
+				}
+			} else if m.tag != tag {
+				continue
+			}
+			found := *m
+			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			return found
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			panic(fmt.Sprintf("mpi: receive timeout waiting for src=%d tag=%d ctx=%d (likely deadlock)", src, tag, ctx))
+		}
+		b.cond.Wait()
+	}
+}
+
+// Status describes a received message.
+type Status struct {
+	Source int // sender's rank in the receiving communicator
+	Tag    int
+	Count  int // number of float64s or bytes received
+}
+
+func (c *Comm) validateTag(tag int) {
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: user tags must be non-negative, got %d", tag))
+	}
+}
+
+// internal tags live at -2 and below so they can collide neither with user
+// tags (>= 0) nor with the AnyTag wildcard (-1).
+const (
+	tagBarrier = -2 - iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagAllgather
+	tagScatter
+	tagAlltoall
+	tagSplit
+	tagScan
+)
+
+// Send delivers a copy of buf to dest with the given tag. Sends are eager
+// and never block: the payload is copied into the destination mailbox, so
+// the caller may reuse buf immediately (MPI buffered-send semantics).
+func (c *Comm) Send(dest int, tag int, buf []float64) {
+	c.validateTag(tag)
+	c.send(dest, tag, buf, nil, true)
+}
+
+// SendBytes delivers a copy of raw bytes to dest with the given tag.
+func (c *Comm) SendBytes(dest int, tag int, buf []byte) {
+	c.validateTag(tag)
+	c.send(dest, tag, nil, buf, false)
+}
+
+func (c *Comm) send(dest, tag int, f64 []float64, raw []byte, isFloat bool) {
+	wdest := c.worldOf(dest)
+	m := message{src: c.rank, tag: tag, ctx: c.ctx, isFloat: isFloat}
+	if isFloat {
+		m.f64 = c.world.getBuf(len(f64))
+		copy(m.f64, f64)
+	} else {
+		m.raw = append([]byte(nil), raw...)
+	}
+	if net := c.world.net; net != nil {
+		bytes := len(m.raw)
+		if isFloat {
+			bytes = 8 * len(m.f64)
+		}
+		m.deliverAt = time.Now().Add(net.cost(bytes))
+	}
+	c.world.boxes[wdest].put(m)
+}
+
+// Recv blocks until a message matching (src, tag) arrives on this
+// communicator and copies it into buf. buf must be at least as large as the
+// incoming payload. src may be AnySource and tag AnyTag. The returned Status
+// reports the actual source, tag and element count.
+func (c *Comm) Recv(src int, tag int, buf []float64) Status {
+	if tag != AnyTag {
+		c.validateTag(tag)
+	}
+	m := c.recv(src, tag)
+	if !m.isFloat {
+		panic(fmt.Sprintf("mpi: Recv(float64) matched a byte message from src=%d tag=%d", m.src, m.tag))
+	}
+	if len(m.f64) > len(buf) {
+		panic(fmt.Sprintf("mpi: Recv buffer too small: need %d float64s, have %d", len(m.f64), len(buf)))
+	}
+	copy(buf, m.f64)
+	n := len(m.f64)
+	c.world.putBuf(m.f64)
+	return Status{Source: m.src, Tag: m.tag, Count: n}
+}
+
+// RecvBytes is Recv for byte payloads.
+func (c *Comm) RecvBytes(src int, tag int, buf []byte) Status {
+	if tag != AnyTag {
+		c.validateTag(tag)
+	}
+	m := c.recv(src, tag)
+	if m.isFloat {
+		panic(fmt.Sprintf("mpi: RecvBytes matched a float64 message from src=%d tag=%d", m.src, m.tag))
+	}
+	if len(m.raw) > len(buf) {
+		panic(fmt.Sprintf("mpi: RecvBytes buffer too small: need %d bytes, have %d", len(m.raw), len(buf)))
+	}
+	copy(buf, m.raw)
+	return Status{Source: m.src, Tag: m.tag, Count: len(m.raw)}
+}
+
+// RecvNew is Recv into a freshly allocated slice sized to the payload.
+func (c *Comm) RecvNew(src int, tag int) ([]float64, Status) {
+	if tag != AnyTag {
+		c.validateTag(tag)
+	}
+	m := c.recv(src, tag)
+	if !m.isFloat {
+		panic(fmt.Sprintf("mpi: RecvNew matched a byte message from src=%d tag=%d", m.src, m.tag))
+	}
+	return m.f64, Status{Source: m.src, Tag: m.tag, Count: len(m.f64)}
+}
+
+func (c *Comm) recv(src, tag int) message {
+	wself := c.group[c.rank]
+	m := c.world.boxes[wself].take(src, tag, c.ctx, c.world.deadline)
+	if !m.deliverAt.IsZero() {
+		waitUntil(m.deliverAt)
+	}
+	return m
+}
+
+// internalSend and internalRecv are used by collectives; they bypass user-
+// tag validation so the reserved negative tag space can be used.
+func (c *Comm) internalSend(dest, tag int, buf []float64) {
+	c.send(dest, tag, buf, nil, true)
+}
+
+func (c *Comm) internalRecv(src, tag int, buf []float64) Status {
+	m := c.recv(src, tag)
+	if len(m.f64) > len(buf) {
+		panic(fmt.Sprintf("mpi: internal recv buffer too small: need %d, have %d", len(m.f64), len(buf)))
+	}
+	copy(buf, m.f64)
+	n := len(m.f64)
+	c.world.putBuf(m.f64)
+	return Status{Source: m.src, Tag: m.tag, Count: n}
+}
+
+// Sendrecv sends sendBuf to dest and receives into recvBuf from src in one
+// operation. Because sends are eager the combined operation cannot deadlock
+// even when a ring of ranks calls it simultaneously.
+func (c *Comm) Sendrecv(dest, sendTag int, sendBuf []float64, src, recvTag int, recvBuf []float64) Status {
+	c.Send(dest, sendTag, sendBuf)
+	return c.Recv(src, recvTag, recvBuf)
+}
+
+// Probe blocks until a matching message is available and returns its Status
+// without consuming it.
+func (c *Comm) Probe(src, tag int) Status {
+	wself := c.group[c.rank]
+	b := c.world.boxes[wself]
+	var timer *time.Timer
+	if d := c.world.deadline; d > 0 {
+		timer = time.AfterFunc(d, b.cond.Broadcast)
+		defer timer.Stop()
+	}
+	deadlineAt := time.Time{}
+	if c.world.deadline > 0 {
+		deadlineAt = time.Now().Add(c.world.deadline)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.poisoned {
+			panic("mpi: world torn down while probing")
+		}
+		for i := range b.pending {
+			m := &b.pending[i]
+			if m.ctx != c.ctx {
+				continue
+			}
+			if src != AnySource && m.src != src {
+				continue
+			}
+			if tag == AnyTag {
+				if m.tag < 0 {
+					continue
+				}
+			} else if m.tag != tag {
+				continue
+			}
+			n := len(m.raw)
+			if m.isFloat {
+				n = len(m.f64)
+			}
+			return Status{Source: m.src, Tag: m.tag, Count: n}
+		}
+		if !deadlineAt.IsZero() && !time.Now().Before(deadlineAt) {
+			panic(fmt.Sprintf("mpi: probe timeout waiting for src=%d tag=%d (likely deadlock)", src, tag))
+		}
+		b.cond.Wait()
+	}
+}

@@ -1,0 +1,119 @@
+package mpi
+
+import "fmt"
+
+// Internal tags for the variable-count collectives.
+const (
+	tagGatherv = -100 - iota
+	tagScatterv
+	tagAllgatherv
+	tagReduceScatter
+)
+
+// Gatherv collects variable-length contributions on root. counts[r] is
+// rank r's contribution length (every rank must pass the same counts);
+// rank r's data lands at out[offset(r)] where offsets are the prefix sums
+// of counts. out is ignored on non-root ranks.
+func (c *Comm) Gatherv(root int, in []float64, counts []int, out []float64) {
+	n := len(c.group)
+	if len(counts) != n {
+		panic(fmt.Sprintf("mpi: Gatherv counts length %d != communicator size %d", len(counts), n))
+	}
+	if len(in) != counts[c.rank] {
+		panic(fmt.Sprintf("mpi: Gatherv rank %d contributes %d values, counts say %d", c.rank, len(in), counts[c.rank]))
+	}
+	if c.rank != root {
+		// Zero-length contributions send nothing; the root skips them
+		// symmetrically, so no stray empty message can pollute matching
+		// for a later collective.
+		if len(in) > 0 {
+			c.internalSend(root, tagGatherv, in)
+		}
+		return
+	}
+	total := 0
+	offsets := make([]int, n)
+	for r, cnt := range counts {
+		if cnt < 0 {
+			panic(fmt.Sprintf("mpi: Gatherv negative count for rank %d", r))
+		}
+		offsets[r] = total
+		total += cnt
+	}
+	if len(out) < total {
+		panic(fmt.Sprintf("mpi: Gatherv output needs %d values, have %d", total, len(out)))
+	}
+	copy(out[offsets[root]:], in)
+	for r := 0; r < n; r++ {
+		if r == root || counts[r] == 0 {
+			continue
+		}
+		c.internalRecv(r, tagGatherv, out[offsets[r]:offsets[r]+counts[r]])
+	}
+}
+
+// Scatterv distributes variable-length blocks from root: rank r receives
+// counts[r] values into out, taken from in at the prefix-sum offsets.
+// in is ignored on non-root ranks.
+func (c *Comm) Scatterv(root int, in []float64, counts []int, out []float64) {
+	n := len(c.group)
+	if len(counts) != n {
+		panic(fmt.Sprintf("mpi: Scatterv counts length %d != communicator size %d", len(counts), n))
+	}
+	if len(out) < counts[c.rank] {
+		panic(fmt.Sprintf("mpi: Scatterv rank %d output needs %d values, have %d", c.rank, counts[c.rank], len(out)))
+	}
+	if c.rank == root {
+		off := 0
+		for r := 0; r < n; r++ {
+			blk := in[off : off+counts[r]]
+			if r == root {
+				copy(out, blk)
+			} else if counts[r] > 0 {
+				c.internalSend(r, tagScatterv, blk)
+			}
+			off += counts[r]
+		}
+		return
+	}
+	if counts[c.rank] > 0 {
+		c.internalRecv(root, tagScatterv, out[:counts[c.rank]])
+	}
+}
+
+// Allgatherv collects variable-length contributions on every rank,
+// ordered by rank at the prefix-sum offsets of counts.
+func (c *Comm) Allgatherv(in []float64, counts []int, out []float64) {
+	c.Gatherv(0, in, counts, out)
+	total := 0
+	for _, cnt := range counts {
+		total += cnt
+	}
+	c.Bcast(0, out[:total])
+}
+
+// ReduceScatter combines every rank's length-Σcounts contribution
+// elementwise with op, then scatters the result: rank r receives the
+// counts[r]-element segment at its prefix-sum offset into out.
+func (c *Comm) ReduceScatter(op Op, in []float64, counts []int, out []float64) {
+	n := len(c.group)
+	if len(counts) != n {
+		panic(fmt.Sprintf("mpi: ReduceScatter counts length %d != communicator size %d", len(counts), n))
+	}
+	total := 0
+	for _, cnt := range counts {
+		total += cnt
+	}
+	if len(in) != total {
+		panic(fmt.Sprintf("mpi: ReduceScatter input needs %d values, have %d", total, len(in)))
+	}
+	if len(out) < counts[c.rank] {
+		panic(fmt.Sprintf("mpi: ReduceScatter rank %d output needs %d values, have %d", c.rank, counts[c.rank], len(out)))
+	}
+	var full []float64
+	if c.rank == 0 {
+		full = make([]float64, total)
+	}
+	c.Reduce(0, op, in, full)
+	c.Scatterv(0, full, counts, out[:counts[c.rank]])
+}

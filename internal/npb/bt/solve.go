@@ -1,0 +1,191 @@
+package bt
+
+import (
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+)
+
+// Message tags for the distributed line solves.
+const (
+	tagYFwd = 60
+	tagYBwd = 61
+	tagZFwd = 62
+	tagZBwd = 63
+)
+
+// xSolve solves the block-tridiagonal systems along x. The x dimension is
+// not decomposed, so this kernel is communication-free: pure 5×5 block
+// arithmetic streaming over the tile.
+func (st *state) xSolve() {
+	nLines := st.nyl * st.nzl
+	st.solveLines(st.nx, nLines,
+		func(l int) int { return st.u.Idx(0, l%st.nyl, l/st.nyl) }, st.u.StrideI(),
+		func(l int) int { return st.rhs.Idx(0, l%st.nyl, l/st.nyl) }, st.rhs.StrideI(),
+		nil, 0, 0)
+}
+
+// ySolve solves along y, distributed over the column of ranks that share
+// this rank's z coordinate. Normalized boundary blocks (30 floats per
+// line) flow toward increasing y in the forward sweep; solution vectors
+// (5 floats per line) flow back.
+func (st *state) ySolve() {
+	nLines := st.nx * st.nzl
+	st.solveLines(st.nyl, nLines,
+		func(l int) int { return st.u.Idx(l%st.nx, 0, l/st.nx) }, st.u.StrideJ(),
+		func(l int) int { return st.rhs.Idx(l%st.nx, 0, l/st.nx) }, st.rhs.StrideJ(),
+		st.commY, tagYFwd, tagYBwd)
+}
+
+// zSolve solves along z, distributed over the row of ranks that share this
+// rank's y coordinate.
+func (st *state) zSolve() {
+	nLines := st.nx * st.nyl
+	st.solveLines(st.nzl, nLines,
+		func(l int) int { return st.u.Idx(l%st.nx, l/st.nx, 0) }, st.u.StrideK(),
+		func(l int) int { return st.rhs.Idx(l%st.nx, l/st.nx, 0) }, st.rhs.StrideK(),
+		st.commZ, tagZFwd, tagZBwd)
+}
+
+// buildBlocks assembles the three 5×5 blocks of one row of the implicit
+// system from the solution at the previous, current and next positions
+// along the solve dimension:
+//
+//	B = (1+2r)·I + ε·u_t⊗w      A = -r·I + (ε/2)·u_{t-1}⊗w
+//	C = -r·I + (ε/2)·u_{t+1}⊗w
+//
+// The rank-one perturbations keep the blocks solution-dependent (so the
+// kernels genuinely reread u) while preserving the diagonal dominance the
+// pivot-free factorization needs.
+func buildBlocks(uPrev, uCur, uNext []float64, a, b, c *linalg.Mat5) {
+	he := eps / 2
+	for i := 0; i < 5; i++ {
+		up := he * uPrev[i]
+		uc := eps * uCur[i]
+		un := he * uNext[i]
+		for j := 0; j < 5; j++ {
+			w := jacWeights[j]
+			a[i*5+j] = up * w
+			b[i*5+j] = uc * w
+			c[i*5+j] = un * w
+		}
+		a[i*5+i] -= rr
+		b[i*5+i] += 1 + 2*rr
+		c[i*5+i] -= rr
+	}
+}
+
+// solveLines runs the (possibly distributed) block-Thomas elimination for
+// every line of one dimension. n is the local line length, nLines the
+// number of lines in the tile; uBase/rBase map a line index to the flat
+// offset of position 0 in the solution and right-hand-side fields, with
+// uStride/rStride the per-position offsets. comm is the ordered
+// communicator along the solve dimension (nil, or size 1, for a rank-local
+// solve). The right-hand side is overwritten with the solution.
+//
+// After eliminating position t, the row is held in normalized form
+// x_t = rhat_t - chat_t·x_{t+1}; continuing the elimination on the next
+// rank only needs (chat, rhat) of the last local row, so the forward
+// message carries 30 floats per line and the backward message 5.
+func (st *state) solveLines(n, nLines int, uBase func(int) int, uStride int,
+	rBase func(int) int, rStride int, comm *mpi.Comm, tagFwd, tagBwd int) {
+
+	first, last := true, true
+	if comm != nil && comm.Size() > 1 {
+		first = comm.Rank() == 0
+		last = comm.Rank() == comm.Size()-1
+	}
+
+	fwd := st.fwd[:nLines*30]
+	if !first {
+		comm.Recv(comm.Rank()-1, tagFwd, fwd)
+	}
+
+	var a, b, c, tmpM linalg.Mat5
+	var rt, tmpV linalg.Vec5
+	var lu linalg.LU5
+	uData := st.u.Data
+	rData := st.rhs.Data
+
+	for l := 0; l < nLines; l++ {
+		uOff := uBase(l)
+		rOff := rBase(l)
+		var prevC linalg.Mat5
+		var prevR linalg.Vec5
+		hasPrev := false
+		if !first {
+			bo := l * 30
+			copy(prevC[:], fwd[bo:bo+25])
+			copy(prevR[:], fwd[bo+25:bo+30])
+			hasPrev = true
+		}
+		for t := 0; t < n; t++ {
+			cu := uOff + t*uStride
+			cr := rOff + t*rStride
+			// u_{t-1} and u_{t+1}: at tile edges these land in the
+			// ghost layer, which COPY_FACES keeps current; at
+			// physical boundaries the corresponding block is unused
+			// by the elimination, and the ghost holds the
+			// zero-gradient copy, so the access stays in bounds.
+			buildBlocks(uData[cu-uStride:cu-uStride+5], uData[cu:cu+5], uData[cu+uStride:cu+uStride+5], &a, &b, &c)
+			copy(rt[:], rData[cr:cr+5])
+			if hasPrev {
+				linalg.MulMM(&tmpM, &a, &prevC)
+				linalg.SubMM(&b, &b, &tmpM)
+				linalg.MulMV(&tmpV, &a, &prevR)
+				linalg.SubMV(&rt, &rt, &tmpV)
+			}
+			if err := lu.Factor(&b); err != nil {
+				panic("bt: lost diagonal dominance: " + err.Error())
+			}
+			idx := l*n + t
+			if last && t == n-1 {
+				// Global last row: no x_{t+1} term.
+				st.chat[idx] = linalg.Mat5{}
+			} else {
+				lu.SolveMat(&c)
+				st.chat[idx] = c
+			}
+			lu.SolveVec(&rt)
+			st.rhat[idx] = rt
+			prevC = st.chat[idx]
+			prevR = rt
+			hasPrev = true
+		}
+		if !last {
+			bo := l * 30
+			copy(fwd[bo:bo+25], prevC[:])
+			copy(fwd[bo+25:bo+30], prevR[:])
+		}
+	}
+	if !last {
+		comm.Send(comm.Rank()+1, tagFwd, fwd)
+	}
+
+	// Backward substitution.
+	bwd := st.bwd[:nLines*5]
+	if !last {
+		comm.Recv(comm.Rank()+1, tagBwd, bwd)
+	}
+	for l := 0; l < nLines; l++ {
+		rOff := rBase(l)
+		var vNext linalg.Vec5
+		start := n - 1
+		if last {
+			vNext = st.rhat[l*n+n-1]
+			copy(rData[rOff+(n-1)*rStride:rOff+(n-1)*rStride+5], vNext[:])
+			start = n - 2
+		} else {
+			copy(vNext[:], bwd[l*5:l*5+5])
+		}
+		for t := start; t >= 0; t-- {
+			idx := l*n + t
+			linalg.MulMV(&tmpV, &st.chat[idx], &vNext)
+			linalg.SubMV(&vNext, &st.rhat[idx], &tmpV)
+			copy(rData[rOff+t*rStride:rOff+t*rStride+5], vNext[:])
+		}
+		copy(bwd[l*5:l*5+5], vNext[:])
+	}
+	if !first {
+		comm.Send(comm.Rank()-1, tagBwd, bwd)
+	}
+}

@@ -1,0 +1,142 @@
+package npb_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/npb/bt"
+	"repro/internal/npb/ft"
+	"repro/internal/npb/lu"
+	"repro/internal/npb/sp"
+)
+
+// normed is the verification interface every benchmark state implements.
+type normed interface {
+	Norms() [5]float64
+}
+
+// runTwice runs the same benchmark twice and returns both norm vectors.
+func runTwice(t *testing.T, factory npb.Factory, pre, loop, post []string, trips, procs int) (a, b [5]float64) {
+	t.Helper()
+	collect := func() [5]float64 {
+		var norms [5]float64
+		err := npb.RunOnce(factory, pre, loop, trips, post, procs, func(ks npb.KernelSet) {
+			norms = ks.(normed).Norms()
+		}, mpi.WithRecvTimeout(60*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return norms
+	}
+	return collect(), collect()
+}
+
+// The benchmarks must be bitwise deterministic: two identical runs produce
+// identical verification norms (no map-iteration, scheduling, or
+// uninitialized-memory dependence in the numerics).
+func TestBTDeterministic(t *testing.T) {
+	factory, err := bt.Factory(bt.Config{Problem: npb.TinyProblem(10, 2), Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, loop, post := bt.KernelNames()
+	a, b := runTwice(t, factory, pre, loop, post, 2, 4)
+	if a != b {
+		t.Errorf("BT runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestSPDeterministic(t *testing.T) {
+	factory, err := sp.Factory(sp.Config{Problem: npb.TinyProblem(10, 2), Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, loop, post := sp.KernelNames()
+	a, b := runTwice(t, factory, pre, loop, post, 2, 4)
+	if a != b {
+		t.Errorf("SP runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestLUDeterministic(t *testing.T) {
+	factory, err := lu.Factory(lu.Config{Problem: npb.TinyProblem(10, 2), Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, loop, post := lu.KernelNames()
+	a, b := runTwice(t, factory, pre, loop, post, 2, 4)
+	if a != b {
+		t.Errorf("LU runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestFTDeterministic(t *testing.T) {
+	factory, err := ft.Factory(ft.Config{N: 16, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, loop, post := ft.KernelNames()
+	a, b := runTwice(t, factory, pre, loop, post, 2, 4)
+	if a != b {
+		t.Errorf("FT runs differ: %v vs %v", a, b)
+	}
+}
+
+// TestBenchmarksSurviveArbitraryKernelWindows drives each benchmark
+// through windows the coupling harness would measure — including ones
+// that skip the RHS computation — checking that no kernel panics on the
+// numerical state another window leaves behind.
+func TestBenchmarksSurviveArbitraryKernelWindows(t *testing.T) {
+	cases := []struct {
+		name    string
+		factory func() (npb.Factory, []string, error)
+	}{
+		{"BT", func() (npb.Factory, []string, error) {
+			f, err := bt.Factory(bt.Config{Problem: npb.TinyProblem(8, 2), Procs: 4})
+			_, loop, _ := bt.KernelNames()
+			return f, loop, err
+		}},
+		{"SP", func() (npb.Factory, []string, error) {
+			f, err := sp.Factory(sp.Config{Problem: npb.TinyProblem(8, 2), Procs: 4})
+			_, loop, _ := sp.KernelNames()
+			return f, loop, err
+		}},
+		{"LU", func() (npb.Factory, []string, error) {
+			f, err := lu.Factory(lu.Config{Problem: npb.TinyProblem(8, 2), Procs: 4})
+			_, loop, _ := lu.KernelNames()
+			return f, loop, err
+		}},
+		{"FT", func() (npb.Factory, []string, error) {
+			f, err := ft.Factory(ft.Config{N: 16, Procs: 4})
+			_, loop, _ := ft.KernelNames()
+			return f, loop, err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			factory, loop, err := tc.factory()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every cyclic pairwise window plus a reversed-order window:
+			// repeated application must stay numerically alive.
+			windows := make([][]string, 0, len(loop)+1)
+			for i := range loop {
+				windows = append(windows, []string{loop[i], loop[(i+1)%len(loop)]})
+			}
+			windows = append(windows, []string{loop[len(loop)-1], loop[0]})
+			for _, win := range windows {
+				if _, err := npb.MeasureWindow(factory, win, npb.MeasureOptions{
+					Procs:     4,
+					Blocks:    2,
+					Passes:    3,
+					WorldOpts: []mpi.Option{mpi.WithRecvTimeout(60 * time.Second)},
+				}); err != nil {
+					t.Fatalf("window %v: %v", win, err)
+				}
+			}
+		})
+	}
+}

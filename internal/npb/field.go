@@ -1,0 +1,158 @@
+package npb
+
+import "fmt"
+
+// Field is a 3-D grid of NC-component cells with a ghost layer of width G
+// on every side, stored in one flat slice with the component index fastest:
+//
+//	data[((k+G)*ys + (j+G))*xs*NC + (i+G)*NC + c]
+//
+// where xs and ys are the padded x and y extents. Kernels are expected to
+// hoist Idx arithmetic out of inner loops; the strides are exported via
+// StrideJ/StrideK for that purpose.
+type Field struct {
+	NC         int
+	Nx, Ny, Nz int
+	G          int
+	Data       []float64
+
+	xs, ys int
+}
+
+// NewField allocates a zeroed field of nx×ny×nz interior cells with nc
+// components and ghost width g.
+func NewField(nc, nx, ny, nz, g int) *Field {
+	if nc < 1 || nx < 1 || ny < 1 || nz < 1 || g < 0 {
+		panic(fmt.Sprintf("npb: invalid field shape nc=%d %dx%dx%d g=%d", nc, nx, ny, nz, g))
+	}
+	xs := nx + 2*g
+	ys := ny + 2*g
+	zs := nz + 2*g
+	return &Field{
+		NC: nc, Nx: nx, Ny: ny, Nz: nz, G: g,
+		Data: make([]float64, xs*ys*zs*nc),
+		xs:   xs, ys: ys,
+	}
+}
+
+// Idx returns the flat offset of component 0 at interior coordinates
+// (i, j, k); i ∈ [-G, Nx+G) etc., so ghost cells are addressed with
+// negative or past-the-end indices.
+func (f *Field) Idx(i, j, k int) int {
+	return (((k+f.G)*f.ys+(j+f.G))*f.xs + (i + f.G)) * f.NC
+}
+
+// StrideJ returns the flat distance between (i,j,k) and (i,j+1,k).
+func (f *Field) StrideJ() int { return f.xs * f.NC }
+
+// StrideK returns the flat distance between (i,j,k) and (i,j,k+1).
+func (f *Field) StrideK() int { return f.xs * f.ys * f.NC }
+
+// StrideI returns the flat distance between (i,j,k) and (i+1,j,k).
+func (f *Field) StrideI() int { return f.NC }
+
+// At returns component c at (i, j, k).
+func (f *Field) At(c, i, j, k int) float64 { return f.Data[f.Idx(i, j, k)+c] }
+
+// Set stores component c at (i, j, k).
+func (f *Field) Set(c, i, j, k int, v float64) { f.Data[f.Idx(i, j, k)+c] = v }
+
+// Add accumulates into component c at (i, j, k).
+func (f *Field) Add(c, i, j, k int, v float64) { f.Data[f.Idx(i, j, k)+c] += v }
+
+// Zero clears the entire field including ghosts.
+func (f *Field) Zero() {
+	for i := range f.Data {
+		f.Data[i] = 0
+	}
+}
+
+// CopyFrom copies another field's storage; shapes must match.
+func (f *Field) CopyFrom(src *Field) {
+	if len(f.Data) != len(src.Data) || f.NC != src.NC || f.Nx != src.Nx || f.Ny != src.Ny || f.Nz != src.Nz || f.G != src.G {
+		panic("npb: CopyFrom shape mismatch")
+	}
+	copy(f.Data, src.Data)
+}
+
+// Clone returns a deep copy of the field.
+func (f *Field) Clone() *Field {
+	g := NewField(f.NC, f.Nx, f.Ny, f.Nz, f.G)
+	copy(g.Data, f.Data)
+	return g
+}
+
+// PackFaceJ copies the cell components of the j=jIdx plane (interior
+// coordinates, all i and k) into buf and returns the number of floats
+// packed. buf must hold Nx*Nz*NC values.
+func (f *Field) PackFaceJ(jIdx int, buf []float64) int {
+	n := 0
+	for k := 0; k < f.Nz; k++ {
+		for i := 0; i < f.Nx; i++ {
+			base := f.Idx(i, jIdx, k)
+			n += copy(buf[n:n+f.NC], f.Data[base:base+f.NC])
+		}
+	}
+	return n
+}
+
+// UnpackFaceJ writes buf into the j=jIdx plane (typically a ghost plane,
+// jIdx = -1 or Ny).
+func (f *Field) UnpackFaceJ(jIdx int, buf []float64) {
+	n := 0
+	for k := 0; k < f.Nz; k++ {
+		for i := 0; i < f.Nx; i++ {
+			base := f.Idx(i, jIdx, k)
+			copy(f.Data[base:base+f.NC], buf[n:n+f.NC])
+			n += f.NC
+		}
+	}
+}
+
+// PackFaceK copies the k=kIdx plane (all i and j) into buf.
+func (f *Field) PackFaceK(kIdx int, buf []float64) int {
+	n := 0
+	for j := 0; j < f.Ny; j++ {
+		for i := 0; i < f.Nx; i++ {
+			base := f.Idx(i, j, kIdx)
+			n += copy(buf[n:n+f.NC], f.Data[base:base+f.NC])
+		}
+	}
+	return n
+}
+
+// UnpackFaceK writes buf into the k=kIdx plane.
+func (f *Field) UnpackFaceK(kIdx int, buf []float64) {
+	n := 0
+	for j := 0; j < f.Ny; j++ {
+		for i := 0; i < f.Nx; i++ {
+			base := f.Idx(i, j, kIdx)
+			copy(f.Data[base:base+f.NC], buf[n:n+f.NC])
+			n += f.NC
+		}
+	}
+}
+
+// PackFaceI copies the i=iIdx plane (all j and k) into buf.
+func (f *Field) PackFaceI(iIdx int, buf []float64) int {
+	n := 0
+	for k := 0; k < f.Nz; k++ {
+		for j := 0; j < f.Ny; j++ {
+			base := f.Idx(iIdx, j, k)
+			n += copy(buf[n:n+f.NC], f.Data[base:base+f.NC])
+		}
+	}
+	return n
+}
+
+// UnpackFaceI writes buf into the i=iIdx plane.
+func (f *Field) UnpackFaceI(iIdx int, buf []float64) {
+	n := 0
+	for k := 0; k < f.Nz; k++ {
+		for j := 0; j < f.Ny; j++ {
+			base := f.Idx(iIdx, j, k)
+			copy(f.Data[base:base+f.NC], buf[n:n+f.NC])
+			n += f.NC
+		}
+	}
+}

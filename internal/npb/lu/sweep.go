@@ -1,0 +1,377 @@
+package lu
+
+import (
+	"math"
+
+	"repro/internal/mpi"
+	"repro/internal/npb"
+)
+
+// Message tags.
+const (
+	tagXLo = 70 // u faces toward lower x
+	tagXHi = 71
+	tagYLo = 72
+	tagYHi = 73
+
+	tagLTWest  = 80 // lower sweep: boundary column flowing east
+	tagLTSouth = 81 // lower sweep: boundary row flowing north
+	tagUTEast  = 82 // upper sweep: boundary column flowing west
+	tagUTNorth = 83 // upper sweep: boundary row flowing south
+)
+
+// ssorIter exchanges the solution's ghost faces with the four pencil
+// neighbors and computes the residual rsd = dt·(frct - stencil(u)).
+func (st *state) ssorIter() {
+	st.exchangeFaces()
+	st.computeResidual()
+}
+
+func (st *state) exchangeFaces() {
+	u := st.u
+	loX, hiX := st.cart.Shift(0, 1)
+	if hiX >= 0 {
+		u.PackFaceI(st.nxl-1, st.faceX)
+		st.c.Send(hiX, tagXHi, st.faceX)
+	}
+	if loX >= 0 {
+		u.PackFaceI(0, st.faceX)
+		st.c.Send(loX, tagXLo, st.faceX)
+	}
+	if loX >= 0 {
+		st.c.Recv(loX, tagXHi, st.faceX)
+		u.UnpackFaceI(-1, st.faceX)
+	} else {
+		copyPlaneI(u, 0, -1)
+	}
+	if hiX >= 0 {
+		st.c.Recv(hiX, tagXLo, st.faceX)
+		u.UnpackFaceI(st.nxl, st.faceX)
+	} else {
+		copyPlaneI(u, st.nxl-1, st.nxl)
+	}
+
+	loY, hiY := st.cart.Shift(1, 1)
+	if hiY >= 0 {
+		u.PackFaceJ(st.nyl-1, st.faceY)
+		st.c.Send(hiY, tagYHi, st.faceY)
+	}
+	if loY >= 0 {
+		u.PackFaceJ(0, st.faceY)
+		st.c.Send(loY, tagYLo, st.faceY)
+	}
+	if loY >= 0 {
+		st.c.Recv(loY, tagYHi, st.faceY)
+		u.UnpackFaceJ(-1, st.faceY)
+	} else {
+		copyPlaneJ(u, 0, -1)
+	}
+	if hiY >= 0 {
+		st.c.Recv(hiY, tagYLo, st.faceY)
+		u.UnpackFaceJ(st.nyl, st.faceY)
+	} else {
+		copyPlaneJ(u, st.nyl-1, st.nyl)
+	}
+}
+
+func copyPlaneI(f *npb.Field, iSrc, iDst int) {
+	for k := 0; k < f.Nz; k++ {
+		for j := 0; j < f.Ny; j++ {
+			src := f.Idx(iSrc, j, k)
+			dst := f.Idx(iDst, j, k)
+			copy(f.Data[dst:dst+f.NC], f.Data[src:src+f.NC])
+		}
+	}
+}
+
+func copyPlaneJ(f *npb.Field, jSrc, jDst int) {
+	for k := 0; k < f.Nz; k++ {
+		src := f.Idx(0, jSrc, k)
+		dst := f.Idx(0, jDst, k)
+		copy(f.Data[dst:dst+f.Nx*f.NC], f.Data[src:src+f.Nx*f.NC])
+	}
+}
+
+func (st *state) computeResidual() {
+	u, rsd, frct := st.u, st.rsd, st.frct
+	dt := st.cfg.Problem.Dt
+	sj := u.StrideJ()
+	sk := u.StrideK()
+	for k := 0; k < st.nz; k++ {
+		for j := 0; j < st.nyl; j++ {
+			ub := u.Idx(0, j, k)
+			rb := rsd.Idx(0, j, k)
+			fb := frct.Idx(0, j, k)
+			for i := 0; i < st.nxl; i++ {
+				cell := ub + i*5
+				xm := cell - 5
+				xp := cell + 5
+				ym := cell - sj
+				yp := cell + sj
+				// z is rank-local: clamp at the physical boundary.
+				zm := cell - sk
+				if k == 0 {
+					zm = cell
+				}
+				zp := cell + sk
+				if k == st.nz-1 {
+					zp = cell
+				}
+				rcell := rb + i*5
+				for c := 0; c < 5; c++ {
+					center := 6 * flux(u.Data[cell:cell+5], c)
+					lap := flux(u.Data[xm:xm+5], c) + flux(u.Data[xp:xp+5], c) +
+						flux(u.Data[ym:ym+5], c) + flux(u.Data[yp:yp+5], c) +
+						flux(u.Data[zm:zm+5], c) + flux(u.Data[zp:zp+5], c) - center
+					rsd.Data[rcell+c] = dt * (frct.Data[fb+i*5+c] - u.Data[cell+c]*0.05 + lap)
+				}
+			}
+		}
+	}
+}
+
+// ssorLT applies the lower-triangular sweep (D+ωL)⁻¹ in place on rsd,
+// pipelined plane by plane: each z-plane first receives the neighboring
+// boundary values from the west and south pencils, then sweeps its cells in
+// ascending (j, i) order, then forwards its own east column and north row.
+// Dependencies only point toward lower (cx, cy, k), so eager sends keep the
+// diagonal pipeline deadlock-free.
+func (st *state) ssorLT() {
+	u, rsd := st.u, st.rsd
+	loX, hiX := st.cart.Shift(0, 1)
+	loY, hiY := st.cart.Shift(1, 1)
+	si := rsd.StrideI()
+	sj := rsd.StrideJ()
+	sk := rsd.StrideK()
+	for k := 0; k < st.nz; k++ {
+		if loX >= 0 {
+			st.c.Recv(loX, tagLTWest, st.colBuf)
+			unpackCol(rsd, -1, k, st.colBuf)
+		}
+		if loY >= 0 {
+			st.c.Recv(loY, tagLTSouth, st.rowBuf)
+			unpackRow(rsd, -1, k, st.rowBuf)
+		}
+		for j := 0; j < st.nyl; j++ {
+			rb := rsd.Idx(0, j, k)
+			ub := u.Idx(0, j, k)
+			for i := 0; i < st.nxl; i++ {
+				cell := rb + i*5
+				ucell := ub + i*5
+				for c := 0; c < 5; c++ {
+					uc := u.Data[ucell+c]
+					low := la*rsd.Data[cell-si+c] + lb*rsd.Data[cell-sj+c]
+					if k > 0 {
+						low += lc * rsd.Data[cell-sk+c]
+					}
+					d := 1 + eps*uc
+					rsd.Data[cell+c] = (rsd.Data[cell+c] - omega*low*(1+eps*uc)) / d
+				}
+			}
+		}
+		if hiX >= 0 {
+			packCol(rsd, st.nxl-1, k, st.colBuf)
+			st.c.Send(hiX, tagLTWest, st.colBuf)
+		}
+		if hiY >= 0 {
+			packRow(rsd, st.nyl-1, k, st.rowBuf)
+			st.c.Send(hiY, tagLTSouth, st.rowBuf)
+		}
+	}
+}
+
+// ssorUT applies the upper-triangular sweep in place on rsd, pipelined in
+// the reverse direction: planes descend in k, cells descend in (j, i), and
+// boundary values flow from the east and north pencils.
+func (st *state) ssorUT() {
+	u, rsd := st.u, st.rsd
+	loX, hiX := st.cart.Shift(0, 1)
+	loY, hiY := st.cart.Shift(1, 1)
+	si := rsd.StrideI()
+	sj := rsd.StrideJ()
+	sk := rsd.StrideK()
+	for k := st.nz - 1; k >= 0; k-- {
+		if hiX >= 0 {
+			st.c.Recv(hiX, tagUTEast, st.colBuf)
+			unpackCol(rsd, st.nxl, k, st.colBuf)
+		}
+		if hiY >= 0 {
+			st.c.Recv(hiY, tagUTNorth, st.rowBuf)
+			unpackRow(rsd, st.nyl, k, st.rowBuf)
+		}
+		for j := st.nyl - 1; j >= 0; j-- {
+			rb := rsd.Idx(0, j, k)
+			ub := u.Idx(0, j, k)
+			for i := st.nxl - 1; i >= 0; i-- {
+				cell := rb + i*5
+				ucell := ub + i*5
+				for c := 0; c < 5; c++ {
+					uc := u.Data[ucell+c]
+					up := la*rsd.Data[cell+si+c] + lb*rsd.Data[cell+sj+c]
+					if k < st.nz-1 {
+						up += lc * rsd.Data[cell+sk+c]
+					}
+					d := 1 + eps*uc
+					rsd.Data[cell+c] = (rsd.Data[cell+c] - omega*up*(1+eps*uc)) / d
+				}
+			}
+		}
+		if loX >= 0 {
+			packCol(rsd, 0, k, st.colBuf)
+			st.c.Send(loX, tagUTEast, st.colBuf)
+		}
+		if loY >= 0 {
+			packRow(rsd, 0, k, st.rowBuf)
+			st.c.Send(loY, tagUTNorth, st.rowBuf)
+		}
+	}
+}
+
+// packCol copies column i of plane k (all j) into buf.
+func packCol(f *npb.Field, i, k int, buf []float64) {
+	n := 0
+	for j := 0; j < f.Ny; j++ {
+		base := f.Idx(i, j, k)
+		n += copy(buf[n:n+f.NC], f.Data[base:base+f.NC])
+	}
+}
+
+// unpackCol writes buf into column i (typically a ghost column) of plane k.
+func unpackCol(f *npb.Field, i, k int, buf []float64) {
+	n := 0
+	for j := 0; j < f.Ny; j++ {
+		base := f.Idx(i, j, k)
+		copy(f.Data[base:base+f.NC], buf[n:n+f.NC])
+		n += f.NC
+	}
+}
+
+// packRow copies row j of plane k (all i) into buf.
+func packRow(f *npb.Field, j, k int, buf []float64) {
+	base := f.Idx(0, j, k)
+	copy(buf[:f.Nx*f.NC], f.Data[base:base+f.Nx*f.NC])
+}
+
+// unpackRow writes buf into row j (typically a ghost row) of plane k.
+func unpackRow(f *npb.Field, j, k int, buf []float64) {
+	base := f.Idx(0, j, k)
+	copy(f.Data[base:base+f.Nx*f.NC], buf[:f.Nx*f.NC])
+}
+
+// ssorRS updates the solution u += ω₂·rsd and computes the iteration's
+// residual norms with an allreduce — the Newton-residual stage.
+func (st *state) ssorRS() {
+	u, rsd := st.u, st.rsd
+	var local [5]float64
+	for k := 0; k < st.nz; k++ {
+		for j := 0; j < st.nyl; j++ {
+			ub := u.Idx(0, j, k)
+			rb := rsd.Idx(0, j, k)
+			for i := 0; i < st.nxl; i++ {
+				for c := 0; c < 5; c++ {
+					v := rsd.Data[rb+i*5+c]
+					u.Data[ub+i*5+c] += omega2 * v
+					local[c] += v * v
+				}
+			}
+		}
+	}
+	var global [5]float64
+	st.c.Allreduce(mpi.OpSum, local[:], global[:])
+	cells := float64(st.cfg.Problem.Cells())
+	for c := 0; c < 5; c++ {
+		st.resNorms[c] = math.Sqrt(global[c] / cells)
+	}
+}
+
+// errorNorms computes the RMS difference between the solution and the
+// smooth reference field.
+func (st *state) errorNorms() {
+	var local [5]float64
+	u := st.u
+	for k := 0; k < st.nz; k++ {
+		for j := 0; j < st.nyl; j++ {
+			base := u.Idx(0, j, k)
+			for i := 0; i < st.nxl; i++ {
+				gx, gy, gz := st.globalXYZ(i, j, k)
+				for c := 0; c < 5; c++ {
+					d := u.Data[base+i*5+c] - exact(c, gx, gy, gz)
+					local[c] += d * d
+				}
+			}
+		}
+	}
+	var global [5]float64
+	st.c.Allreduce(mpi.OpSum, local[:], global[:])
+	cells := float64(st.cfg.Problem.Cells())
+	for c := 0; c < 5; c++ {
+		st.errNorms[c] = math.Sqrt(global[c] / cells)
+	}
+}
+
+// pintgr computes a surface integral of the first solution component over
+// the physical boundary faces of the global domain.
+func (st *state) pintgr() {
+	u := st.u
+	local := 0.0
+	// x = 0 and x = N1-1 faces.
+	if st.rx.Lo == 0 {
+		for k := 0; k < st.nz; k++ {
+			for j := 0; j < st.nyl; j++ {
+				local += u.At(0, 0, j, k)
+			}
+		}
+	}
+	if st.rx.Hi == st.cfg.Problem.N1 {
+		for k := 0; k < st.nz; k++ {
+			for j := 0; j < st.nyl; j++ {
+				local += u.At(0, st.nxl-1, j, k)
+			}
+		}
+	}
+	// y faces.
+	if st.ry.Lo == 0 {
+		for k := 0; k < st.nz; k++ {
+			for i := 0; i < st.nxl; i++ {
+				local += u.At(0, i, 0, k)
+			}
+		}
+	}
+	if st.ry.Hi == st.cfg.Problem.N2 {
+		for k := 0; k < st.nz; k++ {
+			for i := 0; i < st.nxl; i++ {
+				local += u.At(0, i, st.nyl-1, k)
+			}
+		}
+	}
+	// z faces are fully local to every pencil.
+	for j := 0; j < st.nyl; j++ {
+		for i := 0; i < st.nxl; i++ {
+			local += u.At(0, i, j, 0) + u.At(0, i, j, st.nz-1)
+		}
+	}
+	st.surface = st.c.AllreduceScalar(mpi.OpSum, local)
+}
+
+// final computes the global verification norms of the solution.
+func (st *state) final() {
+	var local [5]float64
+	u := st.u
+	for k := 0; k < st.nz; k++ {
+		for j := 0; j < st.nyl; j++ {
+			base := u.Idx(0, j, k)
+			for i := 0; i < st.nxl; i++ {
+				for c := 0; c < 5; c++ {
+					v := u.Data[base+i*5+c]
+					local[c] += v * v
+				}
+			}
+		}
+	}
+	var global [5]float64
+	st.c.Allreduce(mpi.OpSum, local[:], global[:])
+	cells := float64(st.cfg.Problem.Cells())
+	for c := 0; c < 5; c++ {
+		st.norms[c] = math.Sqrt(global[c] / cells)
+	}
+}

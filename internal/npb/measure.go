@@ -1,0 +1,204 @@
+package npb
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/stats"
+)
+
+// quiesce runs a garbage collection from rank 0 and synchronizes, so that
+// heap pressure accumulated during setup and warmup is unlikely to force a
+// collection inside the timed region that follows. Every rank must call it.
+func quiesce(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		runtime.GC()
+	}
+	c.Barrier()
+}
+
+// KernelSet is the per-rank view of a running benchmark: a dispatcher for
+// its named kernels plus a refresh hook that restores numerical state
+// between timed blocks (repeatedly applying an implicit solve to the same
+// right-hand side would otherwise shrink it toward denormals and distort
+// the timing).
+type KernelSet interface {
+	// RunKernel executes one application-order invocation of the named
+	// kernel on this rank.
+	RunKernel(name string) error
+	// Refresh restores the numerical state consumed by repeated kernel
+	// application. It runs outside the timed region.
+	Refresh()
+}
+
+// Factory builds one rank's benchmark state after the world has spawned.
+// It performs all setup (grids, decomposition, initial fields), which is
+// excluded from every timed region.
+type Factory func(c *mpi.Comm) (KernelSet, error)
+
+// MeasureOptions configures a timed measurement across a world of ranks.
+type MeasureOptions struct {
+	// Procs is the number of ranks.
+	Procs int
+	// Blocks is the number of independently timed blocks (default 3).
+	Blocks int
+	// Passes is how many passes through the window each block times
+	// (default 1).
+	Passes int
+	// TrimFrac is the two-sided trim for aggregating blocks. Zero picks
+	// the default (median-like 0.34 for Blocks >= 3); negative forces
+	// the raw mean.
+	TrimFrac float64
+	// WorldOpts configures the mpi.World, e.g. a network cost model.
+	WorldOpts []mpi.Option
+}
+
+func (o MeasureOptions) withDefaults() MeasureOptions {
+	if o.Blocks <= 0 {
+		o.Blocks = 3
+	}
+	if o.Passes <= 0 {
+		o.Passes = 1
+	}
+	if o.TrimFrac == 0 && o.Blocks >= 3 {
+		// Timing on a shared host has a heavy upper tail (GC cycles,
+		// scheduler interference); trimming toward the median is far
+		// more robust than the mean for small block counts.
+		o.TrimFrac = 0.34
+	}
+	if o.TrimFrac < 0 {
+		o.TrimFrac = 0 // explicit raw mean (the trimming ablation)
+	}
+	return o
+}
+
+// MeasureWindow spawns a world, builds per-rank state with the factory,
+// and times Blocks×Passes executions of the kernel window in application
+// order, following the paper's methodology: the window sits in a loop that
+// dominates the measurement, all setup is outside the timed region, and
+// barriers bound each block so the slowest rank defines parallel time.
+// It returns the per-pass wall-clock seconds (trimmed mean across blocks).
+func MeasureWindow(f Factory, window []string, o MeasureOptions) (float64, error) {
+	if len(window) == 0 {
+		return 0, fmt.Errorf("npb: empty measurement window")
+	}
+	o = o.withDefaults()
+	blockTimes := make([]float64, 0, o.Blocks)
+	err := mpi.Run(o.Procs, func(c *mpi.Comm) {
+		ks, err := f(c)
+		if err != nil {
+			panic(fmt.Sprintf("npb: rank %d setup: %v", c.Rank(), err))
+		}
+		// One untimed warmup pass: the first execution after setup pays
+		// cold-cache and lazy-allocation costs that belong to neither
+		// the kernel nor its couplings.
+		for _, k := range window {
+			if err := ks.RunKernel(k); err != nil {
+				panic(fmt.Sprintf("npb: rank %d warmup %s: %v", c.Rank(), k, err))
+			}
+		}
+		ks.Refresh()
+		quiesce(c)
+		for b := 0; b < o.Blocks; b++ {
+			if b > 0 {
+				ks.Refresh()
+			}
+			c.Barrier()
+			var t0 time.Time
+			if c.Rank() == 0 {
+				t0 = time.Now()
+			}
+			for p := 0; p < o.Passes; p++ {
+				for _, k := range window {
+					if err := ks.RunKernel(k); err != nil {
+						panic(fmt.Sprintf("npb: rank %d kernel %s: %v", c.Rank(), k, err))
+					}
+				}
+			}
+			c.Barrier()
+			if c.Rank() == 0 {
+				blockTimes = append(blockTimes, time.Since(t0).Seconds()/float64(o.Passes))
+			}
+		}
+	}, o.WorldOpts...)
+	if err != nil {
+		return 0, err
+	}
+	return stats.TrimmedMean(blockTimes, o.TrimFrac), nil
+}
+
+// MeasureFull times a complete application run — pre-kernels, trips passes
+// through the loop ring, post-kernels — and returns the wall-clock seconds.
+// This is the "Actual" row of the paper's comparison tables. Setup via the
+// factory is excluded; the pre-kernels (e.g. INITIALIZATION) re-establish
+// state inside the timed region just as the real benchmark does.
+func MeasureFull(f Factory, pre, loop []string, trips int, post []string, o MeasureOptions) (float64, error) {
+	if len(loop) == 0 || trips < 1 {
+		return 0, fmt.Errorf("npb: full run needs a loop ring and trips >= 1")
+	}
+	o = o.withDefaults()
+	var elapsed float64
+	err := mpi.Run(o.Procs, func(c *mpi.Comm) {
+		ks, err := f(c)
+		if err != nil {
+			panic(fmt.Sprintf("npb: rank %d setup: %v", c.Rank(), err))
+		}
+		runAll := func(names []string) {
+			for _, k := range names {
+				if err := ks.RunKernel(k); err != nil {
+					panic(fmt.Sprintf("npb: rank %d kernel %s: %v", c.Rank(), k, err))
+				}
+			}
+		}
+		quiesce(c)
+		c.Barrier()
+		var t0 time.Time
+		if c.Rank() == 0 {
+			t0 = time.Now()
+		}
+		runAll(pre)
+		for it := 0; it < trips; it++ {
+			runAll(loop)
+		}
+		runAll(post)
+		c.Barrier()
+		if c.Rank() == 0 {
+			elapsed = time.Since(t0).Seconds()
+		}
+	}, o.WorldOpts...)
+	if err != nil {
+		return 0, err
+	}
+	return elapsed, nil
+}
+
+// RunOnce executes the full application once without timing, collecting
+// each rank's verification report from the post stage. It exists for
+// correctness tests and the npbrun tool. report is called on rank 0 after
+// the run with the kernel set, so benchmarks can expose verification state.
+func RunOnce(f Factory, pre, loop []string, trips int, post []string, procs int, report func(KernelSet), worldOpts ...mpi.Option) error {
+	return mpi.Run(procs, func(c *mpi.Comm) {
+		ks, err := f(c)
+		if err != nil {
+			panic(fmt.Sprintf("npb: rank %d setup: %v", c.Rank(), err))
+		}
+		runAll := func(names []string) {
+			for _, k := range names {
+				if err := ks.RunKernel(k); err != nil {
+					panic(fmt.Sprintf("npb: rank %d kernel %s: %v", c.Rank(), k, err))
+				}
+			}
+		}
+		runAll(pre)
+		for it := 0; it < trips; it++ {
+			runAll(loop)
+		}
+		runAll(post)
+		c.Barrier()
+		if c.Rank() == 0 && report != nil {
+			report(ks)
+		}
+	}, worldOpts...)
+}

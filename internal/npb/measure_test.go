@@ -1,0 +1,148 @@
+package npb
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// countingKernels is a deterministic KernelSet for testing the runner.
+type countingKernels struct {
+	runs     map[string]*atomic.Int64
+	refreshs *atomic.Int64
+	delay    time.Duration
+	failOn   string
+}
+
+func (k *countingKernels) RunKernel(name string) error {
+	if name == k.failOn {
+		return errors.New("injected failure")
+	}
+	c, ok := k.runs[name]
+	if !ok {
+		return errors.New("unknown kernel " + name)
+	}
+	c.Add(1)
+	if k.delay > 0 {
+		time.Sleep(k.delay)
+	}
+	return nil
+}
+
+func (k *countingKernels) Refresh() { k.refreshs.Add(1) }
+
+func newCountingFactory(names []string, delay time.Duration, failOn string) (Factory, map[string]*atomic.Int64, *atomic.Int64) {
+	runs := map[string]*atomic.Int64{}
+	for _, n := range names {
+		runs[n] = &atomic.Int64{}
+	}
+	refreshs := &atomic.Int64{}
+	f := func(c *mpi.Comm) (KernelSet, error) {
+		return &countingKernels{runs: runs, refreshs: refreshs, delay: delay, failOn: failOn}, nil
+	}
+	return f, runs, refreshs
+}
+
+func TestMeasureWindowCountsAndTiming(t *testing.T) {
+	f, runs, refreshs := newCountingFactory([]string{"a", "b"}, 2*time.Millisecond, "")
+	secs, err := MeasureWindow(f, []string{"a", "b"}, MeasureOptions{
+		Procs:  2,
+		Blocks: 3,
+		Passes: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 ranks × (1 warmup + 3 blocks × 2 passes) = 14 executions each.
+	if got := runs["a"].Load(); got != 14 {
+		t.Errorf("kernel a ran %d times, want 14", got)
+	}
+	if got := runs["b"].Load(); got != 14 {
+		t.Errorf("kernel b ran %d times, want 14", got)
+	}
+	// Refresh after warmup plus between blocks: 3 per rank.
+	if got := refreshs.Load(); got != 6 {
+		t.Errorf("refresh ran %d times, want 6", got)
+	}
+	// One pass runs both kernels with 2ms sleeps: >= ~4ms per pass.
+	if secs < 0.003 {
+		t.Errorf("per-pass %v s implausibly small", secs)
+	}
+}
+
+func TestMeasureWindowEmptyWindow(t *testing.T) {
+	f, _, _ := newCountingFactory([]string{"a"}, 0, "")
+	if _, err := MeasureWindow(f, nil, MeasureOptions{Procs: 1}); err == nil {
+		t.Error("empty window should fail")
+	}
+}
+
+func TestMeasureWindowKernelFailure(t *testing.T) {
+	f, _, _ := newCountingFactory([]string{"a"}, 0, "a")
+	_, err := MeasureWindow(f, []string{"a"}, MeasureOptions{Procs: 2})
+	if err == nil || !strings.Contains(err.Error(), "injected failure") {
+		t.Errorf("want injected failure surfaced, got %v", err)
+	}
+}
+
+func TestMeasureWindowFactoryFailure(t *testing.T) {
+	f := func(c *mpi.Comm) (KernelSet, error) { return nil, errors.New("no state") }
+	_, err := MeasureWindow(f, []string{"a"}, MeasureOptions{Procs: 1})
+	if err == nil || !strings.Contains(err.Error(), "no state") {
+		t.Errorf("want setup failure surfaced, got %v", err)
+	}
+}
+
+func TestMeasureFullStructure(t *testing.T) {
+	f, runs, _ := newCountingFactory([]string{"init", "a", "b", "final"}, 0, "")
+	secs, err := MeasureFull(f, []string{"init"}, []string{"a", "b"}, 5, []string{"final"}, MeasureOptions{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secs < 0 {
+		t.Errorf("negative time %v", secs)
+	}
+	if got := runs["init"].Load(); got != 2 {
+		t.Errorf("init ran %d times, want 2 (once per rank)", got)
+	}
+	if got := runs["a"].Load(); got != 10 {
+		t.Errorf("loop kernel ran %d times, want 10", got)
+	}
+	if got := runs["final"].Load(); got != 2 {
+		t.Errorf("final ran %d times, want 2", got)
+	}
+}
+
+func TestMeasureFullValidation(t *testing.T) {
+	f, _, _ := newCountingFactory([]string{"a"}, 0, "")
+	if _, err := MeasureFull(f, nil, nil, 1, nil, MeasureOptions{Procs: 1}); err == nil {
+		t.Error("empty loop should fail")
+	}
+	if _, err := MeasureFull(f, nil, []string{"a"}, 0, nil, MeasureOptions{Procs: 1}); err == nil {
+		t.Error("zero trips should fail")
+	}
+}
+
+func TestRunOnceReportOnRankZero(t *testing.T) {
+	f, runs, _ := newCountingFactory([]string{"a"}, 0, "")
+	reports := 0
+	err := RunOnce(f, nil, []string{"a"}, 3, nil, 4, func(ks KernelSet) {
+		reports++
+		if ks == nil {
+			t.Error("nil kernel set in report")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports != 1 {
+		t.Errorf("report ran %d times, want 1", reports)
+	}
+	if got := runs["a"].Load(); got != 12 {
+		t.Errorf("kernel ran %d times, want 12", got)
+	}
+}

@@ -1,0 +1,432 @@
+// Package sp is a Go reimplementation of the NAS SP (Scalar Pentadiagonal)
+// application benchmark in the kernel decomposition the coupling paper
+// uses: INITIALIZATION, COPY_FACES, TXINVR, X_SOLVE, Y_SOLVE, Z_SOLVE, ADD
+// and FINAL, with kernels 2–7 forming the main loop ring.
+//
+// Each iteration computes a right-hand side from the current solution
+// (COPY_FACES, which first exchanges two-deep ghost faces because the
+// pentadiagonal stencil reaches ±2), applies a block-diagonal
+// transformation to it (TXINVR), solves scalar pentadiagonal systems along
+// x, y and z in turn — five independent scalar systems per line, one per
+// solution component — and accumulates the update (ADD).
+//
+// The domain decomposition matches BT's: a √P×√P process grid over y and z
+// with x rank-local; the distributed pentadiagonal elimination forwards the
+// last two normalized rows (6 floats per component) between neighbors.
+package sp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+)
+
+// Kernel names, matching the paper's SP decomposition (Section 4.2).
+const (
+	KInit      = "INITIALIZATION"
+	KCopyFaces = "COPY_FACES"
+	KTxinvr    = "TXINVR"
+	KXSolve    = "X_SOLVE"
+	KYSolve    = "Y_SOLVE"
+	KZSolve    = "Z_SOLVE"
+	KAdd       = "ADD"
+	KFinal     = "FINAL"
+)
+
+// KernelNames returns SP's kernels grouped as the paper's control flow has
+// them.
+func KernelNames() (pre, loop, post []string) {
+	return []string{KInit},
+		[]string{KCopyFaces, KTxinvr, KXSolve, KYSolve, KZSolve, KAdd},
+		[]string{KFinal}
+}
+
+// Config selects an SP problem instance.
+type Config struct {
+	// Problem is the grid/class configuration (see npb.SPProblem).
+	Problem npb.Problem
+	// Procs is the rank count; SP requires a perfect square.
+	Procs int
+}
+
+// Validate checks the SP-specific constraints. The two-deep stencil needs
+// at least two interior planes per rank in the decomposed dimensions.
+func (cfg Config) Validate() error {
+	s, err := grid.SquareSide(cfg.Procs)
+	if err != nil {
+		return fmt.Errorf("sp: %w", err)
+	}
+	if cfg.Problem.N1 < 5 || cfg.Problem.N2 < 5 || cfg.Problem.N3 < 5 {
+		return fmt.Errorf("sp: grid %s too small for the pentadiagonal stencil", cfg.Problem)
+	}
+	if cfg.Problem.N2/s < 2 || cfg.Problem.N3/s < 2 {
+		return fmt.Errorf("sp: tiles of %s over %d ranks thinner than the 2-deep halo", cfg.Problem, cfg.Procs)
+	}
+	return nil
+}
+
+// Factory returns the per-rank state builder for the configuration.
+func Factory(cfg Config) (npb.Factory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return func(c *mpi.Comm) (npb.KernelSet, error) {
+		return newState(c, cfg)
+	}, nil
+}
+
+// Solver model constants: r1/r2 weight the ±1/±2 off-diagonals, eps scales
+// the solution dependence of the coefficients (diagonal dominance needs
+// 2(r1+r2) + O(eps) < 1 + 2r1 + 2r2), epsT the TXINVR transform, and
+// fluxEps the stencil nonlinearity.
+const (
+	r1      = 0.30
+	r2      = 0.10
+	eps     = 0.02
+	epsT    = 0.05
+	fluxEps = 0.10
+)
+
+// txWeights is the fixed row profile of the rank-one TXINVR transform
+// T(u) = I + epsT·u⊗txWeights.
+var txWeights = [5]float64{0.5, -0.35, 0.4, -0.25, 0.3}
+
+// state is one rank's SP instance.
+type state struct {
+	c    *mpi.Comm
+	cart *mpi.Cart
+	cfg  Config
+
+	s            int
+	cy, cz       int
+	ry, rz       grid.Range
+	nx, nyl, nzl int
+
+	u, rhs, forcing *npb.Field
+	u0, rhs0        []float64
+
+	commY, commZ *mpi.Comm
+
+	faceY, faceZ []float64 // one plane each; exchanged twice for depth 2
+
+	// Pentadiagonal work arrays: normalized (d1, d2, rh) per cell per
+	// component, plus boundary buffers.
+	d1, d2, rh []float64
+	fwd        []float64 // 2 rows × 5 comps × 3 values = 30 per line
+	bwd        []float64 // 2 rows × 5 comps = 10 per line
+
+	norms [5]float64
+}
+
+func newState(c *mpi.Comm, cfg Config) (*state, error) {
+	s, err := grid.SquareSide(cfg.Procs)
+	if err != nil {
+		return nil, err
+	}
+	st := &state{c: c, cfg: cfg, s: s}
+	st.cart = mpi.NewCart(c, s, s)
+	co := st.cart.Coords()
+	st.cy, st.cz = co[0], co[1]
+	p := cfg.Problem
+	st.nx = p.N1
+	st.ry = grid.Block1D(p.N2, s, st.cy)
+	st.rz = grid.Block1D(p.N3, s, st.cz)
+	st.nyl = st.ry.N()
+	st.nzl = st.rz.N()
+	if st.nyl < 2 || st.nzl < 2 {
+		return nil, fmt.Errorf("sp: rank (%d,%d) tile %dx%d thinner than the halo", st.cy, st.cz, st.nyl, st.nzl)
+	}
+
+	st.u = npb.NewField(5, st.nx, st.nyl, st.nzl, 2)
+	st.rhs = npb.NewField(5, st.nx, st.nyl, st.nzl, 0)
+	st.forcing = npb.NewField(5, st.nx, st.nyl, st.nzl, 0)
+
+	st.commY = st.cart.Sub(0)
+	st.commZ = st.cart.Sub(1)
+
+	st.faceY = make([]float64, st.nx*st.nzl*5)
+	st.faceZ = make([]float64, st.nx*st.nyl*5)
+
+	cells := st.nx * st.nyl * st.nzl
+	st.d1 = make([]float64, cells*5)
+	st.d2 = make([]float64, cells*5)
+	st.rh = make([]float64, cells*5)
+	maxLines := max(st.nx*st.nzl, st.nx*st.nyl, st.nyl*st.nzl)
+	st.fwd = make([]float64, maxLines*30)
+	st.bwd = make([]float64, maxLines*10)
+
+	st.initialize()
+	st.copyFaces()
+	st.u0 = append([]float64(nil), st.u.Data...)
+	st.rhs0 = append([]float64(nil), st.rhs.Data...)
+	return st, nil
+}
+
+// RunKernel dispatches one application-order execution of the named kernel.
+func (st *state) RunKernel(name string) error {
+	switch name {
+	case KInit:
+		st.initialize()
+	case KCopyFaces:
+		st.copyFaces()
+	case KTxinvr:
+		st.txinvr()
+	case KXSolve:
+		st.xSolve()
+	case KYSolve:
+		st.ySolve()
+	case KZSolve:
+		st.zSolve()
+	case KAdd:
+		st.add()
+	case KFinal:
+		st.final()
+	default:
+		return fmt.Errorf("sp: unknown kernel %q", name)
+	}
+	return nil
+}
+
+// Refresh restores the post-setup numerical state.
+func (st *state) Refresh() {
+	copy(st.u.Data, st.u0)
+	copy(st.rhs.Data, st.rhs0)
+}
+
+// Norms returns the verification norms computed by the last FINAL.
+func (st *state) Norms() [5]float64 { return st.norms }
+
+// exact is the smooth reference field for initialization and forcing.
+func exact(c int, x, y, z float64) float64 {
+	fc := float64(c + 1)
+	return 1.0 + 0.25*math.Cos(math.Pi*(x*fc+y))*math.Sin(math.Pi*(z+0.4*fc)) +
+		0.15*fc*(x+y*z)
+}
+
+func (st *state) initialize() {
+	p := st.cfg.Problem
+	hx := 1.0 / float64(p.N1-1)
+	hy := 1.0 / float64(p.N2-1)
+	hz := 1.0 / float64(p.N3-1)
+	for k := 0; k < st.nzl; k++ {
+		gz := float64(st.rz.Lo+k) * hz
+		for j := 0; j < st.nyl; j++ {
+			gy := float64(st.ry.Lo+j) * hy
+			base := st.u.Idx(0, j, k)
+			fbase := st.forcing.Idx(0, j, k)
+			for i := 0; i < st.nx; i++ {
+				gx := float64(i) * hx
+				for c := 0; c < 5; c++ {
+					st.u.Data[base+i*5+c] = exact(c, gx, gy, gz)
+					st.forcing.Data[fbase+i*5+c] = 0.2 * exact((c+3)%5, gz, gx, gy)
+				}
+			}
+		}
+	}
+}
+
+func flux(u []float64, c int) float64 {
+	return u[c] * (1 + fluxEps*u[(c+2)%5])
+}
+
+// copyFaces exchanges two-deep ghost faces with the four neighbors, fills
+// physical-boundary ghosts by zero-gradient extrapolation, and evaluates
+// the stencil right-hand side.
+func (st *state) copyFaces() {
+	st.exchangeFaces()
+	st.computeRHS()
+}
+
+const (
+	tagY0 = 50 // plane depth 0
+	tagY1 = 51 // plane depth 1
+	tagZ0 = 52
+	tagZ1 = 53
+)
+
+func (st *state) exchangeFaces() {
+	u := st.u
+	loY, hiY := st.cart.Shift(0, 1)
+	// Send both depths in each direction, then receive both.
+	if hiY >= 0 {
+		u.PackFaceJ(st.nyl-1, st.faceY)
+		st.c.Send(hiY, tagY0, st.faceY)
+		u.PackFaceJ(st.nyl-2, st.faceY)
+		st.c.Send(hiY, tagY1, st.faceY)
+	}
+	if loY >= 0 {
+		u.PackFaceJ(0, st.faceY)
+		st.c.Send(loY, tagY0, st.faceY)
+		u.PackFaceJ(1, st.faceY)
+		st.c.Send(loY, tagY1, st.faceY)
+	}
+	if loY >= 0 {
+		st.c.Recv(loY, tagY0, st.faceY)
+		u.UnpackFaceJ(-1, st.faceY)
+		st.c.Recv(loY, tagY1, st.faceY)
+		u.UnpackFaceJ(-2, st.faceY)
+	} else {
+		copyPlaneJ(u, 0, -1)
+		copyPlaneJ(u, 0, -2)
+	}
+	if hiY >= 0 {
+		st.c.Recv(hiY, tagY0, st.faceY)
+		u.UnpackFaceJ(st.nyl, st.faceY)
+		st.c.Recv(hiY, tagY1, st.faceY)
+		u.UnpackFaceJ(st.nyl+1, st.faceY)
+	} else {
+		copyPlaneJ(u, st.nyl-1, st.nyl)
+		copyPlaneJ(u, st.nyl-1, st.nyl+1)
+	}
+
+	loZ, hiZ := st.cart.Shift(1, 1)
+	if hiZ >= 0 {
+		u.PackFaceK(st.nzl-1, st.faceZ)
+		st.c.Send(hiZ, tagZ0, st.faceZ)
+		u.PackFaceK(st.nzl-2, st.faceZ)
+		st.c.Send(hiZ, tagZ1, st.faceZ)
+	}
+	if loZ >= 0 {
+		u.PackFaceK(0, st.faceZ)
+		st.c.Send(loZ, tagZ0, st.faceZ)
+		u.PackFaceK(1, st.faceZ)
+		st.c.Send(loZ, tagZ1, st.faceZ)
+	}
+	if loZ >= 0 {
+		st.c.Recv(loZ, tagZ0, st.faceZ)
+		u.UnpackFaceK(-1, st.faceZ)
+		st.c.Recv(loZ, tagZ1, st.faceZ)
+		u.UnpackFaceK(-2, st.faceZ)
+	} else {
+		copyPlaneK(u, 0, -1)
+		copyPlaneK(u, 0, -2)
+	}
+	if hiZ >= 0 {
+		st.c.Recv(hiZ, tagZ0, st.faceZ)
+		u.UnpackFaceK(st.nzl, st.faceZ)
+		st.c.Recv(hiZ, tagZ1, st.faceZ)
+		u.UnpackFaceK(st.nzl+1, st.faceZ)
+	} else {
+		copyPlaneK(u, st.nzl-1, st.nzl)
+		copyPlaneK(u, st.nzl-1, st.nzl+1)
+	}
+}
+
+func copyPlaneJ(f *npb.Field, jSrc, jDst int) {
+	for k := 0; k < f.Nz; k++ {
+		src := f.Idx(0, jSrc, k)
+		dst := f.Idx(0, jDst, k)
+		copy(f.Data[dst:dst+f.Nx*f.NC], f.Data[src:src+f.Nx*f.NC])
+	}
+}
+
+func copyPlaneK(f *npb.Field, kSrc, kDst int) {
+	for j := 0; j < f.Ny; j++ {
+		src := f.Idx(0, j, kSrc)
+		dst := f.Idx(0, j, kDst)
+		copy(f.Data[dst:dst+f.Nx*f.NC], f.Data[src:src+f.Nx*f.NC])
+	}
+}
+
+func (st *state) computeRHS() {
+	u, rhs, forcing := st.u, st.rhs, st.forcing
+	dt := st.cfg.Problem.Dt
+	sj := u.StrideJ()
+	sk := u.StrideK()
+	for k := 0; k < st.nzl; k++ {
+		for j := 0; j < st.nyl; j++ {
+			ub := u.Idx(0, j, k)
+			rb := rhs.Idx(0, j, k)
+			fb := forcing.Idx(0, j, k)
+			for i := 0; i < st.nx; i++ {
+				cell := ub + i*5
+				xm := cell - 5
+				if i == 0 {
+					xm = cell
+				}
+				xp := cell + 5
+				if i == st.nx-1 {
+					xp = cell
+				}
+				ym := cell - sj
+				yp := cell + sj
+				zm := cell - sk
+				zp := cell + sk
+				for c := 0; c < 5; c++ {
+					center := 6 * flux(u.Data[cell:cell+5], c)
+					lap := flux(u.Data[xm:xm+5], c) + flux(u.Data[xp:xp+5], c) +
+						flux(u.Data[ym:ym+5], c) + flux(u.Data[yp:yp+5], c) +
+						flux(u.Data[zm:zm+5], c) + flux(u.Data[zp:zp+5], c) - center
+					rhs.Data[rb+i*5+c] = dt * (forcing.Data[fb+i*5+c] - u.Data[cell+c]*0.05 + lap)
+				}
+			}
+		}
+	}
+}
+
+// txinvr applies the block-diagonal transform rhs ← (I + εT·u⊗w)·rhs at
+// every cell — phase two of the right-hand-side computation.
+func (st *state) txinvr() {
+	u, rhs := st.u, st.rhs
+	for k := 0; k < st.nzl; k++ {
+		for j := 0; j < st.nyl; j++ {
+			ub := u.Idx(0, j, k)
+			rb := rhs.Idx(0, j, k)
+			for i := 0; i < st.nx; i++ {
+				uc := u.Data[ub+i*5 : ub+i*5+5]
+				rc := rhs.Data[rb+i*5 : rb+i*5+5]
+				// dot = w·r, then r += epsT·u·dot.
+				dot := 0.0
+				for c := 0; c < 5; c++ {
+					dot += txWeights[c] * rc[c]
+				}
+				for c := 0; c < 5; c++ {
+					rc[c] += epsT * uc[c] * dot
+				}
+			}
+		}
+	}
+}
+
+// add accumulates the solved update into the solution.
+func (st *state) add() {
+	u, rhs := st.u, st.rhs
+	for k := 0; k < st.nzl; k++ {
+		for j := 0; j < st.nyl; j++ {
+			ub := u.Idx(0, j, k)
+			rb := rhs.Idx(0, j, k)
+			n := st.nx * 5
+			uRow := u.Data[ub : ub+n]
+			rRow := rhs.Data[rb : rb+n]
+			for i := range uRow {
+				uRow[i] += rRow[i]
+			}
+		}
+	}
+}
+
+// final computes the global verification norms.
+func (st *state) final() {
+	var local [5]float64
+	u := st.u
+	for k := 0; k < st.nzl; k++ {
+		for j := 0; j < st.nyl; j++ {
+			base := u.Idx(0, j, k)
+			for i := 0; i < st.nx; i++ {
+				for c := 0; c < 5; c++ {
+					v := u.Data[base+i*5+c]
+					local[c] += v * v
+				}
+			}
+		}
+	}
+	var global [5]float64
+	st.c.Allreduce(mpi.OpSum, local[:], global[:])
+	cells := float64(st.cfg.Problem.Cells())
+	for c := 0; c < 5; c++ {
+		st.norms[c] = math.Sqrt(global[c] / cells)
+	}
+}

@@ -1,0 +1,29 @@
+package prophesy_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/prophesy"
+)
+
+// Store one configuration's measurements, then predict another
+// configuration from its fresh isolated times plus the stored coupling
+// values — the experiment-reduction workflow of the paper's future work.
+func ExamplePredictWithReusedCouplings() {
+	db := &prophesy.DB{}
+	ref := prophesy.Key{Workload: "demo", Class: "small", Procs: 4}
+
+	// Reference campaign (normally via ImportStudy after a harness run):
+	// the pair runs 10% faster together than apart.
+	db.Put(prophesy.Record{Key: ref, Window: []string{"COMPUTE", "EXCHANGE"}, Value: 0.0108, Coupling: 0.90})
+
+	// New configuration: only the isolated kernels were measured.
+	app := core.App{Name: "demo", Loop: core.Ring{"COMPUTE", "EXCHANGE"}, Trips: 50}
+	fresh := map[string]float64{"COMPUTE": 0.020, "EXCHANGE": 0.004}
+
+	pred, _ := prophesy.PredictWithReusedCouplings(db, ref, app, fresh, 2)
+	saved, _ := prophesy.MeasurementsSaved(app.Loop, 2)
+	fmt.Printf("predicted %.2fs, %d window measurement(s) avoided\n", pred.Total, saved)
+	// Output: predicted 1.08s, 1 window measurement(s) avoided
+}

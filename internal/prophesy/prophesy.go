@@ -1,0 +1,251 @@
+// Package prophesy implements the paper's stated future work:
+// "determining which coupling values must be obtained and which values can
+// be reused, thereby reducing the number of needed experiments." It is
+// named after the authors' Prophesy modeling infrastructure [TG01].
+//
+// The package provides a persistent repository of measurements (isolated
+// kernel times and window coupling values) keyed by workload
+// configuration, a planner that splits a study's measurement campaign into
+// values already on file versus values still to measure, and a predictor
+// that reuses *coupling values* from one configuration with *fresh
+// isolated measurements* from another: coupling values capture interaction
+// structure and drift slowly across problem sizes and processor counts
+// (the paper's finite-transition observation), while isolated times change
+// with every configuration — so re-measuring only the N isolated kernels
+// instead of all N·L windows cuts the campaign size by the chain length.
+package prophesy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// Key identifies a workload configuration.
+type Key struct {
+	// Workload is the application name, e.g. "BT".
+	Workload string `json:"workload"`
+	// Class is the problem class or size label.
+	Class string `json:"class"`
+	// Procs is the processor count.
+	Procs int `json:"procs"`
+}
+
+// String renders the key for indexing and diagnostics.
+func (k Key) String() string { return fmt.Sprintf("%s.%s.%d", k.Workload, k.Class, k.Procs) }
+
+// Record is one stored measurement: either an isolated kernel time
+// (len(Window) == 1, Value in seconds per execution) or a window coupling
+// (len(Window) > 1, Coupling set, Value the chained per-pass seconds).
+type Record struct {
+	Key      Key      `json:"key"`
+	Window   []string `json:"window"`
+	Value    float64  `json:"value"`
+	Coupling float64  `json:"coupling,omitempty"`
+}
+
+// DB is an in-memory measurement repository, persistable as JSON. The zero
+// value is empty and ready to use.
+type DB struct {
+	records map[string]map[string]Record // key.String() -> window key -> record
+}
+
+func (db *DB) bucket(k Key) map[string]Record {
+	if db.records == nil {
+		db.records = map[string]map[string]Record{}
+	}
+	b := db.records[k.String()]
+	if b == nil {
+		b = map[string]Record{}
+		db.records[k.String()] = b
+	}
+	return b
+}
+
+// Put stores (or replaces) a record.
+func (db *DB) Put(r Record) {
+	db.bucket(r.Key)[core.Key(r.Window)] = r
+}
+
+// Lookup returns the record for a window at a configuration.
+func (db *DB) Lookup(k Key, window []string) (Record, bool) {
+	if db.records == nil {
+		return Record{}, false
+	}
+	b := db.records[k.String()]
+	if b == nil {
+		return Record{}, false
+	}
+	r, ok := b[core.Key(window)]
+	return r, ok
+}
+
+// Len returns the number of stored records.
+func (db *DB) Len() int {
+	n := 0
+	for _, b := range db.records {
+		n += len(b)
+	}
+	return n
+}
+
+// Keys returns the stored configurations, sorted.
+func (db *DB) Keys() []string {
+	ks := make([]string, 0, len(db.records))
+	for k := range db.records {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Save writes the repository as JSON.
+func (db *DB) Save(w io.Writer) error {
+	var all []Record
+	for _, key := range db.Keys() {
+		b := db.records[key]
+		wins := make([]string, 0, len(b))
+		for wk := range b {
+			wins = append(wins, wk)
+		}
+		sort.Strings(wins)
+		for _, wk := range wins {
+			all = append(all, b[wk])
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(all)
+}
+
+// Load merges JSON records into the repository.
+func (db *DB) Load(r io.Reader) error {
+	var all []Record
+	if err := json.NewDecoder(r).Decode(&all); err != nil {
+		return fmt.Errorf("prophesy: %w", err)
+	}
+	for _, rec := range all {
+		if len(rec.Window) == 0 {
+			return fmt.Errorf("prophesy: record with empty window for %s", rec.Key)
+		}
+		db.Put(rec)
+	}
+	return nil
+}
+
+// SaveFile persists the repository to a file.
+func (db *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := db.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// OpenFile loads a repository from a file; a missing file yields an empty
+// repository.
+func OpenFile(path string) (*DB, error) {
+	db := &DB{}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return db, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := db.Load(f); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// ImportStudy stores every measurement of a completed study under the
+// given configuration key: the isolated times and, for every measured
+// window, its chained time and coupling value.
+func ImportStudy(db *DB, k Key, st *harness.Study) {
+	for kernel, v := range st.Measurements.Isolated {
+		db.Put(Record{Key: k, Window: []string{kernel}, Value: v})
+	}
+	for _, L := range st.ChainLens() {
+		for _, wc := range st.Details[L].Couplings {
+			db.Put(Record{Key: k, Window: wc.Window, Value: wc.Chained, Coupling: wc.C})
+		}
+	}
+}
+
+// Plan splits the measurement campaign for (ring, L) at configuration k
+// into values already on file and windows still to measure. It is the
+// experiment-reduction planner of the paper's future-work section.
+func Plan(db *DB, k Key, ring core.Ring, L int) (have map[string]float64, missing [][]string, err error) {
+	keys, err := ring.RequiredWindows(L)
+	if err != nil {
+		return nil, nil, err
+	}
+	have = map[string]float64{}
+	for _, wk := range keys {
+		window := core.ParseKey(wk)
+		if r, ok := db.Lookup(k, window); ok {
+			have[wk] = r.Value
+			continue
+		}
+		missing = append(missing, window)
+	}
+	return have, missing, nil
+}
+
+// PredictWithReusedCouplings predicts app's execution time at a *new*
+// configuration from fresh isolated measurements there plus coupling
+// values stored for a *reference* configuration: each window's chained
+// time is reconstructed as P_W = C_W^ref · Σ_k P_k^new before the usual
+// coefficient computation. Only the app's N isolated kernels need
+// measuring instead of N isolated + N windows.
+func PredictWithReusedCouplings(db *DB, ref Key, app core.App, isolated map[string]float64, L int) (core.Prediction, error) {
+	m := core.NewMeasurements()
+	for k, v := range isolated {
+		m.Isolated[k] = v
+	}
+	windows, err := app.Loop.Windows(L)
+	if err != nil {
+		return core.Prediction{}, err
+	}
+	for _, w := range windows {
+		rec, ok := db.Lookup(ref, w)
+		if !ok {
+			return core.Prediction{}, fmt.Errorf("prophesy: no stored coupling for window %q at %s", core.Key(w), ref)
+		}
+		if rec.Coupling <= 0 {
+			return core.Prediction{}, fmt.Errorf("prophesy: record for %q at %s has no coupling value", core.Key(w), ref)
+		}
+		var sum float64
+		for _, k := range w {
+			v, ok := isolated[k]
+			if !ok {
+				return core.Prediction{}, fmt.Errorf("prophesy: missing fresh isolated measurement for %q", k)
+			}
+			sum += v
+		}
+		m.Window[core.Key(w)] = rec.Coupling * sum
+	}
+	return app.CouplingPrediction(m, L, core.CoefficientOptions{})
+}
+
+// MeasurementsSaved reports how many window measurements reuse avoids for
+// a ring at chain length L: the campaign needs len(ring) windows fresh
+// (or 1 when L equals the ring length), all replaced by stored couplings.
+func MeasurementsSaved(ring core.Ring, L int) (int, error) {
+	windows, err := ring.Windows(L)
+	if err != nil {
+		return 0, err
+	}
+	return len(windows), nil
+}

@@ -1,0 +1,271 @@
+package prophesy
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+func testKey() Key { return Key{Workload: "BT", Class: "W", Procs: 4} }
+
+func TestPutLookup(t *testing.T) {
+	db := &DB{}
+	k := testKey()
+	db.Put(Record{Key: k, Window: []string{"A"}, Value: 1.5})
+	db.Put(Record{Key: k, Window: []string{"A", "B"}, Value: 2.7, Coupling: 0.9})
+
+	r, ok := db.Lookup(k, []string{"A"})
+	if !ok || r.Value != 1.5 {
+		t.Errorf("isolated lookup = %+v, %v", r, ok)
+	}
+	r, ok = db.Lookup(k, []string{"A", "B"})
+	if !ok || r.Coupling != 0.9 {
+		t.Errorf("window lookup = %+v, %v", r, ok)
+	}
+	if _, ok := db.Lookup(k, []string{"B", "A"}); ok {
+		t.Error("window keys must be order-sensitive")
+	}
+	if _, ok := db.Lookup(Key{Workload: "SP", Class: "W", Procs: 4}, []string{"A"}); ok {
+		t.Error("different configuration must not match")
+	}
+	if db.Len() != 2 {
+		t.Errorf("Len = %d", db.Len())
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	db := &DB{}
+	k := testKey()
+	db.Put(Record{Key: k, Window: []string{"A"}, Value: 1})
+	db.Put(Record{Key: k, Window: []string{"A"}, Value: 2})
+	r, _ := db.Lookup(k, []string{"A"})
+	if r.Value != 2 || db.Len() != 1 {
+		t.Errorf("replace failed: %+v len=%d", r, db.Len())
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := &DB{}
+	k := testKey()
+	db.Put(Record{Key: k, Window: []string{"A"}, Value: 1.5})
+	db.Put(Record{Key: k, Window: []string{"A", "B"}, Value: 2.7, Coupling: 0.9})
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := &DB{}
+	if err := db2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != 2 {
+		t.Fatalf("loaded %d records", db2.Len())
+	}
+	r, ok := db2.Lookup(k, []string{"A", "B"})
+	if !ok || r.Coupling != 0.9 {
+		t.Errorf("loaded record %+v, %v", r, ok)
+	}
+}
+
+func TestLoadRejectsEmptyWindow(t *testing.T) {
+	db := &DB{}
+	err := db.Load(strings.NewReader(`[{"key":{"workload":"X","class":"S","procs":1},"window":[],"value":1}]`))
+	if err == nil {
+		t.Error("empty window should be rejected")
+	}
+}
+
+func TestFilePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "coupling.json")
+	db := &DB{}
+	db.Put(Record{Key: testKey(), Window: []string{"A"}, Value: 3})
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != 1 {
+		t.Errorf("loaded %d records", db2.Len())
+	}
+	// Missing file is an empty repository.
+	db3, err := OpenFile(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || db3.Len() != 0 {
+		t.Errorf("missing file: %v, len %d", err, db3.Len())
+	}
+}
+
+// syntheticStudy builds a study of the harness's toy workload.
+func syntheticStudy(t *testing.T, deltaScale float64) (*harness.Study, *harness.Synthetic) {
+	t.Helper()
+	s := &harness.Synthetic{
+		SyntheticName: "toy",
+		Loop:          []string{"A", "B", "C", "D"},
+		Base:          map[string]float64{"A": 1, "B": 2, "C": 0.5, "D": 1.5},
+		Delta: map[string]float64{
+			"A|B": -0.3 * deltaScale,
+			"C|D": 0.4 * deltaScale,
+		},
+	}
+	st, err := harness.RunStudy(s, 50, []int{2}, harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, s
+}
+
+func TestImportStudy(t *testing.T) {
+	st, _ := syntheticStudy(t, 1)
+	db := &DB{}
+	k := testKey()
+	ImportStudy(db, k, st)
+	// 4 isolated + 4 pairwise windows.
+	if db.Len() != 8 {
+		t.Errorf("imported %d records, want 8", db.Len())
+	}
+	r, ok := db.Lookup(k, []string{"A", "B"})
+	if !ok || math.Abs(r.Coupling-(2.7/3.0)) > 1e-12 {
+		t.Errorf("imported coupling %+v, %v", r, ok)
+	}
+}
+
+func TestPlan(t *testing.T) {
+	st, _ := syntheticStudy(t, 1)
+	db := &DB{}
+	k := testKey()
+	ImportStudy(db, k, st)
+	ring := core.Ring{"A", "B", "C", "D"}
+
+	have, missing, err := Plan(db, k, ring, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Errorf("fully covered plan has missing %v", missing)
+	}
+	if len(have) != 8 {
+		t.Errorf("have %d values, want 8", len(have))
+	}
+
+	// A longer chain than what was imported: all 4 triples missing.
+	have, missing, err = Plan(db, k, ring, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 4 {
+		t.Errorf("missing %v, want the 4 triples", missing)
+	}
+	if len(have) != 4 { // the isolated values are still on file
+		t.Errorf("have %d values, want 4 isolated", len(have))
+	}
+
+	// Unknown configuration: everything missing except nothing.
+	_, missing, err = Plan(db, Key{Workload: "LU", Class: "B", Procs: 8}, ring, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 8 {
+		t.Errorf("unknown config should miss all 8, got %d", len(missing))
+	}
+}
+
+func TestPredictWithReusedCouplings(t *testing.T) {
+	// Reference configuration: measure everything, store it.
+	refStudy, _ := syntheticStudy(t, 1)
+	db := &DB{}
+	ref := testKey()
+	ImportStudy(db, ref, refStudy)
+
+	// New configuration: same interaction *structure* (coupling values)
+	// but every cost doubled — base and deltas scale together, so
+	// C_W is unchanged while isolated times are new.
+	newSyn := &harness.Synthetic{
+		SyntheticName: "toy2x",
+		Loop:          []string{"A", "B", "C", "D"},
+		Base:          map[string]float64{"A": 2, "B": 4, "C": 1, "D": 3},
+		Delta:         map[string]float64{"A|B": -0.6, "C|D": 0.8},
+	}
+	app := core.App{Name: "toy2x", Loop: newSyn.Loop, Trips: 50}
+
+	// Fresh isolated measurements only (4 instead of 8).
+	isolated := map[string]float64{}
+	for _, k := range app.Loop {
+		v, err := newSyn.MeasureWindow([]string{k}, harness.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		isolated[k] = v
+	}
+
+	pred, err := PredictWithReusedCouplings(db, ref, app, isolated, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Because base costs and interaction deltas scaled together, the new
+	// configuration's coupling values equal the stored ones, so the
+	// reused prediction must match a full direct measurement campaign at
+	// the new configuration exactly.
+	directStudy, err := harness.RunStudy(newSyn, 50, []int{2}, harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := directStudy.Couplings[2].Predicted
+	if math.Abs(pred.Total-direct) > 1e-9 {
+		t.Errorf("reused prediction %v != direct prediction %v", pred.Total, direct)
+	}
+
+	// And it must beat the summation baseline built from the same fresh
+	// isolated data (the L=2 predictor itself is approximate, but it
+	// sees the interactions summation cannot).
+	actual, err := newSyn.MeasureActual(50, harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range isolated {
+		sum += v
+	}
+	sumPred := 50 * sum
+	if math.Abs(sumPred-actual) <= math.Abs(pred.Total-actual) {
+		t.Error("reused couplings should beat summation on an interacting workload")
+	}
+}
+
+func TestPredictWithReusedCouplingsErrors(t *testing.T) {
+	db := &DB{}
+	ref := testKey()
+	app := core.App{Name: "x", Loop: core.Ring{"A", "B"}, Trips: 1}
+	iso := map[string]float64{"A": 1, "B": 1}
+	if _, err := PredictWithReusedCouplings(db, ref, app, iso, 2); err == nil {
+		t.Error("missing stored coupling should fail")
+	}
+	db.Put(Record{Key: ref, Window: []string{"A", "B"}, Value: 2}) // no Coupling
+	if _, err := PredictWithReusedCouplings(db, ref, app, iso, 2); err == nil {
+		t.Error("record without coupling value should fail")
+	}
+	db.Put(Record{Key: ref, Window: []string{"A", "B"}, Value: 2, Coupling: 1})
+	if _, err := PredictWithReusedCouplings(db, ref, app, map[string]float64{"A": 1}, 2); err == nil {
+		t.Error("missing isolated measurement should fail")
+	}
+}
+
+func TestMeasurementsSaved(t *testing.T) {
+	ring := core.Ring{"A", "B", "C", "D", "E"}
+	n, err := MeasurementsSaved(ring, 3)
+	if err != nil || n != 5 {
+		t.Errorf("saved = %d, %v; want 5", n, err)
+	}
+	n, err = MeasurementsSaved(ring, 5)
+	if err != nil || n != 1 {
+		t.Errorf("full ring saved = %d, %v; want 1", n, err)
+	}
+	if _, err := MeasurementsSaved(ring, 9); err == nil {
+		t.Error("out-of-range chain should fail")
+	}
+}

@@ -1,0 +1,211 @@
+// Package stats provides the small statistical toolkit used throughout the
+// coupling framework: summary statistics over repeated measurements,
+// relative-error computation for comparing predictions against measured
+// times, and weighted averages as used by the coefficient formulas of the
+// coupling composition algebra.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// ErrMismatch is returned when paired slices differ in length.
+var ErrMismatch = errors.New("stats: mismatched slice lengths")
+
+// Mean returns the arithmetic mean of xs.
+// It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Sum returns the sum of xs using Kahan compensated summation so that long
+// series of small timing samples do not lose precision.
+func Sum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Variance returns the unbiased sample variance of xs.
+// It returns 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Median returns the median of xs. It returns 0 for an empty slice.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Min returns the smallest element of xs. It returns 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. It returns 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// TrimmedMean returns the mean of xs after discarding the frac fraction of
+// samples from each tail (so frac=0.1 discards the lowest 10% and highest
+// 10%). Timing measurements on a shared machine have a heavy upper tail from
+// scheduler interference; the paper's methodology of averaging 50 runs maps
+// onto a trimmed mean here. frac is clamped to [0, 0.5); at least one sample
+// is always retained.
+func TrimmedMean(xs []float64, frac float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac >= 0.5 {
+		frac = 0.499
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	k := int(float64(n) * frac)
+	if 2*k >= n {
+		k = (n - 1) / 2
+	}
+	return Mean(s[k : n-k])
+}
+
+// RelativeError returns |predicted-actual| / |actual|.
+// It returns +Inf when actual == 0 and predicted != 0, and 0 when both are 0.
+func RelativeError(predicted, actual float64) float64 {
+	if actual == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(predicted-actual) / math.Abs(actual)
+}
+
+// SignedRelativeError returns (predicted-actual) / |actual|, preserving the
+// direction of the error (negative means under-prediction).
+func SignedRelativeError(predicted, actual float64) float64 {
+	if actual == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (predicted - actual) / math.Abs(actual)
+}
+
+// WeightedMean returns Σ w_i·x_i / Σ w_i. This is the exact form of the
+// coefficient formulas in Section 3 of the paper, where the x_i are coupling
+// values and the w_i are the measured times of the corresponding kernel
+// windows. It returns an error when the slices mismatch, are empty, or the
+// weights sum to zero.
+func WeightedMean(xs, ws []float64) (float64, error) {
+	if len(xs) != len(ws) {
+		return 0, ErrMismatch
+	}
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var num, den float64
+	for i := range xs {
+		num += xs[i] * ws[i]
+		den += ws[i]
+	}
+	if den == 0 {
+		return 0, errors.New("stats: weights sum to zero")
+	}
+	return num / den, nil
+}
+
+// Summary bundles the descriptive statistics of a sample set.
+type Summary struct {
+	N           int
+	Mean        float64
+	Median      float64
+	StdDev      float64
+	Min         float64
+	Max         float64
+	TrimmedMean float64 // 10% two-sided trim
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:           len(xs),
+		Mean:        Mean(xs),
+		Median:      Median(xs),
+		StdDev:      StdDev(xs),
+		Min:         Min(xs),
+		Max:         Max(xs),
+		TrimmedMean: TrimmedMean(xs, 0.1),
+	}
+}
+
+// CoefficientOfVariation returns StdDev/Mean, a scale-free noise indicator
+// used to decide whether a measurement needs more repetitions. It returns 0
+// for an empty sample set or zero mean.
+func CoefficientOfVariation(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}

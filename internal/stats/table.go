@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders simple aligned text tables in the style of the paper's
+// result tables. It is deliberately minimal: a title, a header row, and
+// data rows of strings.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable returns a Table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a data row. Cells beyond the header width are kept; short
+// rows are padded when rendering.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row where each cell is produced by fmt.Sprintf of the
+// corresponding (format, value) pair expressed as pre-formatted strings.
+func (t *Table) AddRowf(format string, args ...any) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+// String renders the table with column alignment, a separator under the
+// header, and the title on its own line.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(r []string) {
+		var row strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				row.WriteString("  ")
+			}
+			fmt.Fprintf(&row, "%-*s", widths[i], cell)
+		}
+		b.WriteString(strings.TrimRight(row.String(), " "))
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Percent formats a fraction (e.g. a relative error of 0.0132) as a
+// percentage string like "1.32%".
+func Percent(frac float64) string {
+	return fmt.Sprintf("%.2f%%", frac*100)
+}
+
+// Seconds formats a duration in seconds with precision suited to its
+// magnitude, mirroring the paper's tables which mix multi-second and
+// sub-second values.
+func Seconds(s float64) string {
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.1f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	case s >= 0.001:
+		return fmt.Sprintf("%.4f", s)
+	default:
+		return fmt.Sprintf("%.3g", s)
+	}
+}

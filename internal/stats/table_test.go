@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X: demo", "Kernel Pair", "4 procs", "9 procs")
+	tb.AddRow("Copy_Faces, X_Solve", "1.02", "1.10")
+	tb.AddRow("X_Solve, Y_Solve", "0.98", "1.05")
+	out := tb.String()
+
+	if !strings.HasPrefix(out, "Table X: demo\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines (title, header, sep, 2 rows), got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "A", "Bee")
+	tb.AddRow("xxxx", "y")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d:\n%s", len(lines), out)
+	}
+	// The "Bee" column must start at the same offset in header and row.
+	hIdx := strings.Index(lines[0], "Bee")
+	rIdx := strings.Index(lines[2], "y")
+	if hIdx != rIdx {
+		t.Errorf("columns misaligned: header at %d, row at %d\n%s", hIdx, rIdx, out)
+	}
+}
+
+func TestTableShortAndLongRows(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("1", "2", "3") // extra cell widens the table
+	out := tb.String()
+	if !strings.Contains(out, "3") {
+		t.Errorf("extra cell dropped:\n%s", out)
+	}
+	if strings.Contains(out, " \n") {
+		t.Errorf("trailing whitespace in rendered table:\n%q", out)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.0132); got != "1.32%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Percent(0.2242); got != "22.42%" {
+		t.Errorf("Percent = %q", got)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{123.456, "123.5"},
+		{12.345, "12.35"},
+		{0.1234, "0.1234"},
+		{0.0000123, "1.23e-05"},
+	}
+	for _, c := range cases {
+		if got := Seconds(c.in); got != c.want {
+			t.Errorf("Seconds(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

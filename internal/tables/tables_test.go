@@ -1,0 +1,311 @@
+package tables
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mpi"
+	"strings"
+	"testing"
+
+	"repro/internal/npb"
+)
+
+func TestAllCoversEveryPaperTable(t *testing.T) {
+	want := []string{"1", "2a", "2b", "3a", "3b", "4a", "4b", "5", "6a", "6b", "6c", "7", "8a", "8b", "8c", "4.1"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("%d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("experiment %d has ID %q, want %q", i, all[i].ID, id)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	e, ok := Find("4b")
+	if !ok || e.Bench != "BT" || e.Class != npb.ClassA || e.Kind != Predictions {
+		t.Errorf("Find(4b) = %+v, %v", e, ok)
+	}
+	if _, ok := Find("99"); ok {
+		t.Error("Find(99) should fail")
+	}
+}
+
+func TestExperimentShapesMatchPaper(t *testing.T) {
+	cases := map[string]struct {
+		procs  []int
+		chains []int
+	}{
+		"2a": {[]int{4, 9, 16}, []int{2}},
+		"3a": {[]int{4, 9, 16, 25}, []int{3}},
+		"4a": {[]int{4, 9, 16, 25}, []int{4}},
+		"6a": {[]int{4, 9, 16, 25}, []int{4, 5}},
+		"8a": {[]int{4, 8, 16, 32}, []int{3}},
+	}
+	for id, want := range cases {
+		e, ok := Find(id)
+		if !ok {
+			t.Fatalf("missing table %s", id)
+		}
+		if len(e.Procs) != len(want.procs) {
+			t.Errorf("table %s procs %v, want %v", id, e.Procs, want.procs)
+			continue
+		}
+		for i := range want.procs {
+			if e.Procs[i] != want.procs[i] {
+				t.Errorf("table %s procs %v, want %v", id, e.Procs, want.procs)
+			}
+		}
+		for i := range want.chains {
+			if e.ChainLens[i] != want.chains[i] {
+				t.Errorf("table %s chains %v, want %v", id, e.ChainLens, want.chains)
+			}
+		}
+	}
+}
+
+func TestDataSetTables(t *testing.T) {
+	for _, id := range []string{"1", "5", "7"} {
+		e, _ := Find(id)
+		res, err := e.Run(Scale{})
+		if err != nil {
+			t.Fatalf("table %s: %v", id, err)
+		}
+		if !strings.Contains(res.Text, "Data Set Size") {
+			t.Errorf("table %s missing header:\n%s", id, res.Text)
+		}
+	}
+	// Table 1 must show the paper's exact BT sizes.
+	e, _ := Find("1")
+	res, err := e.Run(Scale{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sz := range []string{"12 x 12 x 12", "32 x 32 x 32", "64 x 64 x 64"} {
+		if !strings.Contains(res.Text, sz) {
+			t.Errorf("table 1 missing %q:\n%s", sz, res.Text)
+		}
+	}
+}
+
+// smokeScale shrinks everything so a full study finishes in seconds.
+func smokeScale() Scale {
+	return Scale{Trips: 2, Blocks: 2, Passes: 1, GridOverride: 8}
+}
+
+func TestCouplingTableSmoke(t *testing.T) {
+	ResetCache()
+	e, _ := Find("2a")
+	e.Procs = []int{1, 4} // trim for test speed
+	res, err := e.Run(smokeScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Studies) != 2 {
+		t.Fatalf("expected 2 studies, got %d", len(res.Studies))
+	}
+	// One row per pairwise window: the BT loop ring has 5 kernels.
+	if got := strings.Count(res.Text, "\n"); got < 7 {
+		t.Errorf("suspiciously small table:\n%s", res.Text)
+	}
+	if !strings.Contains(res.Text, "Copy_Faces, X_Solve") {
+		t.Errorf("missing paper-style window label:\n%s", res.Text)
+	}
+}
+
+func TestPredictionTableSmoke(t *testing.T) {
+	ResetCache()
+	e, _ := Find("2b")
+	e.Procs = []int{1}
+	res, err := e.Run(smokeScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []string{"Actual", "Summation", "Coupling: 2 kernels"} {
+		if !strings.Contains(res.Text, row) {
+			t.Errorf("missing row %q:\n%s", row, res.Text)
+		}
+	}
+}
+
+func TestStudyCacheSharedBetweenPairedTables(t *testing.T) {
+	ResetCache()
+	a, _ := Find("2a")
+	b, _ := Find("2b")
+	a.Procs = []int{1}
+	b.Procs = []int{1}
+	s := smokeScale()
+	resA, err := a.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := b.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical pointer: the b table reused a's study.
+	if resA.Studies[0].Study != resB.Studies[0].Study {
+		t.Error("paired tables did not share the memoized study")
+	}
+	ResetCache()
+	resC, err := b.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resC.Studies[0].Study == resB.Studies[0].Study {
+		t.Error("ResetCache did not clear the memo")
+	}
+}
+
+func TestLUTableSmoke(t *testing.T) {
+	ResetCache()
+	e, _ := Find("8a")
+	e.Procs = []int{1, 2}
+	res, err := e.Run(smokeScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "Coupling: 3 kernels") {
+		t.Errorf("missing coupling row:\n%s", res.Text)
+	}
+}
+
+func TestSPTableSmoke(t *testing.T) {
+	ResetCache()
+	e, _ := Find("6a")
+	e.Procs = []int{1}
+	res, err := e.Run(smokeScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []string{"Coupling: 4 kernels", "Coupling: 5 kernels"} {
+		if !strings.Contains(res.Text, row) {
+			t.Errorf("missing row %q:\n%s", row, res.Text)
+		}
+	}
+}
+
+func TestCacheSweepSmoke(t *testing.T) {
+	e, _ := Find("4.1")
+	res, err := e.Run(Scale{Blocks: 2, GridOverride: 1}) // smoke axis
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sweep) == 0 {
+		t.Fatal("no sweep points")
+	}
+	if !strings.Contains(res.Text, "transitions") {
+		t.Errorf("missing transition summary:\n%s", res.Text)
+	}
+}
+
+func TestDefaultTrips(t *testing.T) {
+	if DefaultTrips(npb.ClassS) != 60 {
+		t.Error("class S should run the paper's real trip count")
+	}
+	for _, c := range []npb.Class{npb.ClassW, npb.ClassA, npb.ClassB} {
+		if DefaultTrips(c) <= 0 {
+			t.Errorf("class %s trips not positive", c)
+		}
+	}
+}
+
+func TestPrettyKernel(t *testing.T) {
+	cases := map[string]string{
+		"COPY_FACES":     "Copy_Faces",
+		"X_SOLVE":        "X_Solve",
+		"INITIALIZATION": "Initialization",
+		"SSOR_LT":        "Ssor_Lt",
+	}
+	for in, want := range cases {
+		if got := prettyKernel(in); got != want {
+			t.Errorf("prettyKernel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestUnknownKindAndBench(t *testing.T) {
+	e := Experiment{ID: "x", Bench: "NOPE", Kind: Kind(42)}
+	if _, err := e.Run(Scale{}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	e = Experiment{ID: "x", Bench: "NOPE", Kind: Predictions, Procs: []int{1}, ChainLens: []int{2}}
+	if _, err := e.Run(Scale{}); err == nil {
+		t.Error("unknown bench should fail")
+	}
+}
+
+func TestNetModelScalePath(t *testing.T) {
+	// A table run with the interconnect model attached must complete and
+	// produce a distinct cache entry from the unmodeled run.
+	ResetCache()
+	e, _ := Find("8a")
+	e.Procs = []int{2}
+	s := smokeScale()
+	plain, err := e.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mpi.NetModel{Latency: 20 * time.Microsecond}
+	s.Net = &m
+	modeled, err := e.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Studies[0].Study == modeled.Studies[0].Study {
+		t.Error("net-model run shared the unmodeled study cache entry")
+	}
+}
+
+func TestCouplingTableRowsFollowRingOrder(t *testing.T) {
+	ResetCache()
+	e, _ := Find("2a")
+	e.Procs = []int{1}
+	res, err := e.Run(smokeScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(res.Text, "\n")
+	// Rows 2..6 are the five pairwise windows in ring order.
+	wantOrder := []string{
+		"Copy_Faces, X_Solve",
+		"X_Solve, Y_Solve",
+		"Y_Solve, Z_Solve",
+		"Z_Solve, Add",
+		"Add, Copy_Faces",
+	}
+	row := 0
+	for _, line := range lines {
+		if row < len(wantOrder) && strings.HasPrefix(line, wantOrder[row]) {
+			row++
+		}
+	}
+	if row != len(wantOrder) {
+		t.Errorf("coupling rows not in ring order (matched %d):\n%s", row, res.Text)
+	}
+}
+
+func TestPredictionTableIncludesFullRing(t *testing.T) {
+	// The prediction tables carry the paper's L plus the full-ring L.
+	for id, want := range map[string]string{
+		"2b": "Coupling: 5 kernels",
+		"6a": "Coupling: 6 kernels",
+		"8a": "Coupling: 4 kernels",
+	} {
+		e, _ := Find(id)
+		found := false
+		for _, L := range e.ChainLens {
+			_, loop := e.Bench, L
+			_ = loop
+			if fmt.Sprintf("Coupling: %d kernels", L) == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("table %s chain lengths %v missing %q", id, e.ChainLens, want)
+		}
+	}
+}

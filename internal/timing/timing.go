@@ -1,0 +1,132 @@
+// Package timing implements the measurement methodology of the coupling
+// paper: a kernel (or a window of kernels) is placed inside a loop so that
+// the loop dominates execution time, the loop is timed with a monotonic
+// clock, and everything outside the loop is excluded. Repetitions are
+// aggregated with a trimmed mean to suppress scheduler noise.
+package timing
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Clock abstracts the monotonic time source so the harness can be tested
+// deterministically. The zero value of callers should use WallClock.
+type Clock interface {
+	// Now returns the current reading of a monotonic clock.
+	Now() time.Time
+}
+
+// WallClock is the real monotonic clock.
+var WallClock Clock = wallClock{}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// FakeClock is a deterministic Clock for tests: each call to Now advances
+// the clock by the next element of Steps (cycling when exhausted).
+type FakeClock struct {
+	T     time.Time
+	Steps []time.Duration
+	i     int
+}
+
+// Now advances the fake clock by the next step and returns the new reading.
+func (f *FakeClock) Now() time.Time {
+	if len(f.Steps) > 0 {
+		f.T = f.T.Add(f.Steps[f.i%len(f.Steps)])
+		f.i++
+	}
+	return f.T
+}
+
+// Options controls a repeated measurement.
+type Options struct {
+	// Blocks is the number of independently timed blocks. The per-pass
+	// time is aggregated across blocks with a trimmed mean.
+	Blocks int
+	// PassesPerBlock is how many times the measured function runs inside
+	// one timed block. The paper runs each kernel "50 times"; the
+	// equivalent knob here is Blocks×PassesPerBlock.
+	PassesPerBlock int
+	// TrimFrac is the two-sided trim fraction for aggregating block
+	// times (default 0.1 when zero and Blocks >= 5).
+	TrimFrac float64
+	// Clock is the time source (WallClock when nil).
+	Clock Clock
+	// BetweenBlocks, when non-nil, runs between timed blocks outside the
+	// measured region — e.g. to restore numerical state that repeated
+	// kernel application would otherwise degrade.
+	BetweenBlocks func()
+}
+
+func (o Options) withDefaults() Options {
+	if o.Blocks <= 0 {
+		o.Blocks = 5
+	}
+	if o.PassesPerBlock <= 0 {
+		o.PassesPerBlock = 1
+	}
+	if o.TrimFrac == 0 && o.Blocks >= 5 {
+		o.TrimFrac = 0.1
+	}
+	if o.Clock == nil {
+		o.Clock = WallClock
+	}
+	return o
+}
+
+// Result is the outcome of a repeated measurement.
+type Result struct {
+	// PerPass is the aggregated (trimmed-mean) time of one pass of the
+	// measured function, in seconds.
+	PerPass float64
+	// Blocks holds the raw per-pass time of each timed block, in seconds.
+	Blocks []float64
+	// Summary describes the spread of Blocks.
+	Summary stats.Summary
+}
+
+// ErrNilFunc is returned when Measure is given a nil function.
+var ErrNilFunc = errors.New("timing: nil function")
+
+// Measure times fn according to opts and returns the per-pass statistics.
+// Only the passes themselves are inside the timed region; BetweenBlocks and
+// all bookkeeping are excluded, implementing the paper's "subtract the time
+// required for the application beyond the given kernel" methodology.
+func Measure(fn func(), opts Options) (Result, error) {
+	if fn == nil {
+		return Result{}, ErrNilFunc
+	}
+	o := opts.withDefaults()
+	blocks := make([]float64, 0, o.Blocks)
+	for b := 0; b < o.Blocks; b++ {
+		if b > 0 && o.BetweenBlocks != nil {
+			o.BetweenBlocks()
+		}
+		start := o.Clock.Now()
+		for p := 0; p < o.PassesPerBlock; p++ {
+			fn()
+		}
+		elapsed := o.Clock.Now().Sub(start)
+		blocks = append(blocks, elapsed.Seconds()/float64(o.PassesPerBlock))
+	}
+	return Result{
+		PerPass: stats.TrimmedMean(blocks, o.TrimFrac),
+		Blocks:  blocks,
+		Summary: stats.Summarize(blocks),
+	}, nil
+}
+
+// Once times a single invocation of fn and returns the elapsed seconds.
+func Once(fn func(), clock Clock) float64 {
+	if clock == nil {
+		clock = WallClock
+	}
+	start := clock.Now()
+	fn()
+	return clock.Now().Sub(start).Seconds()
+}

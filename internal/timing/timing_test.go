@@ -1,0 +1,122 @@
+package timing
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeasureWithFakeClock(t *testing.T) {
+	// Each Now() call advances 1ms, so each block (start + stop = 2 calls)
+	// appears to take 1ms regardless of passes.
+	clock := &FakeClock{Steps: []time.Duration{time.Millisecond}}
+	calls := 0
+	res, err := Measure(func() { calls++ }, Options{
+		Blocks:         4,
+		PassesPerBlock: 10,
+		Clock:          clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 40 {
+		t.Errorf("fn called %d times, want 40", calls)
+	}
+	if len(res.Blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4", len(res.Blocks))
+	}
+	wantPerPass := 0.001 / 10
+	for i, b := range res.Blocks {
+		if diff := b - wantPerPass; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("block %d per-pass = %v, want %v", i, b, wantPerPass)
+		}
+	}
+	if diff := res.PerPass - wantPerPass; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("PerPass = %v, want %v", res.PerPass, wantPerPass)
+	}
+}
+
+func TestMeasureBetweenBlocksExcludedFromTiming(t *testing.T) {
+	clock := &FakeClock{Steps: []time.Duration{time.Millisecond}}
+	resets := 0
+	res, err := Measure(func() {}, Options{
+		Blocks:         3,
+		PassesPerBlock: 1,
+		Clock:          clock,
+		BetweenBlocks:  func() { resets++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resets != 2 {
+		t.Errorf("BetweenBlocks ran %d times, want 2 (between 3 blocks)", resets)
+	}
+	// The fake clock only ticks on Now(), so BetweenBlocks cannot leak
+	// into the measured time: all blocks should still read 1ms.
+	for _, b := range res.Blocks {
+		if b != 0.001 {
+			t.Errorf("block time %v polluted by BetweenBlocks", b)
+		}
+	}
+}
+
+func TestMeasureTrimsOutliers(t *testing.T) {
+	// Blocks alternate 1ms..., with one 100ms outlier injected via steps.
+	steps := []time.Duration{
+		time.Millisecond, time.Millisecond, time.Millisecond,
+		time.Millisecond, 100 * time.Millisecond, time.Millisecond,
+		time.Millisecond, time.Millisecond, time.Millisecond,
+		time.Millisecond,
+	}
+	clock := &FakeClock{Steps: steps}
+	res, err := Measure(func() {}, Options{Blocks: 5, PassesPerBlock: 1, Clock: clock, TrimFrac: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a 20% two-sided trim of 5 blocks, the 100ms block is dropped.
+	if res.PerPass > 0.002 {
+		t.Errorf("trimmed PerPass = %v, outlier not suppressed", res.PerPass)
+	}
+}
+
+func TestMeasureDefaults(t *testing.T) {
+	res, err := Measure(func() {}, Options{Clock: &FakeClock{Steps: []time.Duration{time.Microsecond}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) != 5 {
+		t.Errorf("default Blocks should be 5, measured %d", len(res.Blocks))
+	}
+}
+
+func TestMeasureNilFunc(t *testing.T) {
+	if _, err := Measure(nil, Options{}); err != ErrNilFunc {
+		t.Errorf("want ErrNilFunc, got %v", err)
+	}
+}
+
+func TestOnceWallClock(t *testing.T) {
+	s := Once(func() { time.Sleep(2 * time.Millisecond) }, nil)
+	if s < 0.001 {
+		t.Errorf("Once measured %v s for a 2ms sleep", s)
+	}
+}
+
+func TestFakeClockCycles(t *testing.T) {
+	c := &FakeClock{Steps: []time.Duration{time.Second, 2 * time.Second}}
+	t0 := c.Now()
+	t1 := c.Now()
+	t2 := c.Now()
+	if d := t1.Sub(t0); d != 2*time.Second {
+		t.Errorf("second step = %v, want 2s", d)
+	}
+	if d := t2.Sub(t1); d != time.Second {
+		t.Errorf("cycled step = %v, want 1s", d)
+	}
+}
+
+func TestFakeClockNoSteps(t *testing.T) {
+	c := &FakeClock{}
+	if !c.Now().Equal(c.Now()) {
+		t.Error("FakeClock without steps should be frozen")
+	}
+}

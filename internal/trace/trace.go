@@ -1,0 +1,237 @@
+// Package trace provides the kernel-level instrumentation layer of the
+// reproduction, in the spirit of the authors' Prophesy infrastructure
+// [TG01]: every kernel execution is recorded with its rank, start time and
+// duration, and the collected events can be summarized as per-kernel
+// profiles or rendered as a per-rank ASCII timeline. A Tracer wraps any
+// npb.KernelSet transparently, so an instrumented benchmark run needs no
+// changes to the benchmark itself.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/npb"
+)
+
+// Event is one kernel execution.
+type Event struct {
+	// Rank is the executing rank.
+	Rank int
+	// Kernel is the kernel name.
+	Kernel string
+	// Start is the offset from the tracer's epoch.
+	Start time.Duration
+	// Elapsed is the execution duration.
+	Elapsed time.Duration
+}
+
+// Tracer collects events from concurrently executing ranks.
+type Tracer struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	events []Event
+}
+
+// NewTracer returns a tracer whose epoch is now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Record stores one kernel execution.
+func (t *Tracer) Record(rank int, kernel string, start time.Time, elapsed time.Duration) {
+	t.mu.Lock()
+	t.events = append(t.events, Event{
+		Rank:    rank,
+		Kernel:  kernel,
+		Start:   start.Sub(t.epoch),
+		Elapsed: elapsed,
+	})
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in record order.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Reset discards all recorded events and restarts the epoch.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.epoch = time.Now()
+	t.mu.Unlock()
+}
+
+// Profile summarizes one kernel's executions.
+type Profile struct {
+	Kernel string
+	Count  int
+	Total  time.Duration
+	Min    time.Duration
+	Max    time.Duration
+}
+
+// Mean returns the mean execution time.
+func (p Profile) Mean() time.Duration {
+	if p.Count == 0 {
+		return 0
+	}
+	return p.Total / time.Duration(p.Count)
+}
+
+// Profiles aggregates the events per kernel, sorted by descending total
+// time — the "where does the time go" view.
+func (t *Tracer) Profiles() []Profile {
+	t.mu.Lock()
+	byKernel := map[string]*Profile{}
+	for _, e := range t.events {
+		p := byKernel[e.Kernel]
+		if p == nil {
+			p = &Profile{Kernel: e.Kernel, Min: e.Elapsed, Max: e.Elapsed}
+			byKernel[e.Kernel] = p
+		}
+		p.Count++
+		p.Total += e.Elapsed
+		if e.Elapsed < p.Min {
+			p.Min = e.Elapsed
+		}
+		if e.Elapsed > p.Max {
+			p.Max = e.Elapsed
+		}
+	}
+	t.mu.Unlock()
+
+	out := make([]Profile, 0, len(byKernel))
+	for _, p := range byKernel {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Kernel < out[j].Kernel
+	})
+	return out
+}
+
+// Timeline renders a per-rank ASCII timeline of width columns: each rank
+// gets one lane, each kernel execution a run of its marker letter
+// (the kernel name's first letter), gaps staying blank. It reports the
+// wall span covered.
+func (t *Tracer) Timeline(width int) string {
+	events := t.Events()
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	maxRank := 0
+	var end time.Duration
+	for _, e := range events {
+		if e.Rank > maxRank {
+			maxRank = e.Rank
+		}
+		if fin := e.Start + e.Elapsed; fin > end {
+			end = fin
+		}
+	}
+	if end <= 0 {
+		end = 1
+	}
+	lanes := make([][]byte, maxRank+1)
+	for i := range lanes {
+		lanes[i] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(d time.Duration) int {
+		c := int(int64(d) * int64(width) / int64(end))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	for _, e := range events {
+		if e.Rank < 0 {
+			continue
+		}
+		marker := byte('?')
+		if len(e.Kernel) > 0 {
+			marker = e.Kernel[0]
+		}
+		from := col(e.Start)
+		to := col(e.Start + e.Elapsed)
+		for c := from; c <= to; c++ {
+			lanes[e.Rank][c] = marker
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline over %v (one lane per rank, kernel initials):\n", end.Round(time.Microsecond))
+	for r, lane := range lanes {
+		fmt.Fprintf(&b, "rank %2d |%s|\n", r, lane)
+	}
+	return b.String()
+}
+
+// String renders the per-kernel profile table.
+func (t *Tracer) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %12s %12s %12s %12s\n", "kernel", "count", "total", "mean", "min", "max")
+	for _, p := range t.Profiles() {
+		fmt.Fprintf(&b, "%-16s %8d %12v %12v %12v %12v\n",
+			p.Kernel, p.Count, p.Total.Round(time.Microsecond), p.Mean().Round(time.Microsecond),
+			p.Min.Round(time.Microsecond), p.Max.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// tracedKernels wraps an npb.KernelSet, recording every execution.
+type tracedKernels struct {
+	inner  npb.KernelSet
+	rank   int
+	tracer *Tracer
+}
+
+// RunKernel times and records the wrapped kernel execution.
+func (tk *tracedKernels) RunKernel(name string) error {
+	start := time.Now()
+	err := tk.inner.RunKernel(name)
+	tk.tracer.Record(tk.rank, name, start, time.Since(start))
+	return err
+}
+
+// Refresh forwards to the wrapped kernel set without recording.
+func (tk *tracedKernels) Refresh() { tk.inner.Refresh() }
+
+// Unwrap returns the wrapped kernel set, so callers that need the concrete
+// benchmark state (e.g. to read verification norms) can reach through the
+// instrumentation.
+func (tk *tracedKernels) Unwrap() npb.KernelSet { return tk.inner }
+
+// Wrap returns a KernelSet that records every RunKernel on the tracer.
+func Wrap(ks npb.KernelSet, rank int, tr *Tracer) npb.KernelSet {
+	return &tracedKernels{inner: ks, rank: rank, tracer: tr}
+}
+
+// WrapFactory instruments a benchmark factory so every rank's kernels are
+// traced. Tracing adds two clock reads and one mutex acquisition per
+// kernel execution; keep it out of coupling measurement campaigns and use
+// it for profiling runs.
+func WrapFactory(f npb.Factory, tr *Tracer) npb.Factory {
+	return func(c *mpi.Comm) (npb.KernelSet, error) {
+		ks, err := f(c)
+		if err != nil {
+			return nil, err
+		}
+		return Wrap(ks, c.Rank(), tr), nil
+	}
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/npb"
+	"repro/internal/npb/bt"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	tr := NewTracer()
+	now := time.Now()
+	tr.Record(0, "A", now, 5*time.Millisecond)
+	tr.Record(1, "B", now.Add(time.Millisecond), 2*time.Millisecond)
+	ev := tr.Events()
+	if len(ev) != 2 {
+		t.Fatalf("got %d events", len(ev))
+	}
+	if ev[0].Kernel != "A" || ev[0].Rank != 0 || ev[0].Elapsed != 5*time.Millisecond {
+		t.Errorf("event 0 = %+v", ev[0])
+	}
+	// Events() must be a copy.
+	ev[0].Kernel = "mutated"
+	if tr.Events()[0].Kernel != "A" {
+		t.Error("Events returned aliased storage")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	tr := NewTracer()
+	now := time.Now()
+	tr.Record(0, "SOLVE", now, 10*time.Millisecond)
+	tr.Record(1, "SOLVE", now, 20*time.Millisecond)
+	tr.Record(0, "ADD", now, 1*time.Millisecond)
+	ps := tr.Profiles()
+	if len(ps) != 2 {
+		t.Fatalf("got %d profiles", len(ps))
+	}
+	// Sorted by total descending: SOLVE first.
+	if ps[0].Kernel != "SOLVE" || ps[0].Count != 2 || ps[0].Total != 30*time.Millisecond {
+		t.Errorf("profile 0 = %+v", ps[0])
+	}
+	if ps[0].Mean() != 15*time.Millisecond || ps[0].Min != 10*time.Millisecond || ps[0].Max != 20*time.Millisecond {
+		t.Errorf("profile stats = %+v", ps[0])
+	}
+	if (Profile{}).Mean() != 0 {
+		t.Error("empty profile mean should be 0")
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := NewTracer()
+	tr.Record(0, "A", time.Now(), time.Millisecond)
+	tr.Reset()
+	if len(tr.Events()) != 0 {
+		t.Error("Reset did not clear events")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	tr := NewTracer()
+	epoch := tr.epoch
+	tr.Record(0, "ALPHA", epoch, 50*time.Millisecond)
+	tr.Record(1, "BETA", epoch.Add(50*time.Millisecond), 50*time.Millisecond)
+	out := tr.Timeline(40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "A") {
+		t.Errorf("rank 0 lane missing marker:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "B") {
+		t.Errorf("rank 1 lane missing marker:\n%s", out)
+	}
+	// Rank 0 ran in the first half, rank 1 in the second.
+	lane0 := lines[1][strings.Index(lines[1], "|")+1:]
+	if strings.LastIndex(lane0, "A") > len(lane0)*3/4 {
+		t.Errorf("rank 0 activity should sit in the first half:\n%s", out)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	tr := NewTracer()
+	if out := tr.Timeline(40); !strings.Contains(out, "no events") {
+		t.Errorf("empty timeline = %q", out)
+	}
+}
+
+func TestStringProfileTable(t *testing.T) {
+	tr := NewTracer()
+	tr.Record(0, "X_SOLVE", time.Now(), 3*time.Millisecond)
+	out := tr.String()
+	if !strings.Contains(out, "X_SOLVE") || !strings.Contains(out, "count") {
+		t.Errorf("profile table:\n%s", out)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Record(r, "K", time.Now(), time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != 800 {
+		t.Errorf("recorded %d events, want 800", got)
+	}
+}
+
+func TestWrapFactoryTracesBenchmarkRun(t *testing.T) {
+	cfg := bt.Config{Problem: npb.TinyProblem(8, 2), Procs: 4}
+	factory, err := bt.Factory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer()
+	pre, loop, post := bt.KernelNames()
+	const trips = 2
+	err = npb.RunOnce(WrapFactory(factory, tr), pre, loop, trips, post, cfg.Procs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 ranks × (1 pre + 2×5 loop + 1 post) = 48 events.
+	if got := len(tr.Events()); got != 48 {
+		t.Errorf("traced %d events, want 48", got)
+	}
+	ps := tr.Profiles()
+	counts := map[string]int{}
+	for _, p := range ps {
+		counts[p.Kernel] = p.Count
+	}
+	if counts[bt.KXSolve] != 8 { // 4 ranks × 2 trips
+		t.Errorf("X_SOLVE count = %d, want 8", counts[bt.KXSolve])
+	}
+	if counts[bt.KInit] != 4 {
+		t.Errorf("INITIALIZATION count = %d, want 4", counts[bt.KInit])
+	}
+	// The timeline should render one lane per rank.
+	lines := strings.Count(tr.Timeline(60), "\n")
+	if lines != 5 { // header + 4 lanes
+		t.Errorf("timeline has %d lines, want 5", lines)
+	}
+}
+
+func TestWrapForwardsErrors(t *testing.T) {
+	cfg := bt.Config{Problem: npb.TinyProblem(8, 2), Procs: 1}
+	factory, err := bt.Factory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer()
+	wrapped := WrapFactory(factory, tr)
+	err = npb.RunOnce(wrapped, nil, []string{"NO_SUCH_KERNEL"}, 1, nil, 1, nil)
+	if err == nil {
+		t.Error("kernel error should propagate through the tracer")
+	}
+}
