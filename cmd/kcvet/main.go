@@ -1,0 +1,89 @@
+// Command kcvet runs the module's custom static-analysis suite (see
+// internal/analysis): mpisafety, determinism, floatsum and errcheck-mpi.
+// It exits non-zero when any analyzer reports a finding, so it can gate CI
+// next to `go vet` and `go test -race`.
+//
+// Usage:
+//
+//	go run ./cmd/kcvet [-list] [-only a,b] [pattern ...]
+//
+// Patterns are directories or "./..."-style trees; the default is the
+// whole module. Findings are suppressed, with a mandatory justification,
+// by a comment on (or directly above) the offending line:
+//
+//	//kcvet:ignore <analyzer>[,<analyzer>] <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if err := run(flag.Args(), *only); err != nil {
+		fmt.Fprintln(os.Stderr, "kcvet:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string, only string) error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		return err
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return err
+	}
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		return err
+	}
+
+	analyzers := analysis.All()
+	if only != "" {
+		analyzers, err = analysis.ByName(strings.Split(only, ","))
+		if err != nil {
+			return err
+		}
+	}
+
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "kcvet: %s: type error: %v\n", p.Path, terr)
+		}
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return fmt.Errorf("%d finding(s)", len(diags))
+	}
+	fmt.Printf("kcvet: %d package(s) clean\n", len(pkgs))
+	return nil
+}

@@ -1,0 +1,217 @@
+// Package analysis is a small static-analysis framework for this module,
+// built only on the standard library (go/ast, go/parser, go/types). It
+// exists because the coupling predictor's accuracy rests on invariants the
+// compiler cannot check: measured chain times must be bit-reproducible,
+// the simulated-MPI kernels must not deadlock, and accumulated floating-
+// point sums in the statistics hot paths must not silently lose precision.
+// Each invariant is encoded as an Analyzer; the cmd/kcvet driver loads the
+// module, runs every applicable analyzer over every package, and fails the
+// build on findings.
+//
+// A finding can be suppressed at the offending line (or the line above)
+// with a justification:
+//
+//	//kcvet:ignore <analyzer>[,<analyzer>] <reason>
+//
+// The reason is mandatory; a bare ignore is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding of one analyzer, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in output and in
+	// kcvet:ignore directives.
+	Name string
+	// Doc is a one-line description shown by `kcvet -list`.
+	Doc string
+	// Applies reports whether the analyzer should run on the package with
+	// the given import path. A nil Applies means every package. The driver
+	// consults this; tests may run an analyzer on any package directly.
+	Applies func(pkgPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when type information is missing
+// (e.g. the package had type errors); analyzers must tolerate nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// All returns the analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{MPISafety, Determinism, FloatSum, ErrcheckMPI}
+}
+
+// ByName resolves a comma-separated selection against the suite.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	out := make([]*Analyzer, 0, len(names))
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies each analyzer to each package it applies to, drops findings
+// suppressed by kcvet:ignore directives, and returns the survivors sorted
+// by position. Malformed directives are reported as findings of the
+// pseudo-analyzer "kcvet".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		idx, bad := buildIgnoreIndex(pkg.Fset, pkg.Files)
+		diags = append(diags, bad...)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			a.Run(pass)
+		}
+		for _, d := range raw {
+			if !idx.suppresses(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ---- shared type-inspection helpers used by the analyzers ----
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, or
+// nil for indirect calls, conversions and built-ins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// fnFromPkg reports whether fn is declared in the package with the given
+// import path.
+func fnFromPkg(fn *types.Func, path string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == path
+}
+
+// recvNamed returns the name of fn's receiver's base named type ("" for
+// package-level functions).
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// pkgQualified reports whether the call is spelled pkg.Fn with pkg being an
+// imported package named path (as opposed to a method call on a value).
+func pkgQualified(info *types.Info, call *ast.CallExpr, path string) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != path {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// intConstOf returns the constant integer value of e, if it has one.
+func intConstOf(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(v)
+}

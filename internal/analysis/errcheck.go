@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// timingPkgPath is the measurement layer; a dropped error from it means a
+// measurement silently became garbage.
+const timingPkgPath = "repro/internal/timing"
+
+// ErrcheckMPI flags call statements that discard an error returned by the
+// runtime (repro/internal/mpi) or measurement (repro/internal/timing)
+// layers. A swallowed mpi.Run error hides a rank panic — the run
+// deadlocked or died and the caller proceeds with half-written state; a
+// swallowed timing error poisons a measurement campaign. Assigning the
+// error to `_` is intentionally still visible in the source and is left
+// to code review; only the invisible drop (a bare call statement, go, or
+// defer) is reported.
+var ErrcheckMPI = &Analyzer{
+	Name: "errcheck-mpi",
+	Doc:  "dropped error results from repro/internal/mpi and repro/internal/timing calls",
+	Applies: func(path string) bool {
+		return path != mpiPkgPath && !strings.HasPrefix(path, mpiPkgPath+"/")
+	},
+	Run: runErrcheckMPI,
+}
+
+func runErrcheckMPI(pass *Pass) {
+	check := func(call *ast.CallExpr, how string) {
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return
+		}
+		if !fnFromPkg(fn, mpiPkgPath) && !fnFromPkg(fn, timingPkgPath) {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || !returnsError(sig) {
+			return
+		}
+		pass.Reportf(call.Pos(), "%s discards the error returned by %s.%s: a failed run or measurement must not pass silently", how, fn.Pkg().Name(), fn.Name())
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(call, "call statement")
+				}
+			case *ast.GoStmt:
+				check(n.Call, "go statement")
+			case *ast.DeferStmt:
+				check(n.Call, "defer statement")
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the signature's last result is error.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

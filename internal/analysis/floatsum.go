@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatsumScope: the statistics and linear-algebra kernels feed every
+// coupling coefficient; a naively accumulated float64 sum over thousands
+// of timing samples can lose the very digits the paper's 0.1%-level error
+// comparisons live in.
+var floatsumScope = map[string]bool{
+	"repro/internal/stats":  true,
+	"repro/internal/linalg": true,
+}
+
+// smallTrip is the loop length under which naive accumulation is exempt:
+// rounding error grows with the number of terms, and a handful of adds
+// (the unrolled 5x5 block kernels) cannot lose meaningful precision.
+const smallTrip = 8
+
+// FloatSum flags loop-carried `x += ...` / `x -= ...` accumulation into a
+// float variable, except in loops with a provably small trip count. The
+// fix is the package's compensated summation: stats.Sum for slices,
+// stats.Kahan for streaming accumulation.
+var FloatSum = &Analyzer{
+	Name:    "floatsum",
+	Doc:     "naive float64 accumulation in unbounded loops; suggests stats.Sum / stats.Kahan",
+	Applies: func(path string) bool { return floatsumScope[path] },
+	Run:     runFloatSum,
+}
+
+func runFloatSum(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFloatAccum(pass, fd)
+		}
+	}
+}
+
+// loopFrame is one enclosing for/range statement during the walk.
+type loopFrame struct {
+	node ast.Node
+	// small is true when the loop provably runs at most smallTrip times.
+	small bool
+	// index is the loop's index-variable object for `for i := 0; i < N`
+	// shapes, used to prove inner loops like `for j := 0; j < i` small.
+	index types.Object
+}
+
+func checkFloatAccum(pass *Pass, fd *ast.FuncDecl) {
+	var loops []loopFrame
+	var stack []ast.Node
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if len(loops) > 0 && loops[len(loops)-1].node == top {
+				loops = loops[:len(loops)-1]
+			}
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			small, index := forLoopBound(pass, n, loops)
+			loops = append(loops, loopFrame{node: n, small: small, index: index})
+		case *ast.RangeStmt:
+			loops = append(loops, loopFrame{node: n, small: rangeIsSmall(pass, n)})
+		case *ast.AssignStmt:
+			if len(loops) == 0 {
+				return true
+			}
+			checkAccumAssign(pass, n, loops)
+		}
+		return true
+	})
+}
+
+// checkAccumAssign reports n when it is `x += e` or `x -= e` on a float
+// identifier that is loop-carried in its innermost enclosing loop, unless
+// that loop is provably small.
+func checkAccumAssign(pass *Pass, n *ast.AssignStmt, loops []loopFrame) {
+	if n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN {
+		return
+	}
+	id, ok := n.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	t := pass.TypeOf(id)
+	if t == nil {
+		return
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return
+	}
+	inner := loops[len(loops)-1]
+	if inner.small {
+		return
+	}
+	obj := pass.Info.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	// Loop-carried means the accumulator outlives one iteration: it is
+	// declared outside the innermost loop's body.
+	if within(obj.Pos(), inner.node) {
+		return
+	}
+	pass.Reportf(n.Pos(), "float accumulation `%s %s ...` in a loop loses precision as terms grow: use stats.Sum (slices) or stats.Kahan (streaming)", id.Name, n.Tok)
+}
+
+// within reports whether pos falls inside the node's source extent.
+func within(pos token.Pos, n ast.Node) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+// forLoopBound classifies a classic counted loop `for i := 0; i < N; i++`.
+// It is small when N is a constant <= smallTrip, or when N is the index
+// variable of an enclosing loop already proven small (the triangular inner
+// loops of the 5x5 block solvers). Returns the index-variable object for
+// use by nested loops.
+func forLoopBound(pass *Pass, n *ast.ForStmt, enclosing []loopFrame) (small bool, index types.Object) {
+	// Extract the index variable from `i := lo` (or `i = lo`).
+	if init, ok := n.Init.(*ast.AssignStmt); ok && len(init.Lhs) == 1 {
+		if id, ok := init.Lhs[0].(*ast.Ident); ok {
+			index = pass.Info.ObjectOf(id)
+		}
+	}
+	cond, ok := n.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+		return false, index
+	}
+	limit := int64(smallTrip)
+	if cond.Op == token.LEQ {
+		limit--
+	}
+	if v, isConst := intConstOf(pass.Info, cond.Y); isConst {
+		return v <= limit, index
+	}
+	if id, ok := ast.Unparen(cond.Y).(*ast.Ident); ok {
+		if obj := pass.Info.ObjectOf(id); obj != nil {
+			for _, l := range enclosing {
+				if l.small && l.index != nil && l.index == obj {
+					return true, index
+				}
+			}
+		}
+	}
+	return false, index
+}
+
+// rangeIsSmall reports whether a range statement iterates a fixed-size
+// array (or pointer to one) of at most smallTrip elements.
+func rangeIsSmall(pass *Pass, n *ast.RangeStmt) bool {
+	t := pass.TypeOf(n.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return arr.Len() <= smallTrip
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. The full syntax is
+//
+//	//kcvet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed either at the end of the offending line or on its own line
+// directly above it. The analyzer list may be "all". The reason is
+// mandatory: a suppression without a recorded justification is exactly the
+// kind of silent exemption this tool exists to prevent.
+const ignorePrefix = "kcvet:ignore"
+
+// directive is one parsed kcvet:ignore comment.
+type directive struct {
+	analyzers map[string]bool // nil means all
+}
+
+// ignoreIndex maps file -> line -> directives effective on that line.
+type ignoreIndex map[string]map[int][]directive
+
+// buildIgnoreIndex parses every kcvet:ignore comment in the files. A
+// directive on line L suppresses matching findings on lines L and L+1 (so
+// both trailing and line-above placement work). Malformed directives are
+// returned as diagnostics of the pseudo-analyzer "kcvet".
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Diagnostic) {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	idx := ignoreIndex{}
+	var bad []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Diagnostic{Pos: fset.Position(pos), Analyzer: "kcvet", Message: msg})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					report(c.Pos(), "kcvet:ignore needs an analyzer name and a reason")
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "kcvet:ignore needs a non-empty reason after the analyzer name")
+					continue
+				}
+				d := directive{}
+				if fields[0] != "all" {
+					d.analyzers = map[string]bool{}
+					malformed := false
+					for _, name := range strings.Split(fields[0], ",") {
+						if !known[name] {
+							report(c.Pos(), "kcvet:ignore names unknown analyzer \""+name+"\"")
+							malformed = true
+							break
+						}
+						d.analyzers[name] = true
+					}
+					if malformed {
+						continue
+					}
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]directive{}
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], d)
+			}
+		}
+	}
+	return idx, bad
+}
+
+// suppresses reports whether a directive covers the diagnostic.
+func (idx ignoreIndex) suppresses(d Diagnostic) bool {
+	for _, dir := range idx[d.Pos.Filename][d.Pos.Line] {
+		if dir.analyzers == nil || dir.analyzers[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}

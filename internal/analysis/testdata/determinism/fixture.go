@@ -1,0 +1,42 @@
+// Package fixture exercises the determinism analyzer: wall-clock reads,
+// the process-global math/rand source, and map iteration.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clockReads() time.Duration {
+	start := time.Now()      // finding
+	return time.Since(start) // finding
+}
+
+func randomDraws() float64 {
+	r := rand.New(rand.NewSource(42))  // ok: explicitly seeded generator
+	v := r.Float64()                   // ok: method on the seeded generator
+	v += rand.Float64()                // finding: global source
+	rand.Shuffle(3, func(i, j int) {}) // finding: global source
+	return v
+}
+
+func mapIteration(m map[string]int) int {
+	total := 0
+	for _, v := range m { // finding
+		total += v
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m { // ok: collecting keys for sorting
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys { // ok: slice iteration
+		total += m[k]
+	}
+	//kcvet:ignore determinism fixture demonstrates a justified suppression
+	for range m {
+		total++
+	}
+	return total
+}

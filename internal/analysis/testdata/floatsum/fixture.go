@@ -1,0 +1,80 @@
+// Package fixture exercises the floatsum analyzer: loop-carried float
+// accumulation versus the exempt shapes (small constant trips, triangular
+// loops bounded by a small outer index, per-iteration locals, integers).
+package fixture
+
+func naiveSum(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x // finding
+	}
+	return sum
+}
+
+func rangeSubtract(xs []float64) float64 {
+	total := 100.0
+	for i := 0; i < len(xs); i++ {
+		total -= xs[i] // finding
+	}
+	return total
+}
+
+func smallConstantTrip() float64 {
+	var s float64
+	for i := 0; i < 5; i++ {
+		s += float64(i) // ok: at most 5 terms
+	}
+	return s
+}
+
+func triangular(m *[25]float64, b *[5]float64) {
+	for i := 1; i < 5; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= m[i*5+j] * b[j] // ok: bounded by the small outer index
+		}
+		b[i] = s
+	}
+}
+
+func smallArrayRange(v *[5]float64) float64 {
+	var s float64
+	for i := range v {
+		s += v[i] // ok: fixed 5-element array
+	}
+	return s
+}
+
+func perIterationLocal(xs []float64) float64 {
+	var total float64
+	for i := range xs {
+		v := xs[i]
+		v += 1.0   // ok: v does not survive the iteration
+		total += v // finding
+	}
+	return total
+}
+
+func integerAccum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x // ok: exact arithmetic
+	}
+	return n
+}
+
+func suppressed(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x //kcvet:ignore floatsum fixture demonstrates a justified suppression
+	}
+	return sum
+}
+
+func missingReason(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x //kcvet:ignore floatsum
+	}
+	return sum
+}

@@ -1,0 +1,13 @@
+// Package fixture exercises the wildcard half of the mpisafety tag
+// census: an AnyTag receive absorbs otherwise-unmatched send tags, but an
+// orphaned constant-tag receive is still impossible to satisfy.
+package fixture
+
+import "repro/internal/mpi"
+
+func wildcardReceiver(c *mpi.Comm) {
+	buf := make([]float64, 1)
+	c.Send(1, 55, buf)         // ok: the AnyTag receive below can match it
+	c.Recv(0, mpi.AnyTag, buf) // ok: wildcard
+	c.Recv(0, 99, buf)         // finding: nothing ever sends 99
+}

@@ -1,0 +1,156 @@
+package mpi
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// These tests exist for the -race CI gate: they drive the two paths the
+// detector is most likely to catch regressions in — concurrent nonblocking
+// request completion, and the panic/poison teardown that funnels into
+// World.panicOnce — with enough goroutine churn to give the scheduler real
+// interleavings. They assert behavior too, but their main job is to make
+// `go test -race ./internal/mpi` exercise the synchronization.
+
+// TestRaceNonblockingCompletion spins many ranks posting Irecvs, polling
+// Test from a second goroutine while the sender fires, then Waiting.
+func TestRaceNonblockingCompletion(t *testing.T) {
+	const n = 8
+	const rounds = 25
+	err := Run(n, func(c *Comm) {
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() + n - 1) % n
+		for r := 0; r < rounds; r++ {
+			buf := make([]float64, 4)
+			req := c.Irecv(prev, 3, buf)
+
+			// Poll Test concurrently with the completion goroutine.
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for !req.Test() {
+					runtime.Gosched()
+				}
+			}()
+			c.Send(next, 3, []float64{float64(r), 1, 2, 3})
+			st := req.Wait()
+			<-done
+			if st.Source != prev || st.Count != 4 || buf[0] != float64(r) {
+				t.Errorf("round %d: status %+v buf %v", r, st, buf)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRaceWaitallFanIn completes a fan-in of nonblocking receives per rank
+// while every peer sends concurrently.
+func TestRaceWaitallFanIn(t *testing.T) {
+	const n = 6
+	err := Run(n, func(c *Comm) {
+		bufs := make([][]float64, n)
+		reqs := make([]*Request, 0, n-1)
+		for src := 0; src < n; src++ {
+			if src == c.Rank() {
+				continue
+			}
+			bufs[src] = make([]float64, 1)
+			reqs = append(reqs, c.Irecv(src, 5, bufs[src]))
+		}
+		for dst := 0; dst < n; dst++ {
+			if dst == c.Rank() {
+				continue
+			}
+			c.Send(dst, 5, []float64{float64(c.Rank())})
+		}
+		for _, st := range Waitall(reqs...) {
+			if bufs[st.Source][0] != float64(st.Source) {
+				t.Errorf("got %v from %d", bufs[st.Source][0], st.Source)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRacePanicTeardown has one rank die while the others block in
+// receives; the poison path must wake everyone and Launch must surface
+// exactly the first recorded panic without racing the unwinding ranks.
+func TestRacePanicTeardown(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		err := Run(5, func(c *Comm) {
+			if c.Rank() == 3 {
+				panic("rank 3 dies")
+			}
+			buf := make([]float64, 1)
+			// Blocks forever: rank 3 never sends; the teardown panic is
+			// the only way out.
+			defer func() { _ = recover() }()
+			c.Recv(3, 1, buf)
+		})
+		if err == nil || !strings.Contains(err.Error(), "rank 3") {
+			t.Fatalf("round %d: err = %v", round, err)
+		}
+	}
+}
+
+// TestRaceAbortConcurrentWithTraffic lets ranks exchange ring traffic
+// while one aborts mid-stream.
+func TestRaceAbortConcurrentWithTraffic(t *testing.T) {
+	const n = 6
+	err := Run(n, func(c *Comm) {
+		defer func() { _ = recover() }()
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() + n - 1) % n
+		for r := 0; ; r++ {
+			if c.Rank() == 2 && r == 10 {
+				c.Abort("scripted abort")
+			}
+			c.Send(next, 9, []float64{float64(r)})
+			buf := make([]float64, 1)
+			c.Recv(prev, 9, buf)
+		}
+	}, WithRecvTimeout(5*time.Second))
+	if err == nil || !strings.Contains(err.Error(), "abort") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRaceRequestSharedAcrossGoroutines shares one in-flight request among
+// many Test pollers while a single goroutine Waits (the documented
+// contract: exactly one Wait, any number of Tests).
+func TestRaceRequestSharedAcrossGoroutines(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 2, []float64{42})
+			return
+		}
+		buf := make([]float64, 1)
+		req := c.Irecv(0, 2, buf)
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !req.Test() {
+					runtime.Gosched()
+				}
+			}()
+		}
+		if st := req.Wait(); st.Count != 1 || buf[0] != 42 {
+			t.Errorf("status %+v buf %v", st, buf)
+		}
+		wg.Wait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

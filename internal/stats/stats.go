@@ -29,15 +29,32 @@ func Mean(xs []float64) float64 {
 // Sum returns the sum of xs using Kahan compensated summation so that long
 // series of small timing samples do not lose precision.
 func Sum(xs []float64) float64 {
-	var sum, comp float64
+	var k Kahan
 	for _, x := range xs {
-		y := x - comp
-		t := sum + y
-		comp = (t - sum) - y
-		sum = t
+		k.Add(x)
 	}
-	return sum
+	return k.Sum()
 }
+
+// Kahan is a streaming compensated accumulator: Add folds terms in,
+// carrying the rounding error of each addition forward so the final Sum is
+// accurate to within a few ulps regardless of term count or ordering
+// magnitude. It is the fix the floatsum analyzer (cmd/kcvet) suggests for
+// naive `s += x` loops. The zero value is an empty sum.
+type Kahan struct {
+	sum, comp float64
+}
+
+// Add folds x into the running sum.
+func (k *Kahan) Add(x float64) {
+	y := x - k.comp
+	t := k.sum + y
+	k.comp = (t - k.sum) - y
+	k.sum = t
+}
+
+// Sum returns the compensated total of everything added so far.
+func (k *Kahan) Sum() float64 { return k.sum }
 
 // Variance returns the unbiased sample variance of xs.
 // It returns 0 when len(xs) < 2.
@@ -47,12 +64,12 @@ func Variance(xs []float64) float64 {
 		return 0
 	}
 	m := Mean(xs)
-	var ss float64
+	var ss Kahan
 	for _, x := range xs {
 		d := x - m
-		ss += d * d
+		ss.Add(d * d)
 	}
-	return ss / float64(n-1)
+	return ss.Sum() / float64(n-1)
 }
 
 // StdDev returns the sample standard deviation of xs.
@@ -164,15 +181,15 @@ func WeightedMean(xs, ws []float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	var num, den float64
+	var num, den Kahan
 	for i := range xs {
-		num += xs[i] * ws[i]
-		den += ws[i]
+		num.Add(xs[i] * ws[i])
+		den.Add(ws[i])
 	}
-	if den == 0 {
+	if den.Sum() == 0 {
 		return 0, errors.New("stats: weights sum to zero")
 	}
-	return num / den, nil
+	return num.Sum() / den.Sum(), nil
 }
 
 // Summary bundles the descriptive statistics of a sample set.

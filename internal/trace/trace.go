@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/mpi"
 	"repro/internal/npb"
+	"repro/internal/timing"
 )
 
 // Event is one kernel execution.
@@ -33,13 +34,25 @@ type Event struct {
 // Tracer collects events from concurrently executing ranks.
 type Tracer struct {
 	mu     sync.Mutex
+	clock  timing.Clock
 	epoch  time.Time
 	events []Event
 }
 
-// NewTracer returns a tracer whose epoch is now.
+// NewTracer returns a tracer on the wall clock whose epoch is now.
 func NewTracer() *Tracer {
-	return &Tracer{epoch: time.Now()}
+	return NewTracerWithClock(timing.WallClock)
+}
+
+// NewTracerWithClock returns a tracer reading the given clock, so tests
+// and deterministic replays control every timestamp. A nil clock means the
+// wall clock. Note that timing.FakeClock is not safe for concurrent ranks;
+// deterministic traces should be recorded from one goroutine.
+func NewTracerWithClock(c timing.Clock) *Tracer {
+	if c == nil {
+		c = timing.WallClock
+	}
+	return &Tracer{clock: c, epoch: c.Now()}
 }
 
 // Record stores one kernel execution.
@@ -65,7 +78,7 @@ func (t *Tracer) Events() []Event {
 func (t *Tracer) Reset() {
 	t.mu.Lock()
 	t.events = t.events[:0]
-	t.epoch = time.Now()
+	t.epoch = t.clock.Now()
 	t.mu.Unlock()
 }
 
@@ -108,9 +121,14 @@ func (t *Tracer) Profiles() []Profile {
 	}
 	t.mu.Unlock()
 
+	names := make([]string, 0, len(byKernel))
+	for name := range byKernel {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	out := make([]Profile, 0, len(byKernel))
-	for _, p := range byKernel {
-		out = append(out, *p)
+	for _, name := range names {
+		out = append(out, *byKernel[name])
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Total != out[j].Total {
@@ -203,9 +221,10 @@ type tracedKernels struct {
 
 // RunKernel times and records the wrapped kernel execution.
 func (tk *tracedKernels) RunKernel(name string) error {
-	start := time.Now()
+	clock := tk.tracer.clock
+	start := clock.Now()
 	err := tk.inner.RunKernel(name)
-	tk.tracer.Record(tk.rank, name, start, time.Since(start))
+	tk.tracer.Record(tk.rank, name, start, clock.Now().Sub(start))
 	return err
 }
 

@@ -8,19 +8,30 @@ import (
 
 	"repro/internal/npb"
 	"repro/internal/npb/bt"
+	"repro/internal/timing"
 )
 
+// fixedClock returns a tracer pinned to a frozen fake clock plus its
+// epoch, so tests are independent of wall time.
+func fixedClock() (*Tracer, time.Time) {
+	base := time.Unix(1000, 0)
+	tr := NewTracerWithClock(&timing.FakeClock{T: base})
+	return tr, base
+}
+
 func TestRecordAndEvents(t *testing.T) {
-	tr := NewTracer()
-	now := time.Now()
-	tr.Record(0, "A", now, 5*time.Millisecond)
-	tr.Record(1, "B", now.Add(time.Millisecond), 2*time.Millisecond)
+	tr, base := fixedClock()
+	tr.Record(0, "A", base, 5*time.Millisecond)
+	tr.Record(1, "B", base.Add(time.Millisecond), 2*time.Millisecond)
 	ev := tr.Events()
 	if len(ev) != 2 {
 		t.Fatalf("got %d events", len(ev))
 	}
 	if ev[0].Kernel != "A" || ev[0].Rank != 0 || ev[0].Elapsed != 5*time.Millisecond {
 		t.Errorf("event 0 = %+v", ev[0])
+	}
+	if ev[0].Start != 0 || ev[1].Start != time.Millisecond {
+		t.Errorf("starts = %v, %v (epoch should be the fake clock's reading)", ev[0].Start, ev[1].Start)
 	}
 	// Events() must be a copy.
 	ev[0].Kernel = "mutated"
@@ -30,11 +41,10 @@ func TestRecordAndEvents(t *testing.T) {
 }
 
 func TestProfiles(t *testing.T) {
-	tr := NewTracer()
-	now := time.Now()
-	tr.Record(0, "SOLVE", now, 10*time.Millisecond)
-	tr.Record(1, "SOLVE", now, 20*time.Millisecond)
-	tr.Record(0, "ADD", now, 1*time.Millisecond)
+	tr, base := fixedClock()
+	tr.Record(0, "SOLVE", base, 10*time.Millisecond)
+	tr.Record(1, "SOLVE", base, 20*time.Millisecond)
+	tr.Record(0, "ADD", base, 1*time.Millisecond)
 	ps := tr.Profiles()
 	if len(ps) != 2 {
 		t.Fatalf("got %d profiles", len(ps))
@@ -52,8 +62,8 @@ func TestProfiles(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
-	tr := NewTracer()
-	tr.Record(0, "A", time.Now(), time.Millisecond)
+	tr, base := fixedClock()
+	tr.Record(0, "A", base, time.Millisecond)
 	tr.Reset()
 	if len(tr.Events()) != 0 {
 		t.Error("Reset did not clear events")
@@ -61,8 +71,7 @@ func TestReset(t *testing.T) {
 }
 
 func TestTimelineRendering(t *testing.T) {
-	tr := NewTracer()
-	epoch := tr.epoch
+	tr, epoch := fixedClock()
 	tr.Record(0, "ALPHA", epoch, 50*time.Millisecond)
 	tr.Record(1, "BETA", epoch.Add(50*time.Millisecond), 50*time.Millisecond)
 	out := tr.Timeline(40)
@@ -84,22 +93,67 @@ func TestTimelineRendering(t *testing.T) {
 }
 
 func TestTimelineEmpty(t *testing.T) {
-	tr := NewTracer()
+	tr, _ := fixedClock()
 	if out := tr.Timeline(40); !strings.Contains(out, "no events") {
 		t.Errorf("empty timeline = %q", out)
 	}
 }
 
 func TestStringProfileTable(t *testing.T) {
-	tr := NewTracer()
-	tr.Record(0, "X_SOLVE", time.Now(), 3*time.Millisecond)
+	tr, base := fixedClock()
+	tr.Record(0, "X_SOLVE", base, 3*time.Millisecond)
 	out := tr.String()
 	if !strings.Contains(out, "X_SOLVE") || !strings.Contains(out, "count") {
 		t.Errorf("profile table:\n%s", out)
 	}
 }
 
+// stubKernels is a do-nothing KernelSet for clock-injection tests.
+type stubKernels struct{}
+
+func (stubKernels) RunKernel(string) error { return nil }
+func (stubKernels) Refresh()               {}
+
+// TestInjectedClockDeterministicTrace pins the satellite contract: with a
+// stepping fake clock, every recorded start and duration is exact, so two
+// runs of the same workload produce identical traces.
+func TestInjectedClockDeterministicTrace(t *testing.T) {
+	step := time.Millisecond
+	fc := &timing.FakeClock{T: time.Unix(0, 0), Steps: []time.Duration{step}}
+	tr := NewTracerWithClock(fc)
+	ks := Wrap(stubKernels{}, 3, tr)
+	if err := ks.RunKernel("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ks.RunKernel("B"); err != nil {
+		t.Fatal(err)
+	}
+	ev := tr.Events()
+	if len(ev) != 2 {
+		t.Fatalf("got %d events", len(ev))
+	}
+	// Epoch consumes one tick; each RunKernel consumes two (start, end).
+	want := []Event{
+		{Rank: 3, Kernel: "A", Start: 1 * step, Elapsed: step},
+		{Rank: 3, Kernel: "B", Start: 3 * step, Elapsed: step},
+	}
+	for i, w := range want {
+		if ev[i] != w {
+			t.Errorf("event %d = %+v, want %+v", i, ev[i], w)
+		}
+	}
+}
+
+func TestNilClockFallsBackToWall(t *testing.T) {
+	tr := NewTracerWithClock(nil)
+	if tr.clock != timing.WallClock {
+		t.Error("nil clock should fall back to the wall clock")
+	}
+}
+
 func TestConcurrentRecording(t *testing.T) {
+	// Concurrent ranks need the wall clock: FakeClock is documented as
+	// single-goroutine only.
 	tr := NewTracer()
 	var wg sync.WaitGroup
 	for r := 0; r < 8; r++ {

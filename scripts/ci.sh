@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build, vet, race-detected tests, and the repo's own
+# static-analysis suite (cmd/kcvet). Any failure fails the gate.
+#
+# Usage: scripts/ci.sh            # from anywhere inside the repo
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> go run ./cmd/kcvet ./..."
+go run ./cmd/kcvet ./...
+
+echo "==> ci: all gates passed"
