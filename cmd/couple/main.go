@@ -6,6 +6,11 @@
 //	couple -bench BT -class S -procs 4 -chains 2,5
 //	couple -bench LU -class W -procs 8 -chains 3 -trips 20
 //	couple -bench SP -grid 12 -procs 4 -chains 2   # custom tiny grid
+//
+// Observability (see DESIGN.md §8): -trace-out writes a Perfetto-loadable
+// trace of the campaign (harness measurement spans plus per-rank MPI
+// spans), -metrics-out a run manifest with the metric snapshot and
+// measurement provenance (render with kcreport), -pprof a CPU profile.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -24,6 +30,8 @@ import (
 	"repro/internal/npb/ft"
 	"repro/internal/npb/lu"
 	"repro/internal/npb/sp"
+	"repro/internal/obs"
+	"repro/internal/obscli"
 	"repro/internal/prophesy"
 	"repro/internal/stats"
 	"repro/internal/tables"
@@ -44,6 +52,8 @@ func main() {
 		reuse  = flag.String("reuse", "", "repository to reuse coupling values from: only isolated kernels are measured fresh")
 		ref    = flag.String("ref", "", "reference configuration for -reuse as workload.class.procs (e.g. BT.W.4)")
 	)
+	var obsFlags obscli.Flags
+	obsFlags.Register(nil)
 	flag.Parse()
 
 	var chainLens []int
@@ -116,6 +126,11 @@ func main() {
 	if *net {
 		worldOpts = append(worldOpts, mpi.WithNetModel(mpi.IBMSPModel()))
 	}
+	sink, err := obscli.Open(obsFlags)
+	if err != nil {
+		fail("%v", err)
+	}
+	worldOpts = append(worldOpts, sink.WorldOpts()...)
 	w := &harness.NPBWorkload{
 		WorkloadName: fmt.Sprintf("%s.%s.%d", benchName, cls, *procs),
 		Factory:      factory,
@@ -130,10 +145,23 @@ func main() {
 	}
 
 	fmt.Printf("study: %s  grid %s  trips=%d  chains=%v\n\n", w.WorkloadName, prob, nTrips, chainLens)
+	start := time.Now()
 	study, err := harness.RunStudy(w, nTrips, chainLens, harness.Options{
 		Blocks: *blocks, Passes: *passes, ActualRuns: 3,
+		Metrics: sink.Registry, Spans: sink.Spans,
 	})
 	if err != nil {
+		fail("%v", err)
+	}
+	man := obs.NewManifest("couple")
+	man.Benchmark = benchName
+	man.Class = string(cls)
+	man.Procs = *procs
+	man.Trips = nTrips
+	man.UnixSeconds = start.Unix()
+	man.WallSeconds = time.Since(start).Seconds()
+	man.Extra = map[string]string{"chains": *chains}
+	if err := sink.Close(man); err != nil {
 		fail("%v", err)
 	}
 

@@ -8,6 +8,13 @@
 //	npbrun -bench BT -class S -procs 4
 //	npbrun -bench LU -class W -procs 8 -trips 50
 //	npbrun -bench SP -grid 16 -procs 9 -trips 10
+//
+// Observability (see DESIGN.md §8): -trace-out writes a Perfetto-loadable
+// trace with per-rank kernel and MPI-span tracks, -metrics-out a run
+// manifest with the metric snapshot (render it with kcreport), and -pprof
+// a CPU profile.
+//
+//	npbrun -bench BT -class S -procs 4 -trace-out bt.json -metrics-out bt-metrics.json
 package main
 
 import (
@@ -23,6 +30,8 @@ import (
 	"repro/internal/npb/ft"
 	"repro/internal/npb/lu"
 	"repro/internal/npb/sp"
+	"repro/internal/obs"
+	"repro/internal/obscli"
 	"repro/internal/tables"
 	"repro/internal/trace"
 )
@@ -42,6 +51,8 @@ func main() {
 		net     = flag.Bool("net", false, "attach the IBM SP interconnect cost model")
 		doTrace = flag.Bool("trace", false, "record per-kernel events; print profile and timeline")
 	)
+	var obsFlags obscli.Flags
+	obsFlags.Register(nil)
 	flag.Parse()
 
 	cls := npb.Class(strings.ToUpper(*class))
@@ -106,8 +117,21 @@ func main() {
 		worldOpts = append(worldOpts, mpi.WithNetModel(mpi.IBMSPModel()))
 	}
 
+	sink, err := obscli.Open(obsFlags)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "npbrun: %v\n", err)
+		os.Exit(1)
+	}
+	worldOpts = append(worldOpts, sink.WorldOpts()...)
+
 	var tracer *trace.Tracer
-	if *doTrace {
+	switch {
+	case sink.Tracer != nil:
+		// -trace-out needs kernel events for the per-rank kernel tracks;
+		// -trace additionally prints them, off the same tracer.
+		tracer = sink.Tracer
+		factory = trace.WrapFactory(factory, tracer)
+	case *doTrace:
 		tracer = trace.NewTracer()
 		factory = trace.WrapFactory(factory, tracer)
 	}
@@ -134,7 +158,34 @@ func main() {
 	for c, v := range norms {
 		fmt.Printf("  component %d: %.12e\n", c, v)
 	}
-	if tracer != nil {
+	if *doTrace && tracer != nil {
 		fmt.Printf("\nper-kernel profile:\n%s\n%s", tracer, tracer.Timeline(72))
+	}
+
+	man := obs.NewManifest("npbrun")
+	man.Benchmark = strings.ToUpper(*bench)
+	man.Class = string(cls)
+	man.Procs = *procs
+	man.Trips = nTrips
+	man.UnixSeconds = start.Unix()
+	man.WallSeconds = elapsed.Seconds()
+	if *grid > 0 || *net {
+		man.Extra = map[string]string{}
+		if *grid > 0 {
+			man.Extra["grid"] = fmt.Sprint(*grid)
+		}
+		if *net {
+			man.Extra["net"] = "ibm-sp"
+		}
+	}
+	if err := sink.Close(man); err != nil {
+		fmt.Fprintf(os.Stderr, "npbrun: %v\n", err)
+		os.Exit(1)
+	}
+	if obsFlags.TraceOut != "" {
+		fmt.Printf("trace written to %s (load in ui.perfetto.dev)\n", obsFlags.TraceOut)
+	}
+	if obsFlags.MetricsOut != "" {
+		fmt.Printf("metrics written to %s (render with kcreport)\n", obsFlags.MetricsOut)
 	}
 }

@@ -22,6 +22,7 @@ var fixtureCases = []struct {
 	{"mpisafety", MPISafety},
 	{"mpisafetywild", MPISafety},
 	{"determinism", Determinism},
+	{"obsregistry", Determinism},
 	{"floatsum", FloatSum},
 	{"errcheckmpi", ErrcheckMPI},
 }
@@ -149,6 +150,7 @@ func TestScopes(t *testing.T) {
 		{MPISafety, "repro/internal/mpi", false},
 		{Determinism, "repro/internal/core", true},
 		{Determinism, "repro/internal/trace", true},
+		{Determinism, "repro/internal/obs", true},
 		{Determinism, "repro/internal/npb", false},
 		{Determinism, "repro/internal/timing", false},
 		{FloatSum, "repro/internal/stats", true},

@@ -15,6 +15,7 @@ var determinismScope = map[string]bool{
 	"repro/internal/core":     true,
 	"repro/internal/model":    true,
 	"repro/internal/memmodel": true,
+	"repro/internal/obs":      true,
 	"repro/internal/stats":    true,
 	"repro/internal/tables":   true,
 	"repro/internal/trace":    true,

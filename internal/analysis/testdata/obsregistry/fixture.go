@@ -1,0 +1,57 @@
+// Package fixture exercises the determinism analyzer over the metric-
+// registry idiom used by repro/internal/obs: a snapshot that iterates the
+// name->handle maps directly has run-randomized order (a finding), while
+// the collect-append-sort form is byte-stable and clean.
+package fixture
+
+import (
+	"sort"
+	"time"
+)
+
+type counter struct{ v int64 }
+
+type registry struct {
+	counters map[string]*counter
+}
+
+type snapshotEntry struct {
+	Name  string
+	Value int64
+}
+
+// snapshotUnsorted emits entries in map order — different every run, so
+// two exports of the same registry diff. The analyzer must flag it.
+// (A body that is exactly one append is exempted as key collection; real
+// emission loops like this one do more than collect.)
+func (r *registry) snapshotUnsorted() []snapshotEntry {
+	var out []snapshotEntry
+	total := int64(0)
+	for name, c := range r.counters { // finding
+		total += c.v
+		out = append(out, snapshotEntry{Name: name, Value: c.v})
+	}
+	out = append(out, snapshotEntry{Name: "total", Value: total})
+	return out
+}
+
+// snapshotSorted is the required idiom: collect the keys, sort, iterate
+// the slice. This is what obs.Registry.Snapshot does.
+func (r *registry) snapshotSorted() []snapshotEntry {
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters { // ok: collecting keys for sorting
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]snapshotEntry, 0, len(names))
+	for _, name := range names { // ok: slice iteration
+		out = append(out, snapshotEntry{Name: name, Value: r.counters[name].v})
+	}
+	return out
+}
+
+// stampedSnapshot smuggles a wall-clock read into the export path; the
+// manifest layer must receive timestamps from its caller instead.
+func (r *registry) stampedSnapshot() (time.Time, []snapshotEntry) {
+	return time.Now(), r.snapshotSorted() // finding
+}

@@ -9,10 +9,12 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/npb"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -29,8 +31,17 @@ type Options struct {
 	// TrimFrac is the two-sided trim fraction when aggregating a window
 	// measurement's timed blocks. Zero picks the workload's default
 	// (median-of-blocks for NPB workloads); negative forces the raw
-	// mean — the knob behind the trimming ablation.
+	// mean — the knob behind the trimming ablation. Note -0.0 == 0, so a
+	// negative zero selects the default, and NaN is normalized to the
+	// default by the measurement layer rather than propagated.
 	TrimFrac float64
+	// Metrics, when non-nil, receives harness-level observability:
+	// windows measured, blocks timed, per-pass time distributions.
+	Metrics *obs.Registry
+	// Spans, when non-nil, receives one process-level span (Rank -1) per
+	// measurement, so a merged trace shows where the campaign's wall
+	// time went.
+	Spans *obs.SpanRecorder
 }
 
 func (o Options) withDefaults() Options {
@@ -62,6 +73,14 @@ type Workload interface {
 	MeasureActual(trips int, o Options) (float64, error)
 }
 
+// WindowDetailer is the optional Workload refinement that exposes the
+// raw per-block timings and trim decision behind a window measurement.
+// Workloads implementing it get full measurement provenance in the
+// study; others are recorded aggregate-only.
+type WindowDetailer interface {
+	MeasureWindowDetail(window []string, o Options) (npb.WindowMeasurement, error)
+}
+
 // NPBWorkload adapts an npb.Factory (BT, SP or LU) to the harness.
 type NPBWorkload struct {
 	// WorkloadName identifies the benchmark instance, e.g. "BT.A.4".
@@ -86,8 +105,18 @@ func (w *NPBWorkload) Kernels() (pre, loop, post []string) {
 
 // MeasureWindow implements Workload via npb.MeasureWindow.
 func (w *NPBWorkload) MeasureWindow(window []string, o Options) (float64, error) {
+	wm, err := w.MeasureWindowDetail(window, o)
+	if err != nil {
+		return 0, err
+	}
+	return wm.PerPass, nil
+}
+
+// MeasureWindowDetail implements WindowDetailer via
+// npb.MeasureWindowDetail, keeping per-block provenance.
+func (w *NPBWorkload) MeasureWindowDetail(window []string, o Options) (npb.WindowMeasurement, error) {
 	o = o.withDefaults()
-	return npb.MeasureWindow(w.Factory, window, npb.MeasureOptions{
+	return npb.MeasureWindowDetail(w.Factory, window, npb.MeasureOptions{
 		Procs:     w.Procs,
 		Blocks:    o.Blocks,
 		Passes:    o.Passes,
@@ -117,6 +146,34 @@ type PredictionResult struct {
 	ChainLen int
 }
 
+// Measurement kinds recorded in a study's provenance.
+const (
+	KindIsolated = "isolated"
+	KindWindow   = "window"
+	KindActual   = "actual"
+)
+
+// MeasurementRecord ties one reported number to the raw observations it
+// was aggregated from, so every C_S in a table can be audited: which
+// blocks were timed, what trim dropped, whether it came from an isolated
+// or a chained execution.
+type MeasurementRecord struct {
+	// Key is the kernel name (isolated), window key (window), or the
+	// workload name (actual).
+	Key string `json:"key"`
+	// Kind is KindIsolated, KindWindow or KindActual.
+	Kind string `json:"kind"`
+	// Seconds is the aggregated value the predictors consume.
+	Seconds float64 `json:"seconds"`
+	// Raw holds the pre-aggregation observations: per-block per-pass
+	// seconds for window measurements, per-run seconds for actual runs.
+	// Empty when the workload does not expose detail.
+	Raw []float64 `json:"raw,omitempty"`
+	// TrimFrac is the effective two-sided trim applied to Raw (actual
+	// runs aggregate by median instead).
+	TrimFrac float64 `json:"trim_frac"`
+}
+
 // Study is a complete measurement-and-prediction campaign for one
 // workload configuration — the content of one column of the paper's
 // comparison tables, for every requested chain length.
@@ -138,6 +195,9 @@ type Study struct {
 	// Details maps chain length to the full prediction (coefficients and
 	// window couplings) for reporting.
 	Details map[int]core.Prediction
+	// Provenance records, in measurement order, how each number in
+	// Measurements and Actual was produced.
+	Provenance []MeasurementRecord
 }
 
 // RunStudy measures the workload and produces predictions for every chain
@@ -153,9 +213,56 @@ func RunStudy(w Workload, trips int, chainLens []int, o Options) (*Study, error)
 	}
 
 	m := core.NewMeasurements()
+	var provenance []MeasurementRecord
+
+	// observe wraps one measurement with the study's observability: a
+	// harness-level span (Rank -1) covering the measurement's wall time,
+	// counters, and a provenance record.
+	observe := func(kind, key string, f func() (npb.WindowMeasurement, error)) (float64, error) {
+		var start time.Time
+		if o.Spans != nil {
+			start = o.Spans.Now()
+		}
+		wm, err := f()
+		if err != nil {
+			return 0, err
+		}
+		if o.Spans != nil {
+			o.Spans.Record(-1, "measure."+kind, key, 0, start, o.Spans.Now().Sub(start), 0)
+		}
+		if o.Metrics != nil {
+			o.Metrics.Counter("harness.measure." + kind + ".count").Inc()
+			o.Metrics.Counter("harness.blocks.timed").Add(int64(len(wm.Blocks)))
+			o.Metrics.Histogram("harness.measure.per_pass_ns").Observe(int64(wm.PerPass * 1e9))
+		}
+		provenance = append(provenance, MeasurementRecord{
+			Key:      key,
+			Kind:     kind,
+			Seconds:  wm.PerPass,
+			Raw:      wm.Blocks,
+			TrimFrac: wm.TrimFrac,
+		})
+		return wm.PerPass, nil
+	}
+	// measureWindow routes through the detail interface when the
+	// workload offers one, so provenance carries the raw blocks.
+	measureWindow := func(kind string, window []string) (float64, error) {
+		key := core.Key(window)
+		return observe(kind, key, func() (npb.WindowMeasurement, error) {
+			if d, ok := w.(WindowDetailer); ok {
+				return d.MeasureWindowDetail(window, o)
+			}
+			v, err := w.MeasureWindow(window, o)
+			if err != nil {
+				return npb.WindowMeasurement{}, err
+			}
+			return npb.WindowMeasurement{Window: window, PerPass: v, TrimFrac: o.TrimFrac, Passes: o.Passes}, nil
+		})
+	}
+
 	// Isolated measurements for every kernel.
 	for _, k := range app.KernelsSorted() {
-		v, err := w.MeasureWindow([]string{k}, o)
+		v, err := measureWindow(KindIsolated, []string{k})
 		if err != nil {
 			return nil, fmt.Errorf("harness: isolated %s: %w", k, err)
 		}
@@ -177,7 +284,7 @@ func RunStudy(w Workload, trips int, chainLens []int, o Options) (*Study, error)
 			if _, done := m.Window[key]; done {
 				continue
 			}
-			v, err := w.MeasureWindow(win, o)
+			v, err := measureWindow(KindWindow, win)
 			if err != nil {
 				return nil, fmt.Errorf("harness: window %s: %w", key, err)
 			}
@@ -188,13 +295,29 @@ func RunStudy(w Workload, trips int, chainLens []int, o Options) (*Study, error)
 	// Actual runs: median over ActualRuns.
 	actuals := make([]float64, 0, o.ActualRuns)
 	for r := 0; r < o.ActualRuns; r++ {
+		var start time.Time
+		if o.Spans != nil {
+			start = o.Spans.Now()
+		}
 		a, err := w.MeasureActual(trips, o)
 		if err != nil {
 			return nil, fmt.Errorf("harness: actual run: %w", err)
 		}
+		if o.Spans != nil {
+			o.Spans.Record(-1, "measure."+KindActual, w.Name(), 0, start, o.Spans.Now().Sub(start), 0)
+		}
+		if o.Metrics != nil {
+			o.Metrics.Counter("harness.measure." + KindActual + ".count").Inc()
+		}
 		actuals = append(actuals, a)
 	}
 	actual := stats.Median(actuals)
+	provenance = append(provenance, MeasurementRecord{
+		Key:     w.Name(),
+		Kind:    KindActual,
+		Seconds: actual,
+		Raw:     actuals,
+	})
 
 	study := &Study{
 		Workload:     w.Name(),
@@ -204,6 +327,7 @@ func RunStudy(w Workload, trips int, chainLens []int, o Options) (*Study, error)
 		Actual:       actual,
 		Couplings:    make(map[int]PredictionResult, len(sorted)),
 		Details:      make(map[int]core.Prediction, len(sorted)),
+		Provenance:   provenance,
 	}
 	sum, err := app.SummationPrediction(m)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // fourKernelSynthetic is a toy app with known interactions: A→B helps
@@ -223,5 +224,80 @@ func TestPredictionResultLabels(t *testing.T) {
 	}
 	if study.Couplings[3].Label != "Coupling: 3 kernels" {
 		t.Errorf("label %q", study.Couplings[3].Label)
+	}
+}
+
+// TestStudyProvenance checks the study records how every number was
+// measured: one record per isolated kernel and distinct window, plus the
+// actual run, in measurement order.
+func TestStudyProvenance(t *testing.T) {
+	s, err := RunStudy(fourKernelSynthetic(), 10, []int{2}, Options{ActualRuns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, r := range s.Provenance {
+		kinds[r.Kind]++
+	}
+	// 6 kernels isolated, 4 length-2 windows of the ring, 1 actual.
+	if kinds[KindIsolated] != 6 || kinds[KindWindow] != 4 || kinds[KindActual] != 1 {
+		t.Errorf("provenance kinds = %v", kinds)
+	}
+	last := s.Provenance[len(s.Provenance)-1]
+	if last.Kind != KindActual || last.Seconds != s.Actual || len(last.Raw) != 3 {
+		t.Errorf("actual record = %+v, want median of 3 raw runs (%v)", last, s.Actual)
+	}
+	for _, r := range s.Provenance {
+		switch r.Kind {
+		case KindIsolated:
+			if s.Measurements.Isolated[r.Key] != r.Seconds {
+				t.Errorf("isolated %s: provenance %v != measurement %v", r.Key, r.Seconds, s.Measurements.Isolated[r.Key])
+			}
+		case KindWindow:
+			if s.Measurements.Window[r.Key] != r.Seconds {
+				t.Errorf("window %s: provenance %v != measurement %v", r.Key, r.Seconds, s.Measurements.Window[r.Key])
+			}
+		}
+	}
+}
+
+// TestStudyObservability checks the harness emits spans and metrics for
+// every measurement when sinks are configured.
+func TestStudyObservability(t *testing.T) {
+	o := Options{
+		Metrics: obs.NewRegistry(),
+		Spans:   obs.NewSpanRecorder(),
+	}
+	s, err := RunStudy(fourKernelSynthetic(), 10, []int{2}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Metrics.Snapshot()
+	if c, _ := snap.Counter("harness.measure.isolated.count"); c.Value != 6 {
+		t.Errorf("isolated.count = %d, want 6", c.Value)
+	}
+	if c, _ := snap.Counter("harness.measure.window.count"); c.Value != 4 {
+		t.Errorf("window.count = %d, want 4", c.Value)
+	}
+	if c, _ := snap.Counter("harness.measure.actual.count"); c.Value != 1 {
+		t.Errorf("actual.count = %d, want 1", c.Value)
+	}
+	if h, _ := snap.Histogram("harness.measure.per_pass_ns"); h.Count != 10 {
+		t.Errorf("per_pass_ns count = %d, want 10", h.Count)
+	}
+	spans := o.Spans.Spans()
+	if len(spans) != 11 { // 6 isolated + 4 windows + 1 actual
+		t.Fatalf("got %d spans, want 11", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Rank != -1 {
+			t.Errorf("harness span on rank %d, want -1 (process-level)", sp.Rank)
+		}
+	}
+	if spans[0].Op != "measure.isolated" || spans[len(spans)-1].Op != "measure.actual" {
+		t.Errorf("span ops = %v ... %v", spans[0].Op, spans[len(spans)-1].Op)
+	}
+	if got := spans[len(spans)-1].Detail; got != s.Workload {
+		t.Errorf("actual span detail = %q, want workload name %q", got, s.Workload)
 	}
 }

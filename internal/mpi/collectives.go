@@ -6,6 +6,7 @@ import "fmt"
 // It uses the dissemination algorithm: ceil(log2 n) rounds of paired
 // send/receive, correct for any communicator size.
 func (c *Comm) Barrier() {
+	defer c.beginCollective("barrier", 0)()
 	n := len(c.group)
 	if n == 1 {
 		return
@@ -24,6 +25,7 @@ func (c *Comm) Barrier() {
 // On non-root ranks buf is overwritten with root's data; every rank must
 // pass a buffer of the same length.
 func (c *Comm) Bcast(root int, buf []float64) {
+	defer c.beginCollective("bcast", 8*len(buf))()
 	n := len(c.group)
 	if n == 1 {
 		return
@@ -59,6 +61,7 @@ func (c *Comm) Bcast(root int, buf []float64) {
 // result in out on root (out is ignored on other ranks and may be nil
 // there). in and out must not alias. Every rank must pass equal-length in.
 func (c *Comm) Reduce(root int, op Op, in []float64, out []float64) {
+	defer c.beginCollective("reduce", 8*len(in))()
 	n := len(c.group)
 	if root < 0 || root >= n {
 		panic(fmt.Sprintf("mpi: Reduce root %d out of range [0,%d)", root, n))
@@ -96,6 +99,7 @@ func (c *Comm) Reduce(root int, op Op, in []float64, out []float64) {
 // followed by a broadcast, which keeps the result bit-identical across
 // ranks (important for the NPB verification stages).
 func (c *Comm) Allreduce(op Op, in []float64, out []float64) {
+	defer c.beginCollective("allreduce", 8*len(in))()
 	if len(out) < len(in) {
 		panic("mpi: Allreduce output buffer too small")
 	}
@@ -115,6 +119,7 @@ func (c *Comm) AllreduceScalar(op Op, x float64) float64 {
 // ordered by rank: out[r*len(in) : (r+1)*len(in)] holds rank r's data.
 // out is ignored on non-root ranks.
 func (c *Comm) Gather(root int, in []float64, out []float64) {
+	defer c.beginCollective("gather", 8*len(in))()
 	n := len(c.group)
 	if root < 0 || root >= n {
 		panic(fmt.Sprintf("mpi: Gather root %d out of range [0,%d)", root, n))
@@ -141,6 +146,7 @@ func (c *Comm) Gather(root int, in []float64, out []float64) {
 // every rank, ordered by rank. Implemented with the ring algorithm:
 // n-1 steps, each passing the most recently received block to the right.
 func (c *Comm) Allgather(in []float64, out []float64) {
+	defer c.beginCollective("allgather", 8*len(in))()
 	n := len(c.group)
 	k := len(in)
 	if len(out) < n*k {
@@ -163,6 +169,7 @@ func (c *Comm) Allgather(in []float64, out []float64) {
 // Scatter distributes root's buffer in equal blocks: rank r receives
 // in[r*len(out) : (r+1)*len(out)] into out. in is ignored on non-root ranks.
 func (c *Comm) Scatter(root int, in []float64, out []float64) {
+	defer c.beginCollective("scatter", 8*len(out))()
 	n := len(c.group)
 	if root < 0 || root >= n {
 		panic(fmt.Sprintf("mpi: Scatter root %d out of range [0,%d)", root, n))
@@ -190,6 +197,7 @@ func (c *Comm) Scatter(root int, in []float64, out []float64) {
 // pairwise shifted exchanges (plus the local copy), which cannot deadlock
 // because sends are eager.
 func (c *Comm) Alltoall(in []float64, out []float64) {
+	defer c.beginCollective("alltoall", 8*len(in))()
 	n := len(c.group)
 	if len(in)%n != 0 {
 		panic(fmt.Sprintf("mpi: Alltoall input length %d not divisible by communicator size %d", len(in), n))
@@ -210,6 +218,7 @@ func (c *Comm) Alltoall(in []float64, out []float64) {
 // Scan computes the inclusive prefix reduction: rank r's out holds
 // op(in_0, in_1, ..., in_r) elementwise. Linear chain implementation.
 func (c *Comm) Scan(op Op, in []float64, out []float64) {
+	defer c.beginCollective("scan", 8*len(in))()
 	n := len(c.group)
 	if len(out) < len(in) {
 		panic("mpi: Scan output buffer too small")

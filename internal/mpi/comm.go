@@ -11,6 +11,7 @@ import (
 // A negative color returns nil for that rank (MPI_UNDEFINED), but the rank
 // still participates in the collective exchange that forms the groups.
 func (c *Comm) Split(color, key int) *Comm {
+	defer c.beginCollective("split", 0)()
 	n := len(c.group)
 
 	// Gather every rank's (color, key) on rank 0, decide the grouping and
@@ -64,6 +65,9 @@ func (c *Comm) Split(color, key int) *Comm {
 				return ms[i].rank < ms[j].rank
 			})
 			ctx := int(c.world.nextCtx.Add(1))
+			if ob := c.world.obs; ob != nil {
+				ob.ctxCreated.Inc() // context-id churn: fresh matching context per group
+			}
 			memberTable = append(memberTable, float64(len(ms)))
 			for nr, m := range ms {
 				ctxOf[m.rank] = float64(ctx)

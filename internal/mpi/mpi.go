@@ -39,6 +39,13 @@ type World struct {
 	net      *NetModel
 	deadline time.Duration // zero means no receive timeout
 
+	// obs, when non-nil, receives metrics and spans for every runtime
+	// operation; phases holds each world rank's current phase label
+	// (the executing kernel) for per-kernel attribution. Both are nil
+	// on unobserved worlds, costing one nil check per operation.
+	obs    *Observer
+	phases []atomic.Value
+
 	// bufPool recycles float64 message payloads: solver workloads send
 	// the same-shaped messages millions of times, and per-send
 	// allocation would turn the GC into a dominant noise source in the
@@ -97,6 +104,9 @@ func NewWorld(n int, opts ...Option) *World {
 	w.nextCtx.Store(worldContext + 1)
 	for _, o := range opts {
 		o(w)
+	}
+	if w.obs != nil {
+		w.phases = make([]atomic.Value, n)
 	}
 	return w
 }

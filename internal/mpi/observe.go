@@ -1,0 +1,260 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/timing"
+)
+
+// collectiveOps is the fixed set of collective operations the runtime
+// instruments; the per-op metric handle map is built once at Observer
+// construction so the hot path never takes a lock.
+var collectiveOps = []string{
+	"allgather", "allgatherv", "allreduce", "alltoall", "barrier",
+	"bcast", "gather", "gatherv", "reduce", "reducescatter",
+	"scan", "scatter", "scatterv", "split",
+}
+
+// collectiveMetrics bundles one collective operation's handles.
+type collectiveMetrics struct {
+	count  *obs.Counter
+	bytes  *obs.Histogram
+	waitNs *obs.Histogram
+}
+
+// kernelMetrics bundles the per-kernel communication attribution: the
+// totals of the point-to-point traffic issued while a rank's current
+// phase (set by the measurement layer via Comm.SetPhase) named a kernel.
+type kernelMetrics struct {
+	sendCount *obs.Counter
+	sendBytes *obs.Counter
+	recvCount *obs.Counter
+	recvBytes *obs.Counter
+	recvWait  *obs.Counter // total ns blocked in matching
+}
+
+// Observer sinks the runtime's observability signal: counters and
+// histograms into an obs.Registry, and per-operation spans into an
+// obs.SpanRecorder. One Observer may be shared by many Worlds (a
+// measurement campaign spawns a world per timed window), accumulating
+// across them. All methods are safe for concurrent ranks.
+//
+// Metric namespace:
+//
+//	mpi.send.{count,bytes}              point-to-point sends
+//	mpi.recv.{count,bytes}              point-to-point receives
+//	mpi.msg.bytes                       per-message size distribution
+//	mpi.recv.wait_ns                    time blocked waiting for a match
+//	mpi.recv.transfer_ns                net-model transfer delay
+//	mpi.queue.depth                     pending-queue length at match time
+//	mpi.context.created                 communicator context-id churn
+//	mpi.collective.<op>.count           collective invocations (per rank)
+//	mpi.collective.<op>.bytes           per-invocation payload bytes
+//	mpi.collective.<op>.wait_ns         per-invocation time inside the op
+//	mpi.kernel.<name>.{send.count,send.bytes,recv.count,recv.bytes,recv.wait_ns}
+//
+// Collectives are implemented on the point-to-point layer and sometimes
+// on each other (Allreduce = Reduce + Bcast, Dup = Split), so inner
+// operations contribute to their own metrics too: mpi.send.count includes
+// collective-internal traffic, and an Allreduce shows up under allreduce,
+// reduce and bcast. Spans nest the same way, which is exactly what the
+// per-rank Perfetto tracks render.
+type Observer struct {
+	reg   *obs.Registry
+	spans *obs.SpanRecorder
+	clock timing.Clock
+
+	sendCount, sendBytes *obs.Counter
+	recvCount, recvBytes *obs.Counter
+	ctxCreated           *obs.Counter
+	msgBytes             *obs.Histogram
+	recvWait             *obs.Histogram
+	recvTransfer         *obs.Histogram
+	queueDepth           *obs.Histogram
+	collectives          map[string]*collectiveMetrics
+
+	mu        sync.RWMutex
+	perKernel map[string]*kernelMetrics
+}
+
+// NewObserver returns an observer writing metrics into reg (a fresh
+// registry when nil) and spans into spans (span recording disabled when
+// nil), reading the wall clock.
+func NewObserver(reg *obs.Registry, spans *obs.SpanRecorder) *Observer {
+	return NewObserverWithClock(reg, spans, timing.WallClock)
+}
+
+// NewObserverWithClock is NewObserver with an injectable clock so tests
+// can produce deterministic spans and wait times.
+func NewObserverWithClock(reg *obs.Registry, spans *obs.SpanRecorder, clock timing.Clock) *Observer {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if clock == nil {
+		clock = timing.WallClock
+	}
+	o := &Observer{
+		reg:          reg,
+		spans:        spans,
+		clock:        clock,
+		sendCount:    reg.Counter("mpi.send.count"),
+		sendBytes:    reg.Counter("mpi.send.bytes"),
+		recvCount:    reg.Counter("mpi.recv.count"),
+		recvBytes:    reg.Counter("mpi.recv.bytes"),
+		ctxCreated:   reg.Counter("mpi.context.created"),
+		msgBytes:     reg.Histogram("mpi.msg.bytes"),
+		recvWait:     reg.Histogram("mpi.recv.wait_ns"),
+		recvTransfer: reg.Histogram("mpi.recv.transfer_ns"),
+		queueDepth:   reg.Histogram("mpi.queue.depth"),
+		collectives:  make(map[string]*collectiveMetrics, len(collectiveOps)),
+		perKernel:    map[string]*kernelMetrics{},
+	}
+	for _, op := range collectiveOps {
+		o.collectives[op] = &collectiveMetrics{
+			count:  reg.Counter("mpi.collective." + op + ".count"),
+			bytes:  reg.Histogram("mpi.collective." + op + ".bytes"),
+			waitNs: reg.Histogram("mpi.collective." + op + ".wait_ns"),
+		}
+	}
+	return o
+}
+
+// Registry returns the observer's metric registry.
+func (o *Observer) Registry() *obs.Registry { return o.reg }
+
+// Spans returns the observer's span recorder, nil when spans are off.
+func (o *Observer) Spans() *obs.SpanRecorder { return o.spans }
+
+// now reads the observer's clock.
+func (o *Observer) now() time.Time { return o.clock.Now() }
+
+// kernel resolves (lazily creating) the per-kernel attribution handles.
+func (o *Observer) kernel(name string) *kernelMetrics {
+	o.mu.RLock()
+	km := o.perKernel[name]
+	o.mu.RUnlock()
+	if km != nil {
+		return km
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if km = o.perKernel[name]; km != nil {
+		return km
+	}
+	prefix := "mpi.kernel." + name + "."
+	km = &kernelMetrics{
+		sendCount: o.reg.Counter(prefix + "send.count"),
+		sendBytes: o.reg.Counter(prefix + "send.bytes"),
+		recvCount: o.reg.Counter(prefix + "recv.count"),
+		recvBytes: o.reg.Counter(prefix + "recv.bytes"),
+		recvWait:  o.reg.Counter(prefix + "recv.wait_ns"),
+	}
+	o.perKernel[name] = km
+	return km
+}
+
+// observeSend records one point-to-point send of n payload bytes
+// attributed to the sender's current phase.
+func (o *Observer) observeSend(rank int, phase string, dest, tag, n int, start time.Time, elapsed time.Duration) {
+	o.sendCount.Inc()
+	o.sendBytes.Add(int64(n))
+	o.msgBytes.Observe(int64(n))
+	if phase != "" {
+		km := o.kernel(phase)
+		km.sendCount.Inc()
+		km.sendBytes.Add(int64(n))
+	}
+	if o.spans != nil {
+		o.spans.Record(rank, "send", fmt.Sprintf("dst=%d tag=%d", dest, tag), n, start, elapsed, 0)
+	}
+}
+
+// observeRecv records one completed receive: wait is the time blocked in
+// matching, transfer the net-model delivery delay, depth the pending
+// queue length when the match succeeded.
+func (o *Observer) observeRecv(rank int, phase string, src, tag, n, depth int, start time.Time, wait, transfer time.Duration) {
+	o.recvCount.Inc()
+	o.recvBytes.Add(int64(n))
+	o.recvWait.Observe(int64(wait))
+	if transfer > 0 {
+		o.recvTransfer.Observe(int64(transfer))
+	}
+	o.queueDepth.Observe(int64(depth))
+	if phase != "" {
+		km := o.kernel(phase)
+		km.recvCount.Inc()
+		km.recvBytes.Add(int64(n))
+		km.recvWait.Add(int64(wait))
+	}
+	if o.spans != nil {
+		o.spans.Record(rank, "recv", fmt.Sprintf("src=%d tag=%d", src, tag), n, start, wait+transfer, wait)
+	}
+}
+
+// observeCollective records one rank's passage through a collective.
+func (o *Observer) observeCollective(rank int, op string, bytes int, start time.Time, elapsed time.Duration) {
+	cm := o.collectives[op]
+	if cm == nil {
+		// An op outside the fixed set would silently vanish from the
+		// snapshot; fail loudly in development.
+		panic("mpi: unregistered collective op " + op)
+	}
+	cm.count.Inc()
+	cm.bytes.Observe(int64(bytes))
+	cm.waitNs.Observe(int64(elapsed))
+	if o.spans != nil {
+		o.spans.Record(rank, op, "", bytes, start, elapsed, elapsed)
+	}
+}
+
+// WithObserver attaches an observability sink to the world: per-rank
+// send/recv/collective metrics and (when the observer carries a span
+// recorder) spans. A nil observer leaves the world unobserved; the
+// instrumentation then costs one nil check per operation.
+func WithObserver(o *Observer) Option {
+	return func(w *World) { w.obs = o }
+}
+
+// noopEnd is returned by beginCollective when the world is unobserved,
+// so the instrumented collectives need no conditional at their exits.
+var noopEnd = func() {}
+
+// beginCollective opens a collective span on the calling rank and
+// returns the closure that closes it. bytes is the payload size the op
+// moves per rank (0 for pure synchronization).
+func (c *Comm) beginCollective(op string, bytes int) func() {
+	ob := c.world.obs
+	if ob == nil {
+		return noopEnd
+	}
+	rank := c.group[c.rank]
+	start := ob.now()
+	return func() {
+		ob.observeCollective(rank, op, bytes, start, ob.now().Sub(start))
+	}
+}
+
+// SetPhase labels the calling rank's subsequent communication with a
+// phase name — the measurement layer sets the executing kernel's name so
+// per-kernel communication breakdowns can be reported. An empty name
+// clears the label. SetPhase is a no-op on an unobserved world.
+func (c *Comm) SetPhase(name string) {
+	if c.world.phases == nil {
+		return
+	}
+	c.world.phases[c.group[c.rank]].Store(name)
+}
+
+// phase returns the calling rank's current phase label.
+func (c *Comm) phase() string {
+	if c.world.phases == nil {
+		return ""
+	}
+	if s, ok := c.world.phases[c.group[c.rank]].Load().(string); ok {
+		return s
+	}
+	return ""
+}

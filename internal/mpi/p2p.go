@@ -52,8 +52,11 @@ func (b *mailbox) poison() {
 }
 
 // take removes and returns the first pending message matching (src, tag,
-// ctx), blocking until one arrives. src may be AnySource and tag AnyTag.
-func (b *mailbox) take(src, tag, ctx int, timeout time.Duration) message {
+// ctx), blocking until one arrives, along with the pending-queue length
+// at match time (the matched message included) — the unexpected-message
+// queue depth the observability layer reports. src may be AnySource and
+// tag AnyTag.
+func (b *mailbox) take(src, tag, ctx int, timeout time.Duration) (message, int) {
 	var timer *time.Timer
 	deadline := time.Time{}
 	if timeout > 0 {
@@ -85,8 +88,9 @@ func (b *mailbox) take(src, tag, ctx int, timeout time.Duration) message {
 				continue
 			}
 			found := *m
+			depth := len(b.pending)
 			b.pending = append(b.pending[:i], b.pending[i+1:]...)
-			return found
+			return found, depth
 		}
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			panic(fmt.Sprintf("mpi: receive timeout waiting for src=%d tag=%d ctx=%d (likely deadlock)", src, tag, ctx))
@@ -137,6 +141,11 @@ func (c *Comm) SendBytes(dest int, tag int, buf []byte) {
 }
 
 func (c *Comm) send(dest, tag int, f64 []float64, raw []byte, isFloat bool) {
+	ob := c.world.obs
+	var start time.Time
+	if ob != nil {
+		start = ob.now()
+	}
 	wdest := c.worldOf(dest)
 	m := message{src: c.rank, tag: tag, ctx: c.ctx, isFloat: isFloat}
 	if isFloat {
@@ -145,14 +154,17 @@ func (c *Comm) send(dest, tag int, f64 []float64, raw []byte, isFloat bool) {
 	} else {
 		m.raw = append([]byte(nil), raw...)
 	}
+	bytes := len(m.raw)
+	if isFloat {
+		bytes = 8 * len(m.f64)
+	}
 	if net := c.world.net; net != nil {
-		bytes := len(m.raw)
-		if isFloat {
-			bytes = 8 * len(m.f64)
-		}
 		m.deliverAt = time.Now().Add(net.cost(bytes))
 	}
 	c.world.boxes[wdest].put(m)
+	if ob != nil {
+		ob.observeSend(c.group[c.rank], c.phase(), dest, tag, bytes, start, ob.now().Sub(start))
+	}
 }
 
 // Recv blocks until a message matching (src, tag) arrives on this
@@ -206,10 +218,29 @@ func (c *Comm) RecvNew(src int, tag int) ([]float64, Status) {
 
 func (c *Comm) recv(src, tag int) message {
 	wself := c.group[c.rank]
-	m := c.world.boxes[wself].take(src, tag, c.ctx, c.world.deadline)
+	ob := c.world.obs
+	if ob == nil {
+		m, _ := c.world.boxes[wself].take(src, tag, c.ctx, c.world.deadline)
+		if !m.deliverAt.IsZero() {
+			waitUntil(m.deliverAt)
+		}
+		return m
+	}
+	start := ob.now()
+	m, depth := c.world.boxes[wself].take(src, tag, c.ctx, c.world.deadline)
+	matched := ob.now()
 	if !m.deliverAt.IsZero() {
 		waitUntil(m.deliverAt)
 	}
+	transfer := time.Duration(0)
+	if !m.deliverAt.IsZero() {
+		transfer = ob.now().Sub(matched)
+	}
+	bytes := len(m.raw)
+	if m.isFloat {
+		bytes = 8 * len(m.f64)
+	}
+	ob.observeRecv(wself, c.phase(), m.src, m.tag, bytes, depth, start, matched.Sub(start), transfer)
 	return m
 }
 

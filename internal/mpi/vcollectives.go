@@ -15,6 +15,7 @@ const (
 // rank r's data lands at out[offset(r)] where offsets are the prefix sums
 // of counts. out is ignored on non-root ranks.
 func (c *Comm) Gatherv(root int, in []float64, counts []int, out []float64) {
+	defer c.beginCollective("gatherv", 8*len(in))()
 	n := len(c.group)
 	if len(counts) != n {
 		panic(fmt.Sprintf("mpi: Gatherv counts length %d != communicator size %d", len(counts), n))
@@ -56,6 +57,7 @@ func (c *Comm) Gatherv(root int, in []float64, counts []int, out []float64) {
 // counts[r] values into out, taken from in at the prefix-sum offsets.
 // in is ignored on non-root ranks.
 func (c *Comm) Scatterv(root int, in []float64, counts []int, out []float64) {
+	defer c.beginCollective("scatterv", 8*len(out))()
 	n := len(c.group)
 	if len(counts) != n {
 		panic(fmt.Sprintf("mpi: Scatterv counts length %d != communicator size %d", len(counts), n))
@@ -84,6 +86,7 @@ func (c *Comm) Scatterv(root int, in []float64, counts []int, out []float64) {
 // Allgatherv collects variable-length contributions on every rank,
 // ordered by rank at the prefix-sum offsets of counts.
 func (c *Comm) Allgatherv(in []float64, counts []int, out []float64) {
+	defer c.beginCollective("allgatherv", 8*len(in))()
 	c.Gatherv(0, in, counts, out)
 	total := 0
 	for _, cnt := range counts {
@@ -96,6 +99,7 @@ func (c *Comm) Allgatherv(in []float64, counts []int, out []float64) {
 // elementwise with op, then scatters the result: rank r receives the
 // counts[r]-element segment at its prefix-sum offset into out.
 func (c *Comm) ReduceScatter(op Op, in []float64, counts []int, out []float64) {
+	defer c.beginCollective("reducescatter", 8*len(in))()
 	n := len(c.group)
 	if len(counts) != n {
 		panic(fmt.Sprintf("mpi: ReduceScatter counts length %d != communicator size %d", len(counts), n))

@@ -2,6 +2,7 @@ package npb
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"time"
 
@@ -49,7 +50,10 @@ type MeasureOptions struct {
 	Passes int
 	// TrimFrac is the two-sided trim for aggregating blocks. Zero picks
 	// the default (median-like 0.34 for Blocks >= 3); negative forces
-	// the raw mean.
+	// the raw mean — the knob behind the trimming ablation. Because
+	// -0.0 == 0 in Go, a negative zero still selects the default, and a
+	// NaN is normalized to the default rather than leaking into the
+	// aggregation (int(Blocks*NaN) is unspecified).
 	TrimFrac float64
 	// WorldOpts configures the mpi.World, e.g. a network cost model.
 	WorldOpts []mpi.Option
@@ -61,6 +65,9 @@ func (o MeasureOptions) withDefaults() MeasureOptions {
 	}
 	if o.Passes <= 0 {
 		o.Passes = 1
+	}
+	if math.IsNaN(o.TrimFrac) {
+		o.TrimFrac = 0 // NaN compares false with everything; treat as unset
 	}
 	if o.TrimFrac == 0 && o.Blocks >= 3 {
 		// Timing on a shared host has a heavy upper tail (GC cycles,
@@ -74,6 +81,26 @@ func (o MeasureOptions) withDefaults() MeasureOptions {
 	return o
 }
 
+// WindowMeasurement is the full record of one window measurement: the
+// aggregate the predictors consume plus the raw per-block timings and the
+// trim that produced the aggregate, so every reported coupling value can
+// be traced back to the block decisions behind it.
+type WindowMeasurement struct {
+	// Window is the measured kernel window in application order.
+	Window []string
+	// PerPass is the aggregated per-pass wall-clock seconds — the value
+	// MeasureWindow returns.
+	PerPass float64
+	// Blocks holds each timed block's per-pass seconds in block order,
+	// before trimming.
+	Blocks []float64
+	// TrimFrac is the effective two-sided trim applied (after sentinel
+	// resolution: 0 here means the raw mean was used).
+	TrimFrac float64
+	// Passes is the number of window passes each block timed.
+	Passes int
+}
+
 // MeasureWindow spawns a world, builds per-rank state with the factory,
 // and times Blocks×Passes executions of the kernel window in application
 // order, following the paper's methodology: the window sits in a loop that
@@ -81,8 +108,18 @@ func (o MeasureOptions) withDefaults() MeasureOptions {
 // barriers bound each block so the slowest rank defines parallel time.
 // It returns the per-pass wall-clock seconds (trimmed mean across blocks).
 func MeasureWindow(f Factory, window []string, o MeasureOptions) (float64, error) {
+	wm, err := MeasureWindowDetail(f, window, o)
+	if err != nil {
+		return 0, err
+	}
+	return wm.PerPass, nil
+}
+
+// MeasureWindowDetail is MeasureWindow keeping the per-block timings and
+// trim decision — the provenance behind each reported coupling value.
+func MeasureWindowDetail(f Factory, window []string, o MeasureOptions) (WindowMeasurement, error) {
 	if len(window) == 0 {
-		return 0, fmt.Errorf("npb: empty measurement window")
+		return WindowMeasurement{}, fmt.Errorf("npb: empty measurement window")
 	}
 	o = o.withDefaults()
 	blockTimes := make([]float64, 0, o.Blocks)
@@ -95,10 +132,12 @@ func MeasureWindow(f Factory, window []string, o MeasureOptions) (float64, error
 		// cold-cache and lazy-allocation costs that belong to neither
 		// the kernel nor its couplings.
 		for _, k := range window {
+			c.SetPhase(k)
 			if err := ks.RunKernel(k); err != nil {
 				panic(fmt.Sprintf("npb: rank %d warmup %s: %v", c.Rank(), k, err))
 			}
 		}
+		c.SetPhase("")
 		ks.Refresh()
 		quiesce(c)
 		for b := 0; b < o.Blocks; b++ {
@@ -112,11 +151,13 @@ func MeasureWindow(f Factory, window []string, o MeasureOptions) (float64, error
 			}
 			for p := 0; p < o.Passes; p++ {
 				for _, k := range window {
+					c.SetPhase(k)
 					if err := ks.RunKernel(k); err != nil {
 						panic(fmt.Sprintf("npb: rank %d kernel %s: %v", c.Rank(), k, err))
 					}
 				}
 			}
+			c.SetPhase("")
 			c.Barrier()
 			if c.Rank() == 0 {
 				blockTimes = append(blockTimes, time.Since(t0).Seconds()/float64(o.Passes))
@@ -124,9 +165,15 @@ func MeasureWindow(f Factory, window []string, o MeasureOptions) (float64, error
 		}
 	}, o.WorldOpts...)
 	if err != nil {
-		return 0, err
+		return WindowMeasurement{}, err
 	}
-	return stats.TrimmedMean(blockTimes, o.TrimFrac), nil
+	return WindowMeasurement{
+		Window:   append([]string(nil), window...),
+		PerPass:  stats.TrimmedMean(blockTimes, o.TrimFrac),
+		Blocks:   blockTimes,
+		TrimFrac: o.TrimFrac,
+		Passes:   o.Passes,
+	}, nil
 }
 
 // MeasureFull times a complete application run — pre-kernels, trips passes
@@ -147,10 +194,12 @@ func MeasureFull(f Factory, pre, loop []string, trips int, post []string, o Meas
 		}
 		runAll := func(names []string) {
 			for _, k := range names {
+				c.SetPhase(k)
 				if err := ks.RunKernel(k); err != nil {
 					panic(fmt.Sprintf("npb: rank %d kernel %s: %v", c.Rank(), k, err))
 				}
 			}
+			c.SetPhase("")
 		}
 		quiesce(c)
 		c.Barrier()
@@ -186,10 +235,12 @@ func RunOnce(f Factory, pre, loop []string, trips int, post []string, procs int,
 		}
 		runAll := func(names []string) {
 			for _, k := range names {
+				c.SetPhase(k)
 				if err := ks.RunKernel(k); err != nil {
 					panic(fmt.Sprintf("npb: rank %d kernel %s: %v", c.Rank(), k, err))
 				}
 			}
+			c.SetPhase("")
 		}
 		runAll(pre)
 		for it := 0; it < trips; it++ {

@@ -2,12 +2,14 @@ package npb
 
 import (
 	"errors"
+	"math"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/mpi"
+	"repro/internal/stats"
 )
 
 // countingKernels is a deterministic KernelSet for testing the runner.
@@ -146,3 +148,80 @@ func TestRunOnceReportOnRankZero(t *testing.T) {
 		t.Errorf("kernel ran %d times, want 12", got)
 	}
 }
+
+// TestMeasureOptionsTrimFracSentinels pins the sentinel semantics at this
+// layer too: -0.0 compares equal to zero and must select the default
+// trim (never the raw-mean ablation), and NaN must be normalized to the
+// default instead of flowing into stats.TrimmedMean.
+func TestMeasureOptionsTrimFracSentinels(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	if o := (MeasureOptions{TrimFrac: negZero, Blocks: 3}).withDefaults(); o.TrimFrac != 0.34 {
+		t.Errorf("-0.0 selected TrimFrac %v, want the 0.34 default", o.TrimFrac)
+	}
+	if o := (MeasureOptions{TrimFrac: math.NaN(), Blocks: 3}).withDefaults(); o.TrimFrac != 0.34 {
+		t.Errorf("NaN selected TrimFrac %v, want the 0.34 default", o.TrimFrac)
+	}
+	if o := (MeasureOptions{TrimFrac: -1, Blocks: 3}).withDefaults(); o.TrimFrac != 0 {
+		t.Errorf("negative sentinel resolved to %v, want 0 (raw mean)", o.TrimFrac)
+	}
+}
+
+func TestMeasureWindowDetailProvenance(t *testing.T) {
+	f, _, _ := newCountingFactory([]string{"a"}, time.Millisecond, "")
+	wm, err := MeasureWindowDetail(f, []string{"a"}, MeasureOptions{Procs: 1, Blocks: 4, Passes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wm.Blocks) != 4 {
+		t.Fatalf("got %d raw blocks, want 4", len(wm.Blocks))
+	}
+	if wm.TrimFrac != 0.34 || wm.Passes != 2 {
+		t.Errorf("detail = %+v, want the resolved options recorded", wm)
+	}
+	if got := stats.TrimmedMean(wm.Blocks, wm.TrimFrac); got != wm.PerPass {
+		t.Errorf("PerPass %v not reproducible from Blocks+TrimFrac (%v)", wm.PerPass, got)
+	}
+	for i, b := range wm.Blocks {
+		if b < 0.001 {
+			t.Errorf("block %d = %v s, below the 1ms kernel delay", i, b)
+		}
+	}
+	if len(wm.Window) != 1 || wm.Window[0] != "a" {
+		t.Errorf("window = %v", wm.Window)
+	}
+}
+
+// TestMeasureWindowPhaseAttribution checks the measurement layer labels
+// communication with the executing kernel, so observed runs report
+// per-kernel breakdowns.
+func TestMeasureWindowPhaseAttribution(t *testing.T) {
+	ob := mpi.NewObserver(nil, nil)
+	f := func(c *mpi.Comm) (KernelSet, error) {
+		return exchangingKernels{c: c}, nil
+	}
+	_, err := MeasureWindow(f, []string{"PING"}, MeasureOptions{
+		Procs: 2, Blocks: 2, Passes: 1,
+		WorldOpts: []mpi.Option{mpi.WithObserver(ob)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ob.Registry().Snapshot()
+	c, ok := snap.Counter("mpi.kernel.PING.send.count")
+	if !ok || c.Value == 0 {
+		t.Errorf("PING sends not attributed: %+v ok=%v", c, ok)
+	}
+}
+
+// exchangingKernels swaps one float between two ranks per execution.
+type exchangingKernels struct{ c *mpi.Comm }
+
+func (k exchangingKernels) RunKernel(string) error {
+	buf := []float64{float64(k.c.Rank())}
+	out := make([]float64, 1)
+	peer := 1 - k.c.Rank()
+	k.c.Sendrecv(peer, 0, buf, peer, 0, out)
+	return nil
+}
+
+func (exchangingKernels) Refresh() {}

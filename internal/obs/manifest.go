@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+)
+
+// Manifest is the self-description of one measurement run: what was run,
+// on what toolchain and host, with which knobs, and what the runtime
+// metrics looked like when it finished. cmd/npbrun and cmd/couple write
+// one next to every -metrics-out request; cmd/kcreport renders it.
+//
+// Serialization is deterministic: struct fields marshal in declaration
+// order, the Extra map marshals in sorted key order (encoding/json
+// guarantee), and the metric snapshot is sorted by construction. The
+// caller supplies anything wall-clock derived (UnixSeconds, WallSeconds):
+// this package never reads a clock itself.
+type Manifest struct {
+	// Tool is the producing command, e.g. "npbrun" or "couple".
+	Tool string `json:"tool"`
+	// Benchmark, Class, Procs and Trips identify the run configuration.
+	Benchmark string `json:"benchmark,omitempty"`
+	Class     string `json:"class,omitempty"`
+	Procs     int    `json:"procs,omitempty"`
+	Trips     int    `json:"trips,omitempty"`
+	// Seed is the deterministic seed of the run, when one applies.
+	Seed int64 `json:"seed,omitempty"`
+	// GoVersion, Module, ModuleSum, OS, Arch and CPUs describe the
+	// toolchain and host.
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	ModuleSum string `json:"module_sum,omitempty"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	CPUs      int    `json:"cpus"`
+	// UnixSeconds is the caller-supplied start time of the run (seconds
+	// since the Unix epoch); zero when the caller wants byte-identical
+	// output across runs.
+	UnixSeconds int64 `json:"unix_seconds,omitempty"`
+	// WallSeconds is the caller-measured wall-clock duration of the run.
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// Extra carries free-form key/value context (flags, notes).
+	Extra map[string]string `json:"extra,omitempty"`
+	// Metrics is the registry snapshot taken at the end of the run.
+	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// NewManifest returns a manifest for the named tool with the toolchain
+// and host fields filled in from the running binary.
+func NewManifest(tool string) Manifest {
+	m := Manifest{
+		Tool:      tool,
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		m.Module = bi.Main.Path
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			m.ModuleSum = bi.Main.Sum
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				m.ModuleSum = s.Value
+			}
+		}
+	}
+	return m
+}
+
+// WriteJSON writes the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest to path, creating or truncating it.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: manifest: %w", err)
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: manifest: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadManifestFile parses a manifest previously written by WriteFile.
+func ReadManifestFile(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("obs: manifest %s: %w", path, err)
+	}
+	return &m, nil
+}

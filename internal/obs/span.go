@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/timing"
+)
+
+// Span is one timed interval of runtime activity — an MPI operation, a
+// harness measurement window — positioned relative to its recorder's
+// epoch so it can be merged with kernel trace events recorded against the
+// same clock.
+type Span struct {
+	// Rank is the executing rank; -1 marks process-level activity (e.g.
+	// harness orchestration) that belongs to no rank.
+	Rank int
+	// Op names the operation, e.g. "send", "recv", "bcast", "measure".
+	Op string
+	// Detail carries operation-specific context, e.g. "peer=2 tag=7" or a
+	// window key.
+	Detail string
+	// Bytes is the payload size moved by the operation, 0 when
+	// meaningless.
+	Bytes int
+	// Start is the offset from the recorder's epoch.
+	Start time.Duration
+	// Elapsed is the total span duration.
+	Elapsed time.Duration
+	// Wait is the portion of Elapsed spent blocked (e.g. a receive
+	// waiting for a message to be matched, as opposed to transferring
+	// it); 0 when the operation never blocks.
+	Wait time.Duration
+}
+
+// SpanRecorder collects spans from concurrently executing ranks against a
+// single clock and epoch. The zero value is not usable; construct with
+// NewSpanRecorder or NewSpanRecorderWithClock.
+type SpanRecorder struct {
+	mu    sync.Mutex
+	clock timing.Clock
+	epoch time.Time
+	spans []Span
+}
+
+// NewSpanRecorder returns a recorder on the wall clock whose epoch is now.
+func NewSpanRecorder() *SpanRecorder {
+	return NewSpanRecorderWithClock(timing.WallClock)
+}
+
+// NewSpanRecorderWithClock returns a recorder reading the given clock
+// (nil means the wall clock), so deterministic tests control every
+// timestamp.
+func NewSpanRecorderWithClock(c timing.Clock) *SpanRecorder {
+	if c == nil {
+		c = timing.WallClock
+	}
+	return &SpanRecorder{clock: c, epoch: c.Now()}
+}
+
+// SetEpoch aligns the recorder's epoch with another instrument (e.g. a
+// trace.Tracer) so merged timelines share a zero point.
+func (r *SpanRecorder) SetEpoch(t time.Time) {
+	r.mu.Lock()
+	r.epoch = t
+	r.mu.Unlock()
+}
+
+// Now reads the recorder's clock; instrumented code uses it so span
+// boundaries come from the same source as the epoch.
+func (r *SpanRecorder) Now() time.Time { return r.clock.Now() }
+
+// Record stores one span whose absolute start time is given; the recorder
+// rebases it onto its epoch.
+func (r *SpanRecorder) Record(rank int, op, detail string, bytes int, start time.Time, elapsed, wait time.Duration) {
+	r.mu.Lock()
+	r.spans = append(r.spans, Span{
+		Rank:    rank,
+		Op:      op,
+		Detail:  detail,
+		Bytes:   bytes,
+		Start:   start.Sub(r.epoch),
+		Elapsed: elapsed,
+		Wait:    wait,
+	})
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in record order.
+func (r *SpanRecorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// Len returns the number of recorded spans.
+func (r *SpanRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Reset discards all recorded spans and restarts the epoch.
+func (r *SpanRecorder) Reset() {
+	r.mu.Lock()
+	r.spans = r.spans[:0]
+	r.epoch = r.clock.Now()
+	r.mu.Unlock()
+}

@@ -1,0 +1,132 @@
+// Package obscli wires the observability stack into commands: it owns the
+// -trace-out, -metrics-out and -pprof flags shared by cmd/npbrun and
+// cmd/couple, builds the metric registry / span recorder / MPI observer /
+// kernel tracer they request, and writes the Perfetto trace and run
+// manifest when the command finishes.
+package obscli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Flags holds the observability flag values.
+type Flags struct {
+	// TraceOut is the Chrome/Perfetto trace-event JSON output path.
+	TraceOut string
+	// MetricsOut is the run-manifest (metrics + provenance) output path.
+	MetricsOut string
+	// Pprof is the CPU profile output path.
+	Pprof string
+}
+
+// Register installs the flags on fs (the default flag set when nil).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Perfetto/Chrome trace-event JSON file")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a run manifest with the metric snapshot (JSON)")
+	fs.StringVar(&f.Pprof, "pprof", "", "write a CPU profile")
+}
+
+// Enabled reports whether any runtime instrumentation was requested
+// (the CPU profile alone does not require instrumenting worlds).
+func (f Flags) Enabled() bool { return f.TraceOut != "" || f.MetricsOut != "" }
+
+// Sink is the wired-up observability of one command run.
+type Sink struct {
+	flags Flags
+	// Registry collects metrics; shared by the MPI observer and any
+	// harness-level instrumentation. Nil when instrumentation is off.
+	Registry *obs.Registry
+	// Spans collects MPI and harness spans. Nil when tracing is off.
+	Spans *obs.SpanRecorder
+	// Observer is the MPI-world hook; attach via WorldOpts. Nil when
+	// instrumentation is off.
+	Observer *mpi.Observer
+	// Tracer records kernel events for the trace export; commands wrap
+	// their factories with it. Nil unless -trace-out was given.
+	Tracer *trace.Tracer
+
+	pprofFile *os.File
+}
+
+// Open builds the sinks the flags request and starts the CPU profile.
+// Always returns a usable Sink; with no flags set it is inert.
+func Open(f Flags) (*Sink, error) {
+	s := &Sink{flags: f}
+	if f.Pprof != "" {
+		pf, err := os.Create(f.Pprof)
+		if err != nil {
+			return nil, fmt.Errorf("obscli: pprof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			pf.Close()
+			return nil, fmt.Errorf("obscli: pprof: %w", err)
+		}
+		s.pprofFile = pf
+	}
+	if f.Enabled() {
+		s.Registry = obs.NewRegistry()
+		if f.TraceOut != "" {
+			s.Tracer = trace.NewTracer()
+			s.Spans = obs.NewSpanRecorder()
+			// One timebase for kernel events and MPI spans, so the
+			// merged export lines up per rank.
+			s.Spans.SetEpoch(s.Tracer.Epoch())
+		}
+		s.Observer = mpi.NewObserver(s.Registry, s.Spans)
+	}
+	return s, nil
+}
+
+// WorldOpts returns the MPI options that attach the sink to a world;
+// empty when instrumentation is off.
+func (s *Sink) WorldOpts() []mpi.Option {
+	if s.Observer == nil {
+		return nil
+	}
+	return []mpi.Option{mpi.WithObserver(s.Observer)}
+}
+
+// Close stops the CPU profile and writes the requested outputs: the
+// trace-event file merging kernel events with the recorded spans, and
+// the manifest with the final metric snapshot. The caller fills the
+// manifest's run-identification and wall-clock fields.
+func (s *Sink) Close(man obs.Manifest) error {
+	if s.pprofFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.pprofFile.Close(); err != nil {
+			return fmt.Errorf("obscli: pprof: %w", err)
+		}
+		s.pprofFile = nil
+	}
+	if s.flags.TraceOut != "" {
+		var events []trace.Event
+		if s.Tracer != nil {
+			events = s.Tracer.Events()
+		}
+		var spans []obs.Span
+		if s.Spans != nil {
+			spans = s.Spans.Spans()
+		}
+		if err := trace.WriteTraceEventFile(s.flags.TraceOut, events, spans); err != nil {
+			return fmt.Errorf("obscli: trace: %w", err)
+		}
+	}
+	if s.flags.MetricsOut != "" {
+		snap := s.Registry.Snapshot()
+		man.Metrics = &snap
+		if err := man.WriteFile(s.flags.MetricsOut); err != nil {
+			return fmt.Errorf("obscli: metrics: %w", err)
+		}
+	}
+	return nil
+}

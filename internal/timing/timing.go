@@ -7,6 +7,8 @@ package timing
 
 import (
 	"errors"
+	"math"
+	"sync"
 	"time"
 
 	"repro/internal/stats"
@@ -27,8 +29,14 @@ type wallClock struct{}
 func (wallClock) Now() time.Time { return time.Now() }
 
 // FakeClock is a deterministic Clock for tests: each call to Now advances
-// the clock by the next element of Steps (cycling when exhausted).
+// the clock by the next element of Steps (cycling when exhausted). Now is
+// safe for concurrent callers (e.g. goroutine ranks recording a
+// deterministic multi-rank trace): each caller observes one atomic
+// advance, though the interleaving of concurrent callers is of course
+// scheduler-dependent. Always pass a *FakeClock — copying one copies its
+// mutex.
 type FakeClock struct {
+	mu    sync.Mutex
 	T     time.Time
 	Steps []time.Duration
 	i     int
@@ -36,6 +44,8 @@ type FakeClock struct {
 
 // Now advances the fake clock by the next step and returns the new reading.
 func (f *FakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if len(f.Steps) > 0 {
 		f.T = f.T.Add(f.Steps[f.i%len(f.Steps)])
 		f.i++
@@ -53,7 +63,10 @@ type Options struct {
 	// equivalent knob here is Blocks×PassesPerBlock.
 	PassesPerBlock int
 	// TrimFrac is the two-sided trim fraction for aggregating block
-	// times (default 0.1 when zero and Blocks >= 5).
+	// times. Zero (including -0.0) picks the default: 0.1 when
+	// Blocks >= 5, otherwise no trimming. A negative value is the
+	// explicit raw-mean sentinel (the trimming ablation). NaN is
+	// normalized to the default rather than silently selecting a path.
 	TrimFrac float64
 	// Clock is the time source (WallClock when nil).
 	Clock Clock
@@ -69,6 +82,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PassesPerBlock <= 0 {
 		o.PassesPerBlock = 1
+	}
+	if math.IsNaN(o.TrimFrac) {
+		o.TrimFrac = 0 // NaN compares false with everything; treat as unset
 	}
 	if o.TrimFrac == 0 && o.Blocks >= 5 {
 		o.TrimFrac = 0.1

@@ -1,6 +1,8 @@
 package timing
 
 import (
+	"math"
+	"sync"
 	"testing"
 	"time"
 )
@@ -118,5 +120,46 @@ func TestFakeClockNoSteps(t *testing.T) {
 	c := &FakeClock{}
 	if !c.Now().Equal(c.Now()) {
 		t.Error("FakeClock without steps should be frozen")
+	}
+}
+
+// TestFakeClockConcurrentRanks pins the satellite contract: goroutine
+// ranks may share a FakeClock (multi-rank deterministic traces need it).
+// Every Now call must consume exactly one step, so the final reading is
+// exact regardless of interleaving; the race detector checks safety.
+func TestFakeClockConcurrentRanks(t *testing.T) {
+	const ranks, callsPerRank = 8, 250
+	c := &FakeClock{T: time.Unix(0, 0), Steps: []time.Duration{time.Millisecond}}
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < callsPerRank; i++ {
+				c.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Unix(0, 0).Add(ranks * callsPerRank * time.Millisecond)
+	if got := c.T; !got.Equal(want) {
+		t.Errorf("clock advanced to %v, want %v (steps lost or doubled)", got, want)
+	}
+}
+
+// TestTrimFracSentinels pins the TrimFrac sentinel semantics: -0.0
+// compares equal to zero and must select the default trim, never the
+// raw-mean ablation path, and NaN must be normalized to the default
+// rather than flowing into the aggregation.
+func TestTrimFracSentinels(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	if o := (Options{TrimFrac: negZero, Blocks: 5}).withDefaults(); o.TrimFrac != 0.1 {
+		t.Errorf("-0.0 selected TrimFrac %v, want the 0.1 default", o.TrimFrac)
+	}
+	if o := (Options{TrimFrac: math.NaN(), Blocks: 5}).withDefaults(); o.TrimFrac != 0.1 {
+		t.Errorf("NaN selected TrimFrac %v, want the 0.1 default", o.TrimFrac)
+	}
+	if o := (Options{TrimFrac: -1, Blocks: 5}).withDefaults(); o.TrimFrac != -1 {
+		t.Errorf("negative sentinel rewritten to %v; raw-mean ablation lost", o.TrimFrac)
 	}
 }

@@ -1,0 +1,23 @@
+package trace
+
+import (
+	"io"
+	"testing"
+)
+
+func BenchmarkWriteTraceEventsLarge(b *testing.B) {
+	tr, rec := multiRankFixture()
+	events, spans := tr.Events(), rec.Spans()
+	for len(events) < 3000 {
+		events = append(events, events...)
+	}
+	for len(spans) < 2000 {
+		spans = append(spans, spans...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteTraceEvents(io.Discard, events, spans); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

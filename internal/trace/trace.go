@@ -46,8 +46,8 @@ func NewTracer() *Tracer {
 
 // NewTracerWithClock returns a tracer reading the given clock, so tests
 // and deterministic replays control every timestamp. A nil clock means the
-// wall clock. Note that timing.FakeClock is not safe for concurrent ranks;
-// deterministic traces should be recorded from one goroutine.
+// wall clock. timing.FakeClock is safe for concurrent ranks, so multi-rank
+// deterministic traces can share one.
 func NewTracerWithClock(c timing.Clock) *Tracer {
 	if c == nil {
 		c = timing.WallClock

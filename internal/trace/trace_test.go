@@ -152,8 +152,6 @@ func TestNilClockFallsBackToWall(t *testing.T) {
 }
 
 func TestConcurrentRecording(t *testing.T) {
-	// Concurrent ranks need the wall clock: FakeClock is documented as
-	// single-goroutine only.
 	tr := NewTracer()
 	var wg sync.WaitGroup
 	for r := 0; r < 8; r++ {

@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The Chrome trace-event JSON format (loadable by Perfetto's UI and by
+// chrome://tracing) models a trace as processes and threads carrying
+// complete events ("ph":"X") with microsecond timestamps. The exporter
+// maps the reproduction's concepts onto it:
+//
+//	process (pid)   one per rank; harness-level spans (obs.Span.Rank < 0)
+//	                get their own "harness" process after the last rank
+//	thread 0        kernel executions (trace.Event)
+//	thread 1        MPI operations (obs.Span)
+//
+// so the Perfetto timeline shows, per rank, the kernel track with the
+// communication track directly beneath it — the visual form of the
+// paper's question about how kernels couple through communication.
+
+// traceEvent is one entry of the "traceEvents" array. Field order here is
+// emission order (encoding/json preserves struct order), which keeps the
+// output byte-stable for golden tests.
+type traceEvent struct {
+	Name  string     `json:"name"`
+	Phase string     `json:"ph"`
+	Ts    float64    `json:"ts"`            // microseconds from epoch
+	Dur   float64    `json:"dur,omitempty"` // microseconds
+	Pid   int        `json:"pid"`
+	Tid   int        `json:"tid"`
+	Args  *eventArgs `json:"args,omitempty"`
+}
+
+// eventArgs carries the optional per-event payload. A struct (rather than
+// a map) keeps encoding allocation-light — npbrun traces carry thousands
+// of events and the export happens inside the run's wall time.
+type eventArgs struct {
+	Name   string  `json:"name,omitempty"`    // metadata events only
+	Detail string  `json:"detail,omitempty"`  // e.g. "src=2 tag=7"
+	Bytes  int     `json:"bytes,omitempty"`   // payload size
+	WaitUs float64 `json:"wait_us,omitempty"` // blocked time, microseconds
+}
+
+// traceFile is the top-level JSON object Perfetto expects. The writer
+// streams this shape by hand (see WriteTraceEvents); the struct exists
+// for decoding exports in tests and tools.
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+const (
+	tidKernels = 0
+	tidMPI     = 1
+)
+
+// usec converts a duration to fractional microseconds, the trace-event
+// time unit.
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteTraceEvents merges kernel events and MPI spans into one Chrome
+// trace-event JSON document on w. Both inputs must share an epoch: record
+// them with the same clock and align the span recorder via
+// SpanRecorder.SetEpoch(tracer.Epoch()). Either slice may be empty. The
+// output is deterministic: events are sorted by (pid, tid, ts, name) and
+// metadata precedes data.
+func WriteTraceEvents(w io.Writer, events []Event, spans []obs.Span) error {
+	maxRank := -1
+	for _, e := range events {
+		if e.Rank > maxRank {
+			maxRank = e.Rank
+		}
+	}
+	hasHarness := false
+	for _, s := range spans {
+		if s.Rank > maxRank {
+			maxRank = s.Rank
+		}
+		if s.Rank < 0 {
+			hasHarness = true
+		}
+	}
+	harnessPid := maxRank + 1
+
+	kernelRanks := map[int]bool{}
+	mpiRanks := map[int]bool{}
+	var out []traceEvent
+	for _, e := range events {
+		if e.Rank < 0 {
+			continue // kernel events are always rank-attributed
+		}
+		kernelRanks[e.Rank] = true
+		out = append(out, traceEvent{
+			Name:  e.Kernel,
+			Phase: "X",
+			Ts:    usec(e.Start),
+			Dur:   usec(e.Elapsed),
+			Pid:   e.Rank,
+			Tid:   tidKernels,
+		})
+	}
+	for _, s := range spans {
+		pid := s.Rank
+		if pid < 0 {
+			pid = harnessPid
+		}
+		mpiRanks[pid] = true
+		var args *eventArgs
+		if s.Detail != "" || s.Bytes > 0 || s.Wait > 0 {
+			args = &eventArgs{Detail: s.Detail}
+			if s.Bytes > 0 {
+				args.Bytes = s.Bytes
+			}
+			if s.Wait > 0 {
+				args.WaitUs = usec(s.Wait)
+			}
+		}
+		out = append(out, traceEvent{
+			Name:  s.Op,
+			Phase: "X",
+			Ts:    usec(s.Start),
+			Dur:   usec(s.Elapsed),
+			Pid:   pid,
+			Tid:   tidMPI,
+			Args:  args,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		return a.Name < b.Name
+	})
+
+	// Metadata: name every process and thread that carries events.
+	meta := func(name, key string, pid, tid int) traceEvent {
+		return traceEvent{
+			Name:  name,
+			Phase: "M",
+			Pid:   pid,
+			Tid:   tid,
+			Args:  &eventArgs{Name: key},
+		}
+	}
+	pids := make([]int, 0, len(kernelRanks)+len(mpiRanks))
+	for pid := range kernelRanks {
+		pids = append(pids, pid)
+	}
+	for pid := range mpiRanks {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	pids = dedupSortedInts(pids)
+	var metas []traceEvent
+	for _, pid := range pids {
+		pname := fmt.Sprintf("rank %d", pid)
+		if hasHarness && pid == harnessPid {
+			pname = "harness"
+		}
+		metas = append(metas, meta("process_name", pname, pid, 0))
+		if kernelRanks[pid] {
+			metas = append(metas, meta("thread_name", "kernels", pid, tidKernels))
+		}
+		if mpiRanks[pid] {
+			metas = append(metas, meta("thread_name", "mpi", pid, tidMPI))
+		}
+	}
+
+	// Stream one compact event per line instead of json-encoding (and
+	// indenting) the whole document at once: the indent pass re-buffers
+	// the entire output and dominated export time at npbrun scale, and
+	// one-event-per-line still diffs cleanly in the golden tests.
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\n \"traceEvents\":[\n")
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false) // kernel/op names never carry HTML
+	all := append(metas, out...)
+	for i := range all {
+		if i == 0 {
+			bw.WriteString("  ")
+		} else {
+			bw.WriteString(" ,") // comma-first: Encode ends each line itself
+		}
+		if err := enc.Encode(&all[i]); err != nil {
+			return err
+		}
+	}
+	bw.WriteString(" ]}\n")
+	return bw.Flush()
+}
+
+// WriteTraceEventFile is WriteTraceEvents to a named file.
+func WriteTraceEventFile(path string, events []Event, spans []obs.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTraceEvents(f, events, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// dedupSortedInts removes adjacent duplicates from a sorted slice.
+func dedupSortedInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Epoch returns the tracer's time origin, so other recorders (an
+// obs.SpanRecorder via SetEpoch) can share its timebase and merged
+// exports line up.
+func (t *Tracer) Epoch() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}

@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/timing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// multiRankFixture builds a fixed two-rank trace plus MPI spans on a
+// shared fake clock: every timestamp is exact, so renderings and exports
+// can be compared byte-for-byte against golden files.
+func multiRankFixture() (*Tracer, *obs.SpanRecorder) {
+	fc := &timing.FakeClock{T: time.Unix(0, 0)}
+	tr := NewTracerWithClock(fc)
+	rec := obs.NewSpanRecorderWithClock(fc)
+	rec.SetEpoch(tr.Epoch())
+	base := tr.Epoch()
+
+	tr.Record(0, "X_SOLVE", base, 5*time.Millisecond)
+	tr.Record(1, "X_SOLVE", base.Add(1*time.Millisecond), 4*time.Millisecond)
+	tr.Record(0, "Y_SOLVE", base.Add(5*time.Millisecond), 3*time.Millisecond)
+	tr.Record(1, "ADD", base.Add(6*time.Millisecond), 1*time.Millisecond)
+
+	rec.Record(0, "send", "dst=1 tag=3", 800, base.Add(2*time.Millisecond), 100*time.Microsecond, 0)
+	rec.Record(1, "recv", "src=0 tag=3", 800, base.Add(2100*time.Microsecond), 300*time.Microsecond, 250*time.Microsecond)
+	rec.Record(1, "allreduce", "", 8, base.Add(7*time.Millisecond), 200*time.Microsecond, 200*time.Microsecond)
+	rec.Record(-1, "window", "BT trip 1", 0, base, 8*time.Millisecond, 0)
+	return tr, rec
+}
+
+// checkGolden compares got against testdata/name, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestTimelineGolden(t *testing.T) {
+	tr, _ := multiRankFixture()
+	checkGolden(t, "timeline.golden", []byte(tr.Timeline(40)))
+}
+
+func TestProfilesGolden(t *testing.T) {
+	tr, _ := multiRankFixture()
+	checkGolden(t, "profiles.golden", []byte(tr.String()))
+}
+
+func TestTraceEventGolden(t *testing.T) {
+	tr, rec := multiRankFixture()
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, tr.Events(), rec.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "traceevent.golden.json", buf.Bytes())
+}
+
+func TestTraceEventDeterministicBytes(t *testing.T) {
+	tr, rec := multiRankFixture()
+	var a, b bytes.Buffer
+	if err := WriteTraceEvents(&a, tr.Events(), rec.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceEvents(&b, tr.Events(), rec.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of the same trace differ")
+	}
+}
+
+// TestTraceEventRoundTrip re-parses the export and checks the shape the
+// Perfetto / chrome://tracing JSON importer requires: a traceEvents array
+// of objects whose ph is "X" (complete, with ts+dur in microseconds) or
+// "M" (metadata naming processes and threads).
+func TestTraceEventRoundTrip(t *testing.T) {
+	tr, rec := multiRankFixture()
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, tr.Events(), rec.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// 4 kernel events + 4 spans = 8 data events; the fixture names ranks
+	// 0, 1 and the harness process 2, each with the threads it uses.
+	var x, m int
+	processes := map[int]string{}
+	threads := map[[2]int]string{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			x++
+			if e.Dur <= 0 {
+				t.Errorf("complete event %q has dur %v", e.Name, e.Dur)
+			}
+			if e.Ts < 0 {
+				t.Errorf("complete event %q has ts %v before the epoch", e.Name, e.Ts)
+			}
+		case "M":
+			m++
+			name, _ := e.Args["name"].(string)
+			switch e.Name {
+			case "process_name":
+				processes[e.Pid] = name
+			case "thread_name":
+				threads[[2]int{e.Pid, e.Tid}] = name
+			default:
+				t.Errorf("unexpected metadata event %q", e.Name)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if x != 8 {
+		t.Errorf("got %d complete events, want 8", x)
+	}
+	if processes[0] != "rank 0" || processes[1] != "rank 1" || processes[2] != "harness" {
+		t.Errorf("process names = %v", processes)
+	}
+	if threads[[2]int{0, tidKernels}] != "kernels" || threads[[2]int{1, tidMPI}] != "mpi" {
+		t.Errorf("thread names = %v", threads)
+	}
+	if _, ok := threads[[2]int{2, tidKernels}]; ok {
+		t.Error("harness process should carry no kernel thread")
+	}
+	// The recv span must carry its byte count and wait time.
+	var sawRecvArgs bool
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "recv" {
+			if b, _ := e.Args["bytes"].(float64); b != 800 {
+				t.Errorf("recv bytes arg = %v", e.Args["bytes"])
+			}
+			if w, _ := e.Args["wait_us"].(float64); w != 250 {
+				t.Errorf("recv wait_us arg = %v", e.Args["wait_us"])
+			}
+			sawRecvArgs = true
+		}
+	}
+	if !sawRecvArgs {
+		t.Error("recv span missing from export")
+	}
+}
+
+func TestTraceEventSortedAndAligned(t *testing.T) {
+	tr, rec := multiRankFixture()
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, tr.Events(), rec.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceFile
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var prev *traceEvent
+	for i := range doc.TraceEvents {
+		e := &doc.TraceEvents[i]
+		if e.Phase != "X" {
+			continue
+		}
+		if prev != nil {
+			if e.Pid < prev.Pid ||
+				(e.Pid == prev.Pid && e.Tid < prev.Tid) ||
+				(e.Pid == prev.Pid && e.Tid == prev.Tid && e.Ts < prev.Ts) {
+				t.Errorf("events out of (pid, tid, ts) order: %+v after %+v", e, prev)
+			}
+		}
+		prev = e
+	}
+	// Epoch alignment: rank 0's X_SOLVE starts at ts 0, and the send it
+	// issues 2ms in sits inside it on the shared timebase.
+	var solve0, send0 *traceEvent
+	for i := range doc.TraceEvents {
+		e := &doc.TraceEvents[i]
+		if e.Pid == 0 && e.Name == "X_SOLVE" {
+			solve0 = e
+		}
+		if e.Pid == 0 && e.Name == "send" {
+			send0 = e
+		}
+	}
+	if solve0 == nil || send0 == nil {
+		t.Fatal("fixture events missing from export")
+	}
+	if solve0.Ts != 0 || send0.Ts != 2000 {
+		t.Errorf("ts: X_SOLVE=%v send=%v, want 0 and 2000 µs", solve0.Ts, send0.Ts)
+	}
+}
+
+func TestWriteTraceEventFile(t *testing.T) {
+	tr, rec := multiRankFixture()
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteTraceEventFile(path, tr.Events(), rec.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) {
+		t.Error("file export is not valid JSON")
+	}
+}
+
+func TestTraceEventEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceFile
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Errorf("empty trace produced %d events", len(doc.TraceEvents))
+	}
+}

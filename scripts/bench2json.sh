@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench2json.sh — convert `go test -bench` output (stdin) into a JSON
+# document (stdout) so benchmark history can be archived and diffed:
+#
+#   go test -bench . -benchmem -run '^$' . | scripts/bench2json.sh > BENCH_$(date +%F).json
+#
+# Every benchmark line becomes one record carrying all reported metrics
+# (ns/op, B/op, allocs/op, and the custom ones like sum-err-%), keyed by
+# the metric's unit string. `make bench` drives this.
+set -euo pipefail
+
+DATE_UTC="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+GO_VERSION="$(go version | awk '{print $3}')"
+
+awk -v date="$DATE_UTC" -v gover="$GO_VERSION" '
+/^goos: /   { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^pkg: /    { pkg = $2 }
+/^Benchmark/ && NF >= 2 {
+    name = $1
+    cpus = 0
+    if (match(name, /-[0-9]+$/)) {
+        cpus = substr(name, RSTART + 1) + 0
+        name = substr(name, 1, RSTART - 1)
+    }
+    sub(/^Benchmark/, "", name)
+    rec = sprintf("    {\"name\": \"%s\", \"cpus\": %d, \"iterations\": %s, \"metrics\": {", name, cpus, $2)
+    first = 1
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/["\\]/, "", unit)
+        if (!first) rec = rec ", "
+        rec = rec sprintf("\"%s\": %s", unit, $i)
+        first = 0
+    }
+    rec = rec "}}"
+    recs[nrecs++] = rec
+}
+END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", gover
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"pkg\": \"%s\",\n", pkg
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < nrecs; i++) {
+        printf "%s%s\n", recs[i], (i < nrecs - 1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}
+'
