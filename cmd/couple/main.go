@@ -17,12 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/mpi"
 	"repro/internal/npb"
@@ -54,7 +54,13 @@ func main() {
 	)
 	var obsFlags obscli.Flags
 	obsFlags.Register(nil)
+	faultFlags := fault.Register(flag.CommandLine)
 	flag.Parse()
+
+	inj, err := faultFlags.Build()
+	if err != nil {
+		fail("%v", err)
+	}
 
 	var chainLens []int
 	for _, s := range strings.Split(*chains, ",") {
@@ -67,7 +73,6 @@ func main() {
 
 	cls := npb.Class(strings.ToUpper(*class))
 	var prob npb.Problem
-	var err error
 	benchName := strings.ToUpper(*bench)
 	switch benchName {
 	case "BT":
@@ -131,6 +136,12 @@ func main() {
 		fail("%v", err)
 	}
 	worldOpts = append(worldOpts, sink.WorldOpts()...)
+	if inj != nil {
+		worldOpts = append(worldOpts, mpi.WithInjector(inj))
+	}
+	if wd := faultFlags.WatchdogTimeout(); wd > 0 {
+		worldOpts = append(worldOpts, mpi.WithRecvTimeout(wd))
+	}
 	w := &harness.NPBWorkload{
 		WorkloadName: fmt.Sprintf("%s.%s.%d", benchName, cls, *procs),
 		Factory:      factory,
@@ -146,13 +157,19 @@ func main() {
 
 	fmt.Printf("study: %s  grid %s  trips=%d  chains=%v\n\n", w.WorkloadName, prob, nTrips, chainLens)
 	start := time.Now()
-	study, err := harness.RunStudy(w, nTrips, chainLens, harness.Options{
+	opts := harness.Options{
 		Blocks: *blocks, Passes: *passes, ActualRuns: 3,
 		Metrics: sink.Registry, Spans: sink.Spans,
-	})
-	if err != nil {
-		fail("%v", err)
 	}
+	if inj != nil {
+		// Under fault injection the harness degrades instead of dying:
+		// failed measurements are retried, then folded down the
+		// degradation ladder.
+		opts.MaxRetries = faultFlags.Retries
+		opts.Degrade = true
+	}
+	study, err := harness.RunStudy(w, nTrips, chainLens, opts)
+
 	man := obs.NewManifest("couple")
 	man.Benchmark = benchName
 	man.Class = string(cls)
@@ -161,6 +178,30 @@ func main() {
 	man.UnixSeconds = start.Unix()
 	man.WallSeconds = time.Since(start).Seconds()
 	man.Extra = map[string]string{"chains": *chains}
+	if inj != nil {
+		man.Health = inj.Health()
+	}
+	if err != nil {
+		// Even a failed study exits with a structured report: the error,
+		// the fault schedule that caused it, and a manifest for kcreport.
+		if man.Health == nil {
+			man.Health = &obs.Health{}
+		}
+		man.Health.Errors = append(man.Health.Errors, err.Error())
+		if cerr := sink.Close(man); cerr != nil {
+			fmt.Fprintf(os.Stderr, "couple: %v\n", cerr)
+		}
+		if inj != nil {
+			fmt.Fprintf(os.Stderr, "fault schedule:\n%s", inj.ScheduleText())
+		}
+		fail("study failed: %v", err)
+	}
+	if !study.Health.Clean() {
+		if man.Health == nil {
+			man.Health = &obs.Health{}
+		}
+		study.Health.FillManifest(man.Health)
+	}
 	if err := sink.Close(man); err != nil {
 		fail("%v", err)
 	}
@@ -178,46 +219,9 @@ func main() {
 		fmt.Printf("saved %d measurements for %s to %s\n\n", db.Len(), key, *saveDB)
 	}
 
-	// Isolated kernel times.
-	tb := stats.NewTable("Isolated kernel times (per execution)", "Kernel", "Seconds")
-	for _, k := range study.App.KernelsSorted() {
-		tb.AddRow(k, stats.Seconds(study.Measurements.Isolated[k]))
-	}
-	fmt.Println(tb.String())
-
-	// Couplings and coefficients per chain length.
-	for _, L := range study.ChainLens() {
-		det := study.Details[L]
-		ct := stats.NewTable(fmt.Sprintf("Coupling values, chain length %d", L), "Window", "P_S", "C_S", "Regime")
-		for _, wc := range det.Couplings {
-			ct.AddRow(strings.Join(wc.Window, ", "), stats.Seconds(wc.Chained),
-				fmt.Sprintf("%.4f", wc.C), wc.Regime(0.02).String())
-		}
-		fmt.Println(ct.String())
-
-		kt := stats.NewTable(fmt.Sprintf("Composition coefficients, chain length %d", L), "Kernel", "Coefficient")
-		keys := make([]string, 0, len(det.Coefficients))
-		for k := range det.Coefficients {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			kt.AddRow(k, fmt.Sprintf("%.4f", det.Coefficients[k]))
-		}
-		fmt.Println(kt.String())
-	}
-
-	// Prediction comparison.
-	pt := stats.NewTable("Predictions", "Predictor", "Seconds", "Relative Error")
-	pt.AddRow("Actual", stats.Seconds(study.Actual), "-")
-	pt.AddRow(study.Summation.Label, stats.Seconds(study.Summation.Predicted), stats.Percent(study.Summation.RelErr))
-	for _, L := range study.ChainLens() {
-		p := study.Couplings[L]
-		pt.AddRow(p.Label, stats.Seconds(p.Predicted), stats.Percent(p.RelErr))
-	}
-	fmt.Println(pt.String())
-	best := study.BestPredictor()
-	fmt.Printf("best predictor: %s (%s relative error)\n", best.Label, stats.Percent(best.RelErr))
+	// The full report: tables, predictions, and — only when the study
+	// degraded — the degradation section.
+	fmt.Print(harness.RenderStudy(study))
 }
 
 // runReuse is the experiment-reduction flow of the paper's future-work

@@ -34,6 +34,7 @@ func main() {
 	}
 
 	printHeader(man)
+	printHealth(man.Health)
 	if man.Metrics == nil {
 		fmt.Println("(manifest carries no metric snapshot)")
 		return
@@ -80,6 +81,48 @@ func printHeader(man *obs.Manifest) {
 		tb.AddRow(k, man.Extra[k])
 	}
 	fmt.Println(tb.String())
+}
+
+// printHealth renders the fault-and-degradation record of the run: the
+// injected schedule (spec, seed, tally, digest), the harness retries,
+// windows that stayed unmeasurable, coefficients flagged Degraded, and
+// any structured errors. Fault-free clean runs have no health block and
+// print nothing here.
+func printHealth(h *obs.Health) {
+	if h == nil {
+		return
+	}
+	tb := stats.NewTable("Fault injection and degradation", "Field", "Value")
+	if h.FaultSpec != "" {
+		tb.AddRow("fault spec", h.FaultSpec)
+		tb.AddRowf("fault seed\t%d", h.FaultSeed)
+	}
+	if h.FaultTally != "" {
+		tb.AddRow("fault tally", h.FaultTally)
+	}
+	if h.ScheduleDigest != "" {
+		tb.AddRow("schedule digest", h.ScheduleDigest)
+	}
+	tb.AddRowf("retries\t%d", len(h.Retries))
+	tb.AddRowf("failed windows\t%d", len(h.FailedWindows))
+	tb.AddRowf("degraded coefficients\t%d", len(h.DegradedCoefficients))
+	fmt.Println(tb.String())
+
+	list := func(title string, rows []string) {
+		if len(rows) == 0 {
+			return
+		}
+		t := stats.NewTable(title, "Entry")
+		for _, r := range rows {
+			t.AddRow(r)
+		}
+		fmt.Println(t.String())
+	}
+	list("Retries", h.Retries)
+	list("Failed windows", h.FailedWindows)
+	list("Degraded coefficients", h.DegradedCoefficients)
+	list("Errors", h.Errors)
+	list("Fault events", h.FaultEvents)
 }
 
 func printP2P(snap obs.Snapshot) {

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/mpi"
 	"repro/internal/npb"
 	"repro/internal/npb/bt"
@@ -53,11 +54,17 @@ func main() {
 	)
 	var obsFlags obscli.Flags
 	obsFlags.Register(nil)
+	faultFlags := fault.Register(flag.CommandLine)
 	flag.Parse()
+
+	inj, err := faultFlags.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "npbrun: %v\n", err)
+		os.Exit(1)
+	}
 
 	cls := npb.Class(strings.ToUpper(*class))
 	var prob npb.Problem
-	var err error
 	var factory npb.Factory
 	var pre, loop, post []string
 	switch strings.ToUpper(*bench) {
@@ -123,6 +130,12 @@ func main() {
 		os.Exit(1)
 	}
 	worldOpts = append(worldOpts, sink.WorldOpts()...)
+	if inj != nil {
+		worldOpts = append(worldOpts, mpi.WithInjector(inj))
+	}
+	if wd := faultFlags.WatchdogTimeout(); wd > 0 {
+		worldOpts = append(worldOpts, mpi.WithRecvTimeout(wd))
+	}
 
 	var tracer *trace.Tracer
 	switch {
@@ -149,6 +162,28 @@ func main() {
 		}
 	}, worldOpts...)
 	if err != nil {
+		// A faulted or deadlocked run still exits with a structured
+		// report (and a manifest when -metrics-out was asked for), never
+		// a panic or a hang.
+		man := obs.NewManifest("npbrun")
+		man.Benchmark = strings.ToUpper(*bench)
+		man.Class = string(cls)
+		man.Procs = *procs
+		man.Trips = nTrips
+		man.UnixSeconds = start.Unix()
+		man.WallSeconds = time.Since(start).Seconds()
+		if inj != nil {
+			man.Health = inj.Health()
+		} else {
+			man.Health = &obs.Health{}
+		}
+		man.Health.Errors = append(man.Health.Errors, err.Error())
+		if cerr := sink.Close(man); cerr != nil {
+			fmt.Fprintf(os.Stderr, "npbrun: %v\n", cerr)
+		}
+		if inj != nil {
+			fmt.Fprintf(os.Stderr, "fault schedule:\n%s", inj.ScheduleText())
+		}
 		fmt.Fprintf(os.Stderr, "npbrun: %v\n", err)
 		os.Exit(1)
 	}
@@ -177,6 +212,9 @@ func main() {
 		if *net {
 			man.Extra["net"] = "ibm-sp"
 		}
+	}
+	if inj != nil {
+		man.Health = inj.Health()
 	}
 	if err := sink.Close(man); err != nil {
 		fmt.Fprintf(os.Stderr, "npbrun: %v\n", err)

@@ -22,6 +22,7 @@ var fixtureCases = []struct {
 	{"mpisafety", MPISafety},
 	{"mpisafetywild", MPISafety},
 	{"determinism", Determinism},
+	{"faultpkg", Determinism},
 	{"obsregistry", Determinism},
 	{"floatsum", FloatSum},
 	{"errcheckmpi", ErrcheckMPI},
@@ -151,6 +152,7 @@ func TestScopes(t *testing.T) {
 		{Determinism, "repro/internal/core", true},
 		{Determinism, "repro/internal/trace", true},
 		{Determinism, "repro/internal/obs", true},
+		{Determinism, "repro/internal/fault", true},
 		{Determinism, "repro/internal/npb", false},
 		{Determinism, "repro/internal/timing", false},
 		{FloatSum, "repro/internal/stats", true},

@@ -8,11 +8,15 @@ import (
 
 // determinismScope lists the packages whose output must be bit-identical
 // across runs: everything between a set of measured times going in and a
-// table of predictions coming out. Measurement packages (timing, npb, mpi)
-// are excluded — they read real clocks by design and reach determinism
-// through the injectable timing.Clock instead.
+// table of predictions coming out, plus the fault injector, whose schedule
+// must be a pure function of its seed (a wall-clock or global-rand read
+// there would break same-seed-same-schedule reproducibility). Measurement
+// packages (timing, npb, mpi) are excluded — they read real clocks by
+// design and reach determinism through the injectable timing.Clock
+// instead.
 var determinismScope = map[string]bool{
 	"repro/internal/core":     true,
+	"repro/internal/fault":    true,
 	"repro/internal/model":    true,
 	"repro/internal/memmodel": true,
 	"repro/internal/obs":      true,

@@ -1,0 +1,47 @@
+// Package fixture exercises the determinism analyzer against the mistakes
+// that would break a seeded fault injector: a fault schedule must be a
+// pure function of (seed, rank, operation index), so any wall-clock read,
+// draw from the process-global rand source, or map-order-dependent
+// rendering silently destroys same-seed-same-schedule reproducibility.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type injector struct {
+	seed  uint64
+	delay map[int]time.Duration
+}
+
+func (inj *injector) shouldDelay(rank int) bool {
+	// Deciding a fault off the wall clock makes every schedule unique.
+	return time.Now().UnixNano()%2 == 0 // finding
+}
+
+func (inj *injector) jitter() time.Duration {
+	r := rand.New(rand.NewSource(int64(inj.seed))) // ok: explicitly seeded
+	d := time.Duration(r.Int63n(1000))             // ok: method on seeded generator
+	return d + time.Duration(rand.Int63n(1000))    // finding: global source
+}
+
+func (inj *injector) schedule() []time.Duration {
+	text := ""
+	for _, d := range inj.delay { // finding: map order varies per run
+		text += d.String()
+		text += "\n"
+	}
+	_ = text
+	ranks := make([]int, 0, len(inj.delay))
+	for r := range inj.delay { // ok: collecting keys for sorting
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	var sorted []time.Duration
+	for _, r := range ranks { // ok: slice iteration
+		sorted = append(sorted, inj.delay[r])
+	}
+	return sorted
+}

@@ -1,0 +1,212 @@
+package fault_test
+
+// Chaos tests: drive real coupling studies — tiny BT benchmark, real MPI
+// world — under injected faults and pin the robustness contract of the
+// pipeline: no fault spec may panic or hang the harness, mild
+// perturbation must not break the coupling predictor, and the same seed
+// must reproduce the same fault schedule and the same study structure.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/harness"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/npb/bt"
+)
+
+// chaosWorkload builds a tiny real BT workload wired to the injector,
+// with the watchdog armed so no fault can turn into a hang.
+func chaosWorkload(t *testing.T, procs int, inj *fault.Injector) *harness.NPBWorkload {
+	t.Helper()
+	factory, err := bt.Factory(bt.Config{Problem: npb.TinyProblem(8, 1), Procs: procs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, loop, post := bt.KernelNames()
+	opts := []mpi.Option{mpi.WithRecvTimeout(30 * time.Second)}
+	if inj != nil {
+		opts = append(opts, mpi.WithInjector(inj))
+	}
+	return &harness.NPBWorkload{
+		WorkloadName: fmt.Sprintf("BT.chaos.%d", procs),
+		Factory:      factory,
+		Pre:          pre, Loop: loop, Post: post,
+		Procs:     procs,
+		WorldOpts: opts,
+	}
+}
+
+func chaosOptions() harness.Options {
+	return harness.Options{
+		Blocks: 1, ActualRuns: 1,
+		MaxRetries: 2, RetryBackoff: time.Millisecond,
+		Degrade: true,
+	}
+}
+
+func mustInjector(t *testing.T, spec string, seed uint64) *fault.Injector {
+	t.Helper()
+	s, err := fault.Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	return fault.New(s, seed)
+}
+
+// TestChaosHarnessNeverPanics runs a study under every fault class,
+// including deliberately nasty combinations. The contract: the harness
+// returns — a completed (possibly degraded) study or a structured error —
+// and never lets a panic or a hang escape. A panic fails the test run; a
+// hang trips the go test timeout; both are the assertion.
+func TestChaosHarnessNeverPanics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign is slow")
+	}
+	specs := []string{
+		"delay:p=0.4,mean=100us,jitter=0.9",
+		"drop:p=0.6,resend=2,backoff=20us",
+		"drop:p=0.97,resend=1,backoff=10us", // most messages lost: worlds die repeatedly
+		"straggler:ranks=1,delay=200us;collective:op=*,p=0.5,delay=100us",
+		"crash:rank=1,at=30",
+		"delay:p=0.3,mean=50us;drop:p=0.5,resend=3,backoff=10us;straggler:ranks=0,delay=100us;collective:op=barrier,p=0.3,delay=50us;crash:rank=1,at=200",
+	}
+	for i, spec := range specs {
+		t.Run(spec, func(t *testing.T) {
+			inj := mustInjector(t, spec, uint64(100+i))
+			w := chaosWorkload(t, 4, inj)
+			study, err := harness.RunStudy(w, 2, []int{2}, chaosOptions())
+			switch {
+			case err != nil:
+				// A structured failure is acceptable for brutal specs —
+				// but it must carry a real message, not a recovered panic
+				// artifact.
+				if err.Error() == "" {
+					t.Error("structured error with empty message")
+				}
+				t.Logf("structured failure (ok): %.120s", err.Error())
+			case study == nil:
+				t.Error("nil study without error")
+			default:
+				if study.Actual <= 0 {
+					t.Errorf("actual = %v", study.Actual)
+				}
+				t.Logf("completed; health clean=%v tally: %s", study.Health.Clean(), inj.Tally())
+			}
+		})
+	}
+}
+
+// TestChaosMildPerturbationKeepsPredictor pins the scientific contract:
+// under mild message jitter the coupling predictor still predicts the
+// (equally perturbed) actual run — the relative error stays in the same
+// regime as the clean study instead of exploding.
+func TestChaosMildPerturbationKeepsPredictor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign is slow")
+	}
+	clean, err := harness.RunStudy(chaosWorkload(t, 4, nil), 2, []int{2}, chaosOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := mustInjector(t, "delay:p=0.25,mean=50us,jitter=0.5", 7)
+	faulted, err := harness.RunStudy(chaosWorkload(t, 4, inj), 2, []int{2}, chaosOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := inj.Tally().Delays; n == 0 {
+		t.Fatal("perturbation never fired; test is vacuous")
+	}
+
+	cleanErr := abs(clean.Couplings[2].RelErr)
+	faultErr := abs(faulted.Couplings[2].RelErr)
+	// Tolerance: the faulted predictor may be noisier, but must stay in
+	// the same error regime — within 40 points of the clean run's
+	// relative error (tiny-grid timings are noisy; the clean error
+	// itself is typically a few percent).
+	if faultErr > cleanErr+0.40 {
+		t.Errorf("coupling predictor degraded too far: clean |relerr|=%.3f, faulted |relerr|=%.3f", cleanErr, faultErr)
+	}
+	if faulted.Couplings[2].Predicted <= 0 {
+		t.Errorf("faulted prediction = %v", faulted.Couplings[2].Predicted)
+	}
+}
+
+// TestChaosSameSeedReproducesScheduleAndStudy pins reproducibility end to
+// end through the real pipeline: two studies with the same spec and seed
+// produce byte-identical fault schedules and the same study structure
+// (same retries, same failed windows, same degraded coefficients).
+func TestChaosSameSeedReproducesScheduleAndStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign is slow")
+	}
+	const spec = "delay:p=0.5,mean=50us,jitter=0.5;crash:rank=1,at=40"
+	run := func(seed uint64) (*fault.Injector, *harness.Study) {
+		inj := mustInjector(t, spec, seed)
+		study, err := harness.RunStudy(chaosWorkload(t, 4, inj), 2, []int{2}, chaosOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		return inj, study
+	}
+	injA, studyA := run(9)
+	injB, studyB := run(9)
+
+	if a, b := injA.Digest(), injB.Digest(); a != b {
+		t.Errorf("same seed, different schedule digests: %s vs %s", a, b)
+	}
+	if a, b := injA.ScheduleText(), injB.ScheduleText(); a != b {
+		t.Errorf("same seed, different schedules:\n--- A ---\n%s--- B ---\n%s", a, b)
+	}
+
+	// Study structure must match. Retry error text embeds goroutine stacks
+	// (addresses vary run to run), so compare the deterministic parts.
+	type retryKey struct {
+		Key, Kind string
+		Attempt   int
+	}
+	strip := func(rs []harness.RetryRecord) []retryKey {
+		var out []retryKey
+		for _, r := range rs {
+			out = append(out, retryKey{r.Key, r.Kind, r.Attempt})
+		}
+		return out
+	}
+	if a, b := strip(studyA.Health.Retries), strip(studyB.Health.Retries); !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different retries: %v vs %v", a, b)
+	}
+	keys := func(fs []harness.WindowFailure) []string {
+		var out []string
+		for _, f := range fs {
+			out = append(out, f.Key)
+		}
+		return out
+	}
+	if a, b := keys(studyA.Health.FailedWindows), keys(studyB.Health.FailedWindows); !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different failed windows: %v vs %v", a, b)
+	}
+	if a, b := studyA.Health.Degraded, studyB.Health.Degraded; !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different degraded coefficients: %v vs %v", a, b)
+	}
+	if injA.Tally().Crashes != 1 {
+		t.Errorf("crash fired %d times, want exactly once", injA.Tally().Crashes)
+	}
+
+	// And a different seed must actually change the schedule, or the
+	// reproducibility assertion above is vacuous.
+	injC, _ := run(10)
+	if injC.Digest() == injA.Digest() {
+		t.Errorf("different seeds produced identical schedules (digest %s)", injA.Digest())
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

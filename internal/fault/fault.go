@@ -1,0 +1,336 @@
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// maxRecordedEvents bounds the per-event log so a high-probability spec on
+// a long campaign cannot grow memory without bound; the tally and digest
+// keep covering every event past the cap.
+const maxRecordedEvents = 10000
+
+// Event records one injected fault decision, identified by the rank it hit
+// and that rank's operation (or message) index — the coordinates that make
+// a schedule comparable across runs.
+type Event struct {
+	// Class is the fault class: "delay", "drop", "straggler", "collective"
+	// or "crash".
+	Class string
+	// Rank is the world rank the fault applied to (the sender for message
+	// faults).
+	Rank int
+	// Kind is "op" or "msg": which per-rank counter Index indexes.
+	Kind string
+	// Index is the rank's operation or message index the fault fired at.
+	Index uint64
+	// Op is the runtime operation name for op faults ("send", "recv", a
+	// collective name); empty for message faults.
+	Op string
+	// Dest and Tag identify the message for message faults.
+	Dest, Tag int
+	// Delay is the imposed delay, if any.
+	Delay time.Duration
+	// Resends is how many dropped transmission attempts were resent.
+	Resends int
+	// Lost marks a message that exhausted its resend budget.
+	Lost bool
+	// Crash marks a rank crash.
+	Crash bool
+}
+
+// String renders the event on one line, stable across runs.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s rank=%d %s#%d", e.Class, e.Rank, e.Kind, e.Index)
+	if e.Op != "" {
+		fmt.Fprintf(&b, " op=%s", e.Op)
+	}
+	if e.Kind == "msg" {
+		fmt.Fprintf(&b, " dest=%d tag=%d", e.Dest, e.Tag)
+	}
+	if e.Delay > 0 {
+		fmt.Fprintf(&b, " delay=%s", e.Delay)
+	}
+	if e.Resends > 0 {
+		fmt.Fprintf(&b, " resends=%d", e.Resends)
+	}
+	if e.Lost {
+		b.WriteString(" LOST")
+	}
+	if e.Crash {
+		b.WriteString(" CRASH")
+	}
+	return b.String()
+}
+
+// Tally summarizes a schedule: how many decisions of each kind fired. It
+// covers every event, including those past the recording cap.
+type Tally struct {
+	Delays      int `json:"delays"`
+	Drops       int `json:"drops"` // messages with >=1 dropped attempt, recovered
+	Lost        int `json:"lost"`
+	Straggles   int `json:"straggles"`
+	Collectives int `json:"collectives"`
+	Crashes     int `json:"crashes"`
+}
+
+// String renders the tally on one line.
+func (t Tally) String() string {
+	return fmt.Sprintf("delays=%d drops=%d lost=%d straggles=%d collectives=%d crashes=%d",
+		t.Delays, t.Drops, t.Lost, t.Straggles, t.Collectives, t.Crashes)
+}
+
+// Injector implements mpi.Injector: it turns a Spec into per-operation
+// fault decisions. Every decision is a pure function of (seed, rank,
+// per-rank operation index), so two runs with the same seed and the same
+// per-rank operation sequences produce identical fault schedules — the
+// property the chaos tests pin byte-for-byte. Counters persist across
+// worlds, so a harness that retries a measurement continues the schedule
+// instead of replaying it (and a once-only crash does not re-fire).
+//
+// Safe for concurrent ranks.
+type Injector struct {
+	spec Spec
+	seed uint64
+
+	mu       sync.Mutex
+	opIdx    map[int]uint64
+	msgIdx   map[int]uint64
+	crashed  bool
+	events   []Event
+	tally    Tally
+	digest   uint64 // order-independent combination of per-event hashes
+	total    int
+	straggle map[int]bool
+}
+
+// New builds an injector for the spec, deriving every decision from seed.
+func New(spec Spec, seed uint64) *Injector {
+	inj := &Injector{
+		spec:     spec,
+		seed:     seed,
+		opIdx:    make(map[int]uint64),
+		msgIdx:   make(map[int]uint64),
+		straggle: make(map[int]bool),
+	}
+	if st := spec.Straggler; st != nil {
+		for _, r := range st.Ranks {
+			inj.straggle[r] = true
+		}
+	}
+	return inj
+}
+
+// Spec returns the injector's parsed spec.
+func (inj *Injector) Spec() Spec { return inj.spec }
+
+// Seed returns the injector's seed.
+func (inj *Injector) Seed() uint64 { return inj.seed }
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche over
+// uint64, the standard cheap deterministic hash for seeded simulation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mix folds the parts into one well-avalanched hash rooted at the seed.
+func (inj *Injector) mix(parts ...uint64) uint64 {
+	h := splitmix64(inj.seed)
+	for _, p := range parts {
+		h = splitmix64(h ^ p)
+	}
+	return h
+}
+
+// u01 maps a hash to [0,1) with 53 bits of precision.
+func u01(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// salts separate the decision streams so e.g. a message's delay decision
+// and its drop decision are independent.
+const (
+	saltDelay = 0x1001 + iota
+	saltDelayScale
+	saltDrop
+	saltCollective
+)
+
+// Op implements mpi.Injector. It is consulted at the entry of every
+// runtime operation the rank performs.
+func (inj *Injector) Op(rank int, op string) mpi.OpFault {
+	inj.mu.Lock()
+	idx := inj.opIdx[rank]
+	inj.opIdx[rank] = idx + 1
+
+	var of mpi.OpFault
+	var ev Event
+	if cr := inj.spec.Crash; cr != nil && !inj.crashed && rank == cr.Rank && idx >= cr.At {
+		inj.crashed = true
+		of.Crash = true
+		inj.tally.Crashes++
+		ev = Event{Class: "crash", Crash: true}
+	} else {
+		if inj.straggle[rank] {
+			of.Delay += inj.spec.Straggler.Delay
+			inj.tally.Straggles++
+			ev = Event{Class: "straggler"}
+		}
+		if co := inj.spec.Collective; co != nil && isCollective(op) && (co.Op == "*" || co.Op == op) {
+			if u01(inj.mix(saltCollective, uint64(rank), idx)) < co.P {
+				of.Delay += co.Delay
+				inj.tally.Collectives++
+				if ev.Class == "" {
+					ev = Event{Class: "collective"}
+				}
+			}
+		}
+		ev.Delay = of.Delay
+	}
+	if ev.Class != "" {
+		ev.Rank, ev.Kind, ev.Index, ev.Op = rank, "op", idx, op
+		ev.Crash = of.Crash
+		inj.record(ev)
+	}
+	inj.mu.Unlock()
+	return of
+}
+
+// Message implements mpi.Injector. It resolves the full injected fate of
+// one point-to-point message: jitter delay, dropped attempts with
+// exponential backoff, or loss past the resend budget.
+func (inj *Injector) Message(src, dest, tag, bytes int) mpi.MsgFault {
+	inj.mu.Lock()
+	idx := inj.msgIdx[src]
+	inj.msgIdx[src] = idx + 1
+
+	var mf mpi.MsgFault
+	var classes []string
+	if d := inj.spec.Delay; d != nil {
+		if u01(inj.mix(saltDelay, uint64(src), idx)) < d.P {
+			scale := 1 - d.Jitter + 2*d.Jitter*u01(inj.mix(saltDelayScale, uint64(src), idx))
+			mf.Delay += time.Duration(float64(d.Mean) * scale)
+			inj.tally.Delays++
+			classes = append(classes, "delay")
+		}
+	}
+	if d := inj.spec.Drop; d != nil {
+		// Resolve the whole retransmission protocol up front: attempt i is
+		// dropped with probability P; each resend pays Backoff·2^i.
+		lost := true
+		for attempt := 0; attempt <= d.Resend; attempt++ {
+			if u01(inj.mix(saltDrop, uint64(src), idx, uint64(attempt))) >= d.P {
+				lost = false
+				mf.Resends = attempt
+				break
+			}
+			mf.Delay += d.Backoff << attempt
+		}
+		if lost {
+			mf.Lost = true
+			mf.Resends = d.Resend
+			inj.tally.Lost++
+			classes = append(classes, "drop")
+		} else if mf.Resends > 0 {
+			inj.tally.Drops++
+			classes = append(classes, "drop")
+		}
+	}
+	if len(classes) > 0 {
+		inj.record(Event{
+			Class: strings.Join(classes, "+"),
+			Rank:  src, Kind: "msg", Index: idx,
+			Dest: dest, Tag: tag,
+			Delay: mf.Delay, Resends: mf.Resends, Lost: mf.Lost,
+		})
+	}
+	inj.mu.Unlock()
+	return mf
+}
+
+// record logs an event (up to the cap) and folds it into the digest; the
+// caller holds inj.mu.
+func (inj *Injector) record(ev Event) {
+	inj.total++
+	h := fnv.New64a()
+	h.Write([]byte(ev.String()))
+	// XOR is order-independent, so the digest is deterministic even though
+	// concurrent ranks append in scheduler order.
+	inj.digest ^= h.Sum64()
+	if len(inj.events) < maxRecordedEvents {
+		inj.events = append(inj.events, ev)
+	}
+}
+
+// Events returns the recorded fault events sorted by (rank, kind, index) —
+// a deterministic order regardless of scheduler interleaving. At most
+// maxRecordedEvents are retained; Tally covers the rest.
+func (inj *Injector) Events() []Event {
+	inj.mu.Lock()
+	evs := append([]Event(nil), inj.events...)
+	inj.mu.Unlock()
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Rank != evs[j].Rank {
+			return evs[i].Rank < evs[j].Rank
+		}
+		if evs[i].Kind != evs[j].Kind {
+			return evs[i].Kind < evs[j].Kind
+		}
+		return evs[i].Index < evs[j].Index
+	})
+	return evs
+}
+
+// Tally returns the schedule summary, covering every decision including
+// those past the event-recording cap.
+func (inj *Injector) Tally() Tally {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.tally
+}
+
+// Digest returns an order-independent hash over every fault event's
+// rendered form (including events past the recording cap). Two runs with
+// identical fault schedules have identical digests; it is the cheap
+// byte-for-byte reproducibility check the chaos tests and the manifest
+// use.
+func (inj *Injector) Digest() string {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return fmt.Sprintf("%016x-%d", inj.digest, inj.total)
+}
+
+// ScheduleText renders the schedule: spec, seed, tally, then every
+// recorded event in deterministic order. Byte-for-byte identical across
+// runs with the same seed and operation sequences.
+func (inj *Injector) ScheduleText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spec: %s\nseed: %d\ntally: %s\ndigest: %s\n", inj.spec, inj.seed, inj.Tally(), inj.Digest())
+	evs := inj.Events()
+	inj.mu.Lock()
+	total := inj.total
+	inj.mu.Unlock()
+	if total > len(evs) {
+		fmt.Fprintf(&b, "events: %d (first %d shown)\n", total, len(evs))
+	} else {
+		fmt.Fprintf(&b, "events: %d\n", total)
+	}
+	for _, ev := range evs {
+		b.WriteString("  ")
+		b.WriteString(ev.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// isCollective reports whether op names a collective (rather than a
+// point-to-point send/recv).
+func isCollective(op string) bool { return op != "send" && op != "recv" }

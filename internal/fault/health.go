@@ -1,0 +1,39 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// maxManifestEvents caps how many rendered fault events go into a run
+// manifest; the tally and digest still cover the full schedule.
+const maxManifestEvents = 200
+
+// Health renders the injector's schedule into the manifest health record:
+// the canonical spec and seed (enough to reproduce the schedule), the
+// tally, the order-independent digest, and the first events. Every field
+// is deterministic for a given seed and operation sequence.
+func (inj *Injector) Health() *obs.Health {
+	h := &obs.Health{
+		FaultSpec:      inj.spec.String(),
+		FaultSeed:      inj.seed,
+		FaultTally:     inj.Tally().String(),
+		ScheduleDigest: inj.Digest(),
+	}
+	evs := inj.Events()
+	inj.mu.Lock()
+	total := inj.total
+	inj.mu.Unlock()
+	shown := len(evs)
+	if shown > maxManifestEvents {
+		shown = maxManifestEvents
+	}
+	for _, ev := range evs[:shown] {
+		h.FaultEvents = append(h.FaultEvents, ev.String())
+	}
+	if total > shown {
+		h.FaultEvents = append(h.FaultEvents, fmt.Sprintf("... %d more (see tally)", total-shown))
+	}
+	return h
+}

@@ -1,0 +1,335 @@
+// Package fault is a deterministic, seed-driven fault injector for the
+// simulated MPI world. A Spec describes which fault classes are active
+// (message delay, message drop with bounded resend, straggler ranks,
+// collective slowdown, rank crash); an Injector derives every individual
+// fault decision purely from (seed, rank, per-rank operation index), never
+// from wall time or global randomness, so a fault schedule is byte-for-byte
+// reproducible under the same seed no matter how the scheduler interleaves
+// ranks.
+//
+// The package implements mpi.Injector; attach it with
+// mpi.WithInjector(inj). With no injector attached the runtime pays one
+// nil check per operation.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DelaySpec perturbs point-to-point message delivery: each message is,
+// with probability P, delayed by Mean scaled by a deterministic jitter
+// factor in [1-Jitter, 1+Jitter].
+type DelaySpec struct {
+	P      float64
+	Mean   time.Duration
+	Jitter float64
+}
+
+// DropSpec drops point-to-point transmission attempts: each attempt is
+// dropped with probability P; the p2p layer transparently resends up to
+// Resend times, each resend paying Backoff·2^attempt of exponential
+// backoff (accumulated into the message's delivery delay). A message whose
+// every attempt is dropped is lost and fails the world with a structured
+// error.
+type DropSpec struct {
+	P       float64
+	Resend  int
+	Backoff time.Duration
+}
+
+// StragglerSpec slows the listed ranks down: every runtime operation the
+// rank performs (send, receive, collective entry) pays Delay before
+// proceeding.
+type StragglerSpec struct {
+	Ranks []int
+	Delay time.Duration
+}
+
+// CollectiveSpec slows collective entries down: each entry into a matching
+// collective (Op is a collective name, or "*" for all) is, with
+// probability P, delayed by Delay.
+type CollectiveSpec struct {
+	Op    string
+	P     float64
+	Delay time.Duration
+}
+
+// CrashSpec kills one rank: the rank's At-th runtime operation panics. The
+// panic is recovered by the runtime and surfaces as a structured rank
+// failure; the crash fires at most once per Injector, so a harness retry
+// of the affected measurement proceeds past it.
+type CrashSpec struct {
+	Rank int
+	At   uint64
+}
+
+// Spec is a parsed fault specification: which classes are active and with
+// what parameters. The zero Spec injects nothing.
+type Spec struct {
+	Delay      *DelaySpec
+	Drop       *DropSpec
+	Straggler  *StragglerSpec
+	Collective *CollectiveSpec
+	Crash      *CrashSpec
+}
+
+// Parse parses the -fault-spec grammar:
+//
+//	spec  := class (";" class)*
+//	class := name ":" key "=" value ("," key "=" value)*
+//
+// Classes and their keys (durations use Go syntax, e.g. 500us, 2ms):
+//
+//	delay:p=<0..1>,mean=<dur>[,jitter=<0..1>]    message delay/jitter (jitter default 0.5)
+//	drop:p=<0..1>[,resend=<n>][,backoff=<dur>]   message drop (resend default 3, backoff default 200us)
+//	straggler:ranks=<r[+r...]>,delay=<dur>       per-rank slowdown
+//	collective:delay=<dur>[,op=<name|*>][,p=<0..1>]  collective slowdown (op default *, p default 1)
+//	crash:rank=<r>[,at=<opindex>]                rank crash (at default 0)
+//
+// Example: "delay:p=0.2,mean=200us;straggler:ranks=1,delay=50us".
+func Parse(s string) (Spec, error) {
+	var spec Spec
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return spec, nil
+	}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(clause, ":")
+		if !ok {
+			return Spec{}, fmt.Errorf("fault: clause %q: want class:key=val,...", clause)
+		}
+		kv, err := parseKVs(rest)
+		if err != nil {
+			return Spec{}, fmt.Errorf("fault: clause %q: %w", clause, err)
+		}
+		switch strings.TrimSpace(name) {
+		case "delay":
+			d := &DelaySpec{P: 1, Jitter: 0.5}
+			if err := kv.apply(map[string]func(string) error{
+				"p":      probInto(&d.P),
+				"mean":   durInto(&d.Mean),
+				"jitter": probInto(&d.Jitter),
+			}); err != nil {
+				return Spec{}, fmt.Errorf("fault: delay: %w", err)
+			}
+			if d.Mean <= 0 {
+				return Spec{}, fmt.Errorf("fault: delay: mean duration required")
+			}
+			spec.Delay = d
+		case "drop":
+			d := &DropSpec{Resend: 3, Backoff: 200 * time.Microsecond}
+			if err := kv.apply(map[string]func(string) error{
+				"p":       probInto(&d.P),
+				"resend":  intInto(&d.Resend),
+				"backoff": durInto(&d.Backoff),
+			}); err != nil {
+				return Spec{}, fmt.Errorf("fault: drop: %w", err)
+			}
+			if d.P <= 0 {
+				return Spec{}, fmt.Errorf("fault: drop: probability p required")
+			}
+			if d.Resend < 0 {
+				return Spec{}, fmt.Errorf("fault: drop: resend must be non-negative")
+			}
+			spec.Drop = d
+		case "straggler":
+			st := &StragglerSpec{}
+			if err := kv.apply(map[string]func(string) error{
+				"ranks": ranksInto(&st.Ranks),
+				"delay": durInto(&st.Delay),
+			}); err != nil {
+				return Spec{}, fmt.Errorf("fault: straggler: %w", err)
+			}
+			if len(st.Ranks) == 0 {
+				return Spec{}, fmt.Errorf("fault: straggler: ranks required")
+			}
+			if st.Delay <= 0 {
+				return Spec{}, fmt.Errorf("fault: straggler: delay duration required")
+			}
+			spec.Straggler = st
+		case "collective":
+			co := &CollectiveSpec{Op: "*", P: 1}
+			if err := kv.apply(map[string]func(string) error{
+				"op":    func(v string) error { co.Op = v; return nil },
+				"p":     probInto(&co.P),
+				"delay": durInto(&co.Delay),
+			}); err != nil {
+				return Spec{}, fmt.Errorf("fault: collective: %w", err)
+			}
+			if co.Delay <= 0 {
+				return Spec{}, fmt.Errorf("fault: collective: delay duration required")
+			}
+			spec.Collective = co
+		case "crash":
+			cr := &CrashSpec{Rank: -1}
+			if err := kv.apply(map[string]func(string) error{
+				"rank": intInto(&cr.Rank),
+				"at":   uintInto(&cr.At),
+			}); err != nil {
+				return Spec{}, fmt.Errorf("fault: crash: %w", err)
+			}
+			if cr.Rank < 0 {
+				return Spec{}, fmt.Errorf("fault: crash: rank required")
+			}
+			spec.Crash = cr
+		default:
+			return Spec{}, fmt.Errorf("fault: unknown class %q (want delay, drop, straggler, collective or crash)", name)
+		}
+	}
+	return spec, nil
+}
+
+// Empty reports whether the spec injects nothing.
+func (s Spec) Empty() bool {
+	return s.Delay == nil && s.Drop == nil && s.Straggler == nil && s.Collective == nil && s.Crash == nil
+}
+
+// String renders the spec canonically in the Parse grammar (classes in a
+// fixed order, every parameter explicit), so manifests record exactly what
+// was active.
+func (s Spec) String() string {
+	var parts []string
+	if d := s.Delay; d != nil {
+		parts = append(parts, fmt.Sprintf("delay:p=%g,mean=%s,jitter=%g", d.P, d.Mean, d.Jitter))
+	}
+	if d := s.Drop; d != nil {
+		parts = append(parts, fmt.Sprintf("drop:p=%g,resend=%d,backoff=%s", d.P, d.Resend, d.Backoff))
+	}
+	if st := s.Straggler; st != nil {
+		rs := make([]string, len(st.Ranks))
+		for i, r := range st.Ranks {
+			rs[i] = strconv.Itoa(r)
+		}
+		parts = append(parts, fmt.Sprintf("straggler:ranks=%s,delay=%s", strings.Join(rs, "+"), st.Delay))
+	}
+	if co := s.Collective; co != nil {
+		parts = append(parts, fmt.Sprintf("collective:op=%s,p=%g,delay=%s", co.Op, co.P, co.Delay))
+	}
+	if cr := s.Crash; cr != nil {
+		parts = append(parts, fmt.Sprintf("crash:rank=%d,at=%d", cr.Rank, cr.At))
+	}
+	return strings.Join(parts, ";")
+}
+
+// kvs is an ordered key=value list with duplicate and unknown-key checks.
+type kvs []struct{ k, v string }
+
+func parseKVs(s string) (kvs, error) {
+	var out kvs
+	seen := map[string]bool{}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("parameter %q: want key=value", pair)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if seen[k] {
+			return nil, fmt.Errorf("duplicate parameter %q", k)
+		}
+		seen[k] = true
+		out = append(out, struct{ k, v string }{k, v})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no parameters")
+	}
+	return out, nil
+}
+
+func (ps kvs) apply(setters map[string]func(string) error) error {
+	for _, p := range ps {
+		set, ok := setters[p.k]
+		if !ok {
+			known := make([]string, 0, len(setters))
+			for k := range setters {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			return fmt.Errorf("unknown parameter %q (want %s)", p.k, strings.Join(known, ", "))
+		}
+		if err := set(p.v); err != nil {
+			return fmt.Errorf("parameter %s=%q: %w", p.k, p.v, err)
+		}
+	}
+	return nil
+}
+
+func probInto(dst *float64) func(string) error {
+	return func(v string) error {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return err
+		}
+		if f < 0 || f > 1 {
+			return fmt.Errorf("probability %g outside [0,1]", f)
+		}
+		*dst = f
+		return nil
+	}
+}
+
+func durInto(dst *time.Duration) func(string) error {
+	return func(v string) error {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return err
+		}
+		if d < 0 {
+			return fmt.Errorf("negative duration %s", d)
+		}
+		*dst = d
+		return nil
+	}
+}
+
+func intInto(dst *int) func(string) error {
+	return func(v string) error {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return err
+		}
+		*dst = n
+		return nil
+	}
+}
+
+func uintInto(dst *uint64) func(string) error {
+	return func(v string) error {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return err
+		}
+		*dst = n
+		return nil
+	}
+}
+
+func ranksInto(dst *[]int) func(string) error {
+	return func(v string) error {
+		var ranks []int
+		for _, part := range strings.Split(v, "+") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return err
+			}
+			if n < 0 {
+				return fmt.Errorf("negative rank %d", n)
+			}
+			ranks = append(ranks, n)
+		}
+		sort.Ints(ranks)
+		*dst = ranks
+		return nil
+	}
+}

@@ -1,0 +1,218 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Degradation modes for a composition coefficient whose full window set
+// could not be measured.
+const (
+	// ModePartial: some (not all) length-L windows containing the kernel
+	// were measured; the coefficient averages over the survivors.
+	ModePartial = "partial"
+	// ModeShorterChain: no length-L window survived; the coefficient comes
+	// from shorter sub-windows measured by the degradation ladder.
+	ModeShorterChain = "shorter-chain"
+	// ModeSummation: no window containing the kernel survived at any
+	// length; the coefficient falls back to 1, the summation predictor.
+	ModeSummation = "summation"
+)
+
+// RetryRecord records one failed measurement attempt that was retried.
+type RetryRecord struct {
+	// Key is the kernel or window key that failed.
+	Key string `json:"key"`
+	// Kind is KindIsolated, KindWindow or KindActual.
+	Kind string `json:"kind"`
+	// Attempt is the 1-based attempt number that failed.
+	Attempt int `json:"attempt"`
+	// Err is the failure.
+	Err string `json:"err"`
+}
+
+// WindowFailure records a window that stayed unmeasurable after the whole
+// retry budget, triggering the degradation ladder.
+type WindowFailure struct {
+	Key string `json:"key"`
+	Err string `json:"err"`
+}
+
+// CoefficientHealth records a kernel whose composition coefficient was
+// computed degraded: from a partial window set, from shorter-chain
+// sub-windows, or as the summation fallback.
+type CoefficientHealth struct {
+	Kernel   string `json:"kernel"`
+	ChainLen int    `json:"chain_len"`
+	Mode     string `json:"mode"`
+}
+
+// StudyHealth is the degradation record of a study: every retry spent,
+// every window lost, every coefficient that had to be computed from less
+// than its full window set. A clean run has the zero value.
+type StudyHealth struct {
+	Retries       []RetryRecord       `json:"retries,omitempty"`
+	FailedWindows []WindowFailure     `json:"failed_windows,omitempty"`
+	Degraded      []CoefficientHealth `json:"degraded,omitempty"`
+}
+
+// Clean reports whether the study completed without retries or
+// degradation.
+func (h StudyHealth) Clean() bool {
+	return len(h.Retries) == 0 && len(h.FailedWindows) == 0 && len(h.Degraded) == 0
+}
+
+// FillManifest renders the study's degradation record into the manifest
+// health block, one deterministic line per retry, failed window, and
+// degraded coefficient.
+func (h StudyHealth) FillManifest(mh *obs.Health) {
+	for _, r := range h.Retries {
+		mh.Retries = append(mh.Retries,
+			fmt.Sprintf("%s %s attempt %d: %s", r.Kind, r.Key, r.Attempt, firstLine(r.Err)))
+	}
+	for _, f := range h.FailedWindows {
+		mh.FailedWindows = append(mh.FailedWindows,
+			fmt.Sprintf("%s: %s", f.Key, firstLine(f.Err)))
+	}
+	for _, d := range h.Degraded {
+		mh.DegradedCoefficients = append(mh.DegradedCoefficients,
+			fmt.Sprintf("%s chain=%d mode=%s", d.Kernel, d.ChainLen, d.Mode))
+	}
+}
+
+// degradedPrediction computes the chain-length-L coupling prediction from
+// whatever window measurements survived. Per kernel, the degradation
+// ladder is:
+//
+//  1. the measured length-L windows containing it (ModePartial when some
+//     are missing),
+//  2. else any other measured window containing it — the ladder's
+//     shorter-chain sub-windows (ModeShorterChain),
+//  3. else α=1, the summation predictor (ModeSummation).
+//
+// measured maps every successfully measured window key to its kernel
+// list. Kernels whose full length-L window set survived are computed
+// exactly as core.Coefficients would and are not reported degraded.
+func degradedPrediction(app core.App, m core.Measurements, L int, measured map[string][]string) (core.Prediction, []CoefficientHealth, error) {
+	windows, err := app.Loop.Windows(L)
+	if err != nil {
+		return core.Prediction{}, nil, err
+	}
+	var lCouplings []core.WindowCoupling
+	lKeys := make(map[string]bool, len(windows))
+	for _, w := range windows {
+		lKeys[core.Key(w)] = true
+		if _, ok := m.Window[core.Key(w)]; !ok {
+			continue
+		}
+		wc, err := m.CouplingOf(w)
+		if err != nil {
+			return core.Prediction{}, nil, err
+		}
+		lCouplings = append(lCouplings, wc)
+	}
+
+	// Fallback pool: every other measured multi-kernel window, scanned in
+	// sorted-key order for determinism.
+	fallbackKeys := make([]string, 0, len(measured))
+	for key, w := range measured {
+		if len(w) >= 2 && !lKeys[key] {
+			fallbackKeys = append(fallbackKeys, key)
+		}
+	}
+	sort.Strings(fallbackKeys)
+
+	coeffs := make(map[string]float64, len(app.Loop))
+	var degraded []CoefficientHealth
+	for _, k := range app.Loop {
+		expect := 0
+		for _, w := range windows {
+			if kernelIn(w, k) {
+				expect++
+			}
+		}
+		var num, den float64
+		used := 0
+		for _, wc := range lCouplings {
+			if !kernelIn(wc.Window, k) {
+				continue
+			}
+			num += wc.C * wc.Chained
+			den += wc.Chained
+			used++
+		}
+		mode := ""
+		if used < expect {
+			mode = ModePartial
+		}
+		if used == 0 {
+			mode = ModeShorterChain
+			for _, key := range fallbackKeys {
+				w := measured[key]
+				if !kernelIn(w, k) {
+					continue
+				}
+				wc, err := m.CouplingOf(w)
+				if err != nil {
+					return core.Prediction{}, nil, err
+				}
+				num += wc.C * wc.Chained
+				den += wc.Chained
+			}
+		}
+		if den == 0 {
+			mode = ModeSummation
+			coeffs[k] = 1
+		} else {
+			coeffs[k] = num / den
+		}
+		if mode != "" {
+			degraded = append(degraded, CoefficientHealth{Kernel: k, ChainLen: L, Mode: mode})
+		}
+	}
+
+	once, err := onceTime(app, m)
+	if err != nil {
+		return core.Prediction{}, nil, err
+	}
+	var loop float64
+	for _, k := range app.Loop {
+		iso, ok := m.Isolated[k]
+		if !ok {
+			return core.Prediction{}, nil, fmt.Errorf("harness: missing isolated measurement for kernel %q", k)
+		}
+		loop += coeffs[k] * iso
+	}
+	return core.Prediction{
+		Total:        once + float64(app.Trips)*loop,
+		ChainLen:     L,
+		Coefficients: coeffs,
+		Couplings:    lCouplings,
+	}, degraded, nil
+}
+
+// onceTime sums the isolated times of the pre- and post-kernels (the
+// non-loop part of every prediction).
+func onceTime(app core.App, m core.Measurements) (float64, error) {
+	var t float64
+	for _, k := range append(append([]string(nil), app.Pre...), app.Post...) {
+		v, ok := m.Isolated[k]
+		if !ok {
+			return 0, fmt.Errorf("harness: missing isolated measurement for one-shot kernel %q", k)
+		}
+		t += v
+	}
+	return t, nil
+}
+
+func kernelIn(window []string, k string) bool {
+	for _, x := range window {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}

@@ -42,6 +42,23 @@ type Options struct {
 	// measurement, so a merged trace shows where the campaign's wall
 	// time went.
 	Spans *obs.SpanRecorder
+	// MaxRetries is the per-measurement retry budget: a failed window,
+	// isolated or actual measurement is retried with exponential backoff
+	// up to this many times before the failure counts (default 0: fail
+	// on the first error, the pre-fault-injection behavior).
+	MaxRetries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt (default 50ms).
+	RetryBackoff time.Duration
+	// Degrade makes the study degrade instead of die: a window still
+	// unmeasurable after the retry budget is recorded in the study's
+	// Health, its coefficients fall back down the degradation ladder
+	// (shorter-chain sub-windows, ultimately the summation predictor),
+	// and the study completes. Isolated and actual measurements stay
+	// fatal — without them there is nothing to predict or compare.
+	Degrade bool
+	// sleep, when non-nil, replaces time.Sleep for retry backoff (tests).
+	sleep func(time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -53,6 +70,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ActualRuns <= 0 {
 		o.ActualRuns = 1
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.sleep == nil {
+		o.sleep = time.Sleep
 	}
 	return o
 }
@@ -198,6 +221,9 @@ type Study struct {
 	// Provenance records, in measurement order, how each number in
 	// Measurements and Actual was produced.
 	Provenance []MeasurementRecord
+	// Health records every retry, failed window and degraded coefficient;
+	// the zero value on a clean run.
+	Health StudyHealth
 }
 
 // RunStudy measures the workload and produces predictions for every chain
@@ -260,15 +286,83 @@ func RunStudy(w Workload, trips int, chainLens []int, o Options) (*Study, error)
 		})
 	}
 
-	// Isolated measurements for every kernel.
+	var health StudyHealth
+	// retry wraps one measurement with the retry budget: each failed
+	// attempt is recorded in the study's Health and retried after an
+	// exponentially growing backoff, until the budget is spent.
+	retry := func(kind, key string, f func() (float64, error)) (float64, error) {
+		for attempt := 0; ; attempt++ {
+			v, err := f()
+			if err == nil {
+				return v, nil
+			}
+			if attempt >= o.MaxRetries {
+				return 0, err
+			}
+			health.Retries = append(health.Retries, RetryRecord{Key: key, Kind: kind, Attempt: attempt + 1, Err: err.Error()})
+			if o.Metrics != nil {
+				o.Metrics.Counter("harness.retry.count").Inc()
+			}
+			o.sleep(o.RetryBackoff << attempt)
+		}
+	}
+	measureWindowRetry := func(kind string, window []string) (float64, error) {
+		return retry(kind, core.Key(window), func() (float64, error) {
+			return measureWindow(kind, window)
+		})
+	}
+
+	// Isolated measurements for every kernel. A kernel unmeasurable after
+	// the retry budget is fatal even when degradation is on: without its
+	// isolated time neither predictor has anything to compose.
 	for _, k := range app.KernelsSorted() {
-		v, err := measureWindow(KindIsolated, []string{k})
+		v, err := measureWindowRetry(KindIsolated, []string{k})
 		if err != nil {
 			return nil, fmt.Errorf("harness: isolated %s: %w", k, err)
 		}
 		m.Isolated[k] = v
 	}
-	// Window measurements for every requested chain length.
+
+	// Window measurements for every requested chain length. measured maps
+	// every surviving window key to its kernels — the degraded-coefficient
+	// fallback pool. A window that stays unmeasurable after retries either
+	// kills the study (Degrade off, the pre-fault behavior) or descends
+	// the ladder: its contiguous sub-windows are measured so shorter-chain
+	// couplings can stand in for the lost window.
+	measured := make(map[string][]string)
+	failed := make(map[string]bool)
+	recordFailure := func(key string, err error) {
+		failed[key] = true
+		health.FailedWindows = append(health.FailedWindows, WindowFailure{Key: key, Err: err.Error()})
+		if o.Metrics != nil {
+			o.Metrics.Counter("harness.window.failed").Inc()
+		}
+	}
+	var ladder func(win []string)
+	ladder = func(win []string) {
+		subLen := len(win) - 1
+		if subLen < 2 {
+			return
+		}
+		for i := 0; i+subLen <= len(win); i++ {
+			sub := win[i : i+subLen]
+			key := core.Key(sub)
+			if _, done := m.Window[key]; done {
+				continue
+			}
+			if failed[key] {
+				continue
+			}
+			v, err := measureWindowRetry(KindWindow, sub)
+			if err != nil {
+				recordFailure(key, err)
+				ladder(sub)
+				continue
+			}
+			m.Window[key] = v
+			measured[key] = append([]string(nil), sub...)
+		}
+	}
 	sorted := append([]int(nil), chainLens...)
 	sort.Ints(sorted)
 	for _, L := range sorted {
@@ -284,22 +378,35 @@ func RunStudy(w Workload, trips int, chainLens []int, o Options) (*Study, error)
 			if _, done := m.Window[key]; done {
 				continue
 			}
-			v, err := measureWindow(KindWindow, win)
+			if failed[key] {
+				continue
+			}
+			v, err := measureWindowRetry(KindWindow, win)
 			if err != nil {
-				return nil, fmt.Errorf("harness: window %s: %w", key, err)
+				if !o.Degrade {
+					return nil, fmt.Errorf("harness: window %s: %w", key, err)
+				}
+				recordFailure(key, err)
+				ladder(win)
+				continue
 			}
 			m.Window[key] = v
+			measured[key] = append([]string(nil), win...)
 		}
 	}
 
-	// Actual runs: median over ActualRuns.
+	// Actual runs: median over ActualRuns, each retried on failure. An
+	// actual run unmeasurable after retries is fatal: with no measured
+	// time there is no relative error to report.
 	actuals := make([]float64, 0, o.ActualRuns)
 	for r := 0; r < o.ActualRuns; r++ {
 		var start time.Time
 		if o.Spans != nil {
 			start = o.Spans.Now()
 		}
-		a, err := w.MeasureActual(trips, o)
+		a, err := retry(KindActual, w.Name(), func() (float64, error) {
+			return w.MeasureActual(trips, o)
+		})
 		if err != nil {
 			return nil, fmt.Errorf("harness: actual run: %w", err)
 		}
@@ -339,9 +446,23 @@ func RunStudy(w Workload, trips int, chainLens []int, o Options) (*Study, error)
 		RelErr:    stats.RelativeError(sum, actual),
 	}
 	for _, L := range sorted {
+		// The clean path computes the prediction exactly as before; only
+		// when window measurements are missing (degradation) does the
+		// fallback ladder take over.
 		pred, err := app.CouplingPrediction(m, L, core.CoefficientOptions{})
 		if err != nil {
-			return nil, err
+			if !o.Degrade {
+				return nil, err
+			}
+			var degraded []CoefficientHealth
+			pred, degraded, err = degradedPrediction(app, m, L, measured)
+			if err != nil {
+				return nil, err
+			}
+			health.Degraded = append(health.Degraded, degraded...)
+			if o.Metrics != nil {
+				o.Metrics.Counter("harness.coefficient.degraded").Add(int64(len(degraded)))
+			}
 		}
 		study.Couplings[L] = PredictionResult{
 			Label:     fmt.Sprintf("Coupling: %d kernels", L),
@@ -351,6 +472,7 @@ func RunStudy(w Workload, trips int, chainLens []int, o Options) (*Study, error)
 		}
 		study.Details[L] = pred
 	}
+	study.Health = health
 	return study, nil
 }
 

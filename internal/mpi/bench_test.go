@@ -1,0 +1,45 @@
+package mpi_test
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/mpi"
+)
+
+// benchPingPong times b.N point-to-point round trips between two ranks.
+// It is the p2p hot-path benchmark behind the zero-cost-when-disabled
+// claim of the fault layer: the clean variant and a pre-injector build
+// must be within noise of each other (the disabled path is one nil
+// check), and the noop-injector variant bounds the enabled-but-idle
+// overhead.
+func benchPingPong(b *testing.B, opts ...mpi.Option) {
+	b.Helper()
+	buf := make([]float64, 64)
+	err := mpi.Run(2, func(c *mpi.Comm) {
+		msg := make([]float64, 64)
+		for i := 0; i < b.N; i++ {
+			if c.Rank() == 0 {
+				c.Send(1, 7, msg)
+				c.Recv(1, 9, buf)
+			} else {
+				c.Recv(0, 7, buf)
+				c.Send(0, 9, msg)
+			}
+		}
+	}, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	b.Run("clean", func(b *testing.B) {
+		benchPingPong(b)
+	})
+	b.Run("noop-injector", func(b *testing.B) {
+		// An injector with no active fault classes: every op pays the
+		// interface call and index bookkeeping but injects nothing.
+		benchPingPong(b, mpi.WithInjector(fault.New(fault.Spec{}, 1)))
+	})
+}

@@ -14,9 +14,14 @@ package mpi
 
 import (
 	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/timing"
 )
 
 // AnySource matches a message from any sender in Recv.
@@ -38,6 +43,7 @@ type World struct {
 	nextCtx  atomic.Int64
 	net      *NetModel
 	deadline time.Duration // zero means no receive timeout
+	clock    timing.Clock  // Wtime source; never nil after NewWorld
 
 	// obs, when non-nil, receives metrics and spans for every runtime
 	// operation; phases holds each world rank's current phase label
@@ -46,15 +52,41 @@ type World struct {
 	obs    *Observer
 	phases []atomic.Value
 
+	// inj, when non-nil, injects faults (delays, drops, crashes) into
+	// every runtime operation; nil on healthy worlds, costing one nil
+	// check per operation.
+	inj Injector
+
 	// bufPool recycles float64 message payloads: solver workloads send
 	// the same-shaped messages millions of times, and per-send
 	// allocation would turn the GC into a dominant noise source in the
 	// timing measurements this runtime exists to support.
 	bufPool sync.Pool
 
-	panicOnce sync.Once
-	panicErr  error
+	failMu   sync.Mutex
+	failures []RankFailure
 }
+
+// RankFailure records one rank's death: the panic (or injected/structured
+// error) that killed it and, for genuine panics, the goroutine stack at
+// recovery time.
+type RankFailure struct {
+	// Rank is the world rank that failed.
+	Rank int
+	// Err describes the failure.
+	Err error
+	// Stack is the failing goroutine's stack, nil for structured failures
+	// (watchdog stalls, lost messages, aborts) whose origin is explicit.
+	Stack []byte
+}
+
+// teardown is the panic value used to unwind ranks after the world has
+// already recorded a failure (poisoned mailboxes, aborts, watchdog
+// stalls). Launch recognizes it and does not record a second failure for
+// the merely-unwinding rank.
+type teardown struct{ msg string }
+
+func (t teardown) String() string { return t.msg }
 
 // getBuf returns a length-n payload slice, recycled when possible.
 func (w *World) getBuf(n int) []float64 {
@@ -86,10 +118,23 @@ func WithNetModel(m NetModel) Option {
 	}
 }
 
-// WithRecvTimeout makes any Recv that waits longer than d panic with a
-// deadlock diagnosis. Intended for tests; zero disables the timeout.
+// WithRecvTimeout arms the progress watchdog: any receive or probe that
+// waits longer than d fails the world with a who-waits-on-whom diagnostic
+// of every rank's pending mailbox (see World.stallReport), turning a
+// silent deadlock into an actionable report. Zero disables the watchdog.
 func WithRecvTimeout(d time.Duration) Option {
 	return func(w *World) { w.deadline = d }
+}
+
+// WithClock routes Comm.Wtime through the given clock, so FakeClock-driven
+// and fault-injected runs stay deterministic. The default is the wall
+// clock.
+func WithClock(c timing.Clock) Option {
+	return func(w *World) {
+		if c != nil {
+			w.clock = c
+		}
+	}
 }
 
 // NewWorld creates a World with n ranks. n must be positive.
@@ -97,9 +142,9 @@ func NewWorld(n int, opts ...Option) *World {
 	if n <= 0 {
 		panic(fmt.Sprintf("mpi: world size %d must be positive", n))
 	}
-	w := &World{size: n, boxes: make([]*mailbox, n)}
+	w := &World{size: n, boxes: make([]*mailbox, n), clock: timing.WallClock}
 	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
+		w.boxes[i] = newMailbox(w, i)
 	}
 	w.nextCtx.Store(worldContext + 1)
 	for _, o := range opts {
@@ -115,15 +160,19 @@ func NewWorld(n int, opts ...Option) *World {
 func (w *World) Size() int { return w.size }
 
 // Run creates a world of n ranks, runs fn once per rank concurrently, and
-// waits for all ranks to return. If any rank panics, Run recovers the first
-// panic and returns it as an error after all surviving ranks finish or the
-// world is torn down.
+// waits for all ranks to return. If any rank panics, Run recovers the
+// panic and returns an error carrying every failed rank's id and stack
+// after all surviving ranks finish or the world is torn down.
 func Run(n int, fn func(*Comm), opts ...Option) error {
 	w := NewWorld(n, opts...)
 	return w.Launch(fn)
 }
 
 // Launch runs fn on every rank of the world and waits for completion.
+// Every rank panic is recorded with its rank id and stack; the first
+// recorded failure poisons all mailboxes promptly so blocked peers unwind
+// instead of hanging on a dead rank. The returned error enumerates every
+// failure (nil when all ranks returned normally).
 func (w *World) Launch(fn func(*Comm)) error {
 	var wg sync.WaitGroup
 	wg.Add(w.size)
@@ -137,23 +186,71 @@ func (w *World) Launch(fn func(*Comm)) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					w.recordPanic(fmt.Errorf("mpi: rank %d panicked: %v", comm.rank, p))
-					// Wake every waiting rank so the program can
-					// unwind rather than hang on a dead peer.
-					for _, b := range w.boxes {
-						b.poison()
+					if td, ok := p.(teardown); ok {
+						// The rank was unwound by a poisoned mailbox or a
+						// structured failure already on record; only record
+						// it if, somehow, nothing else was.
+						if !w.failed() {
+							w.fail(comm.rank, fmt.Errorf("%s", td.msg), nil)
+						}
+						return
 					}
+					w.fail(comm.rank, fmt.Errorf("panicked: %v", p), debug.Stack())
 				}
 			}()
 			fn(comm)
 		}()
 	}
 	wg.Wait()
-	return w.panicErr
+	return w.runErr()
 }
 
-func (w *World) recordPanic(err error) {
-	w.panicOnce.Do(func() { w.panicErr = err })
+// fail records a rank failure and poisons every mailbox so blocked peers
+// wake and unwind promptly.
+func (w *World) fail(rank int, err error, stack []byte) {
+	w.failMu.Lock()
+	w.failures = append(w.failures, RankFailure{Rank: rank, Err: err, Stack: stack})
+	w.failMu.Unlock()
+	for _, b := range w.boxes {
+		b.poison()
+	}
+}
+
+// failed reports whether any failure has been recorded.
+func (w *World) failed() bool {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	return len(w.failures) > 0
+}
+
+// Failures returns the recorded rank failures sorted by rank (then by
+// recording order), for callers that want structured access after Launch.
+func (w *World) Failures() []RankFailure {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	fs := append([]RankFailure(nil), w.failures...)
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Rank < fs[j].Rank })
+	return fs
+}
+
+// runErr folds the recorded failures into one error: a summary line, one
+// line per failed rank, then each genuine panic's stack.
+func (w *World) runErr() error {
+	fs := w.Failures()
+	if len(fs) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "mpi: %d rank failure(s):", len(fs))
+	for _, f := range fs {
+		fmt.Fprintf(&b, "\n  rank %d: %v", f.Rank, f.Err)
+	}
+	for _, f := range fs {
+		if len(f.Stack) > 0 {
+			fmt.Fprintf(&b, "\nrank %d stack:\n%s", f.Rank, f.Stack)
+		}
+	}
+	return fmt.Errorf("%s", b.String())
 }
 
 // Comm is a communicator: an ordered group of ranks with an isolated
@@ -175,10 +272,12 @@ func (c *Comm) Size() int { return len(c.group) }
 // WorldRank returns the caller's rank in the world communicator.
 func (c *Comm) WorldRank() int { return c.group[c.rank] }
 
-// Wtime returns the current monotonic time; it mirrors MPI_Wtime and exists
-// so benchmark kernels read time through the same façade they communicate
-// through.
-func (c *Comm) Wtime() time.Time { return time.Now() }
+// Wtime returns the current reading of the world's clock; it mirrors
+// MPI_Wtime and exists so benchmark kernels read time through the same
+// façade they communicate through. The clock is the wall clock unless
+// WithClock injected another (e.g. a timing.FakeClock in tests), keeping
+// fault-delayed and fake-clock runs deterministic.
+func (c *Comm) Wtime() time.Time { return c.world.clock.Now() }
 
 func (c *Comm) worldOf(commRank int) int {
 	if commRank < 0 || commRank >= len(c.group) {
@@ -187,12 +286,11 @@ func (c *Comm) worldOf(commRank int) int {
 	return c.group[commRank]
 }
 
-// Abort tears down the world by waking all waiting ranks with a panic.
-// It mirrors MPI_Abort and is intended for unrecoverable rank-local errors.
+// Abort tears down the world by recording a structured failure and waking
+// all waiting ranks. It mirrors MPI_Abort and is intended for
+// unrecoverable rank-local errors.
 func (c *Comm) Abort(reason string) {
-	c.world.recordPanic(fmt.Errorf("mpi: abort from rank %d: %s", c.rank, reason))
-	for _, b := range c.world.boxes {
-		b.poison()
-	}
-	panic("mpi: abort: " + reason)
+	err := fmt.Errorf("mpi: abort from rank %d: %s", c.rank, reason)
+	c.world.fail(c.group[c.rank], err, nil)
+	panic(teardown{err.Error()})
 }

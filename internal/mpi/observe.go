@@ -224,8 +224,16 @@ var noopEnd = func() {}
 
 // beginCollective opens a collective span on the calling rank and
 // returns the closure that closes it. bytes is the payload size the op
-// moves per rank (0 for pure synchronization).
+// moves per rank (0 for pure synchronization). It is also the fault
+// injection point for collective entries (straggler and collective
+// slowdown, rank crash), costing one nil check when no injector is
+// attached.
 func (c *Comm) beginCollective(op string, bytes int) func() {
+	if inj := c.world.inj; inj != nil {
+		if of := inj.Op(c.group[c.rank], op); of.Crash || of.Delay > 0 {
+			c.applyOpFault(c.group[c.rank], op, of)
+		}
+	}
 	ob := c.world.obs
 	if ob == nil {
 		return noopEnd

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 )
@@ -16,21 +17,38 @@ type message struct {
 	f64       []float64
 	raw       []byte
 	isFloat   bool
-	deliverAt time.Time // zero when no network model is attached
+	deliverAt time.Time // zero when no network model or fault delay applies
+}
+
+// waitInfo describes one in-progress blocking match (a Recv or Probe), for
+// the watchdog's who-waits-on-whom diagnostic.
+type waitInfo struct {
+	op    string // "recv" or "probe"
+	src   int
+	tag   int
+	ctx   int
+	since time.Time
 }
 
 // mailbox is an unbounded, mutex-guarded message queue with condition-
 // variable wakeup. Matching scans pending messages in arrival order, which
 // yields the per-(source,tag) FIFO ordering MPI guarantees.
 type mailbox struct {
+	world *World
+	rank  int // owning world rank
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	pending  []message
 	poisoned bool
+	// waiting tracks in-progress blocking matches; maintained only when
+	// the world's watchdog is armed (deadline > 0), so the unwatched hot
+	// path pays nothing.
+	waiting []*waitInfo
 }
 
-func newMailbox() *mailbox {
-	b := &mailbox{}
+func newMailbox(w *World, rank int) *mailbox {
+	b := &mailbox{world: w, rank: rank}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
@@ -51,24 +69,93 @@ func (b *mailbox) poison() {
 	b.cond.Broadcast()
 }
 
+// removeWait unregisters wi; the caller holds b.mu.
+func (b *mailbox) removeWait(wi *waitInfo) {
+	for i, w := range b.waiting {
+		if w == wi {
+			b.waiting[i] = b.waiting[len(b.waiting)-1]
+			b.waiting = b.waiting[:len(b.waiting)-1]
+			return
+		}
+	}
+}
+
+// stall handles a watchdog expiry on this mailbox: it records the
+// who-waits-on-whom diagnostic as a structured world failure (poisoning
+// every mailbox) and unwinds the caller. The caller must NOT hold b.mu.
+func (b *mailbox) stall(wi *waitInfo) {
+	diag := b.world.stallReport(b.rank, wi)
+	b.world.fail(b.rank, fmt.Errorf("%s", diag), nil)
+	panic(teardown{diag})
+}
+
+// stallReport renders the watchdog diagnostic: which rank stalled on what,
+// and for every rank what it is blocked waiting for and what is sitting
+// unmatched in its mailbox — the who-waits-on-whom picture that turns a
+// silent deadlock into an actionable report.
+func (w *World) stallReport(stalled int, wi *waitInfo) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "mpi: watchdog: receive timeout: rank %d stalled in %s waiting for src=%d tag=%d ctx=%d for %v (likely deadlock)",
+		stalled, wi.op, wi.src, wi.tag, wi.ctx, time.Since(wi.since).Round(time.Millisecond))
+	sb.WriteString("\nwho-waits-on-whom:")
+	for r, b := range w.boxes {
+		b.mu.Lock()
+		waits := make([]string, 0, len(b.waiting))
+		for _, wt := range b.waiting {
+			waits = append(waits, fmt.Sprintf("%s(src=%d tag=%d ctx=%d %v)",
+				wt.op, wt.src, wt.tag, wt.ctx, time.Since(wt.since).Round(time.Millisecond)))
+		}
+		const maxShown = 8
+		pend := make([]string, 0, maxShown)
+		for i, m := range b.pending {
+			if i == maxShown {
+				pend = append(pend, fmt.Sprintf("+%d more", len(b.pending)-maxShown))
+				break
+			}
+			pend = append(pend, fmt.Sprintf("(src=%d tag=%d ctx=%d)", m.src, m.tag, m.ctx))
+		}
+		b.mu.Unlock()
+		fmt.Fprintf(&sb, "\n  rank %d: waiting on [%s], %d unmatched pending [%s]",
+			r, strings.Join(waits, " "), len(pend), strings.Join(pend, " "))
+	}
+	return sb.String()
+}
+
 // take removes and returns the first pending message matching (src, tag,
 // ctx), blocking until one arrives, along with the pending-queue length
 // at match time (the matched message included) — the unexpected-message
 // queue depth the observability layer reports. src may be AnySource and
-// tag AnyTag.
+// tag AnyTag. When the world's watchdog is armed (timeout > 0), a wait
+// exceeding the timeout fails the world with a who-waits-on-whom
+// diagnostic instead of returning.
 func (b *mailbox) take(src, tag, ctx int, timeout time.Duration) (message, int) {
-	var timer *time.Timer
+	var wi *waitInfo
 	deadline := time.Time{}
 	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
-		timer = time.AfterFunc(timeout, b.cond.Broadcast)
+		now := time.Now()
+		deadline = now.Add(timeout)
+		// The callback takes the mutex so the broadcast cannot slip into
+		// the window between a waiter's deadline check and its cond.Wait
+		// registration (a lost wakeup would disarm the watchdog).
+		timer := time.AfterFunc(timeout, func() {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			b.cond.Broadcast()
+		})
 		defer timer.Stop()
+		wi = &waitInfo{op: "recv", src: src, tag: tag, ctx: ctx, since: now}
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	if wi != nil {
+		b.waiting = append(b.waiting, wi)
+	}
 	for {
 		if b.poisoned {
-			panic("mpi: world torn down while receiving (peer rank died)")
+			if wi != nil {
+				b.removeWait(wi)
+			}
+			b.mu.Unlock()
+			panic(teardown{"mpi: world torn down while receiving (peer rank died)"})
 		}
 		for i := range b.pending {
 			m := &b.pending[i]
@@ -90,10 +177,16 @@ func (b *mailbox) take(src, tag, ctx int, timeout time.Duration) (message, int) 
 			found := *m
 			depth := len(b.pending)
 			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			if wi != nil {
+				b.removeWait(wi)
+			}
+			b.mu.Unlock()
 			return found, depth
 		}
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
-			panic(fmt.Sprintf("mpi: receive timeout waiting for src=%d tag=%d ctx=%d (likely deadlock)", src, tag, ctx))
+			b.removeWait(wi)
+			b.mu.Unlock()
+			b.stall(wi) // panics
 		}
 		b.cond.Wait()
 	}
@@ -158,8 +251,14 @@ func (c *Comm) send(dest, tag int, f64 []float64, raw []byte, isFloat bool) {
 	if isFloat {
 		bytes = 8 * len(m.f64)
 	}
+	var faultDelay time.Duration
+	if c.world.inj != nil {
+		faultDelay = c.injectMessage(wdest, tag, bytes)
+	}
 	if net := c.world.net; net != nil {
-		m.deliverAt = time.Now().Add(net.cost(bytes))
+		m.deliverAt = time.Now().Add(net.cost(bytes) + faultDelay)
+	} else if faultDelay > 0 {
+		m.deliverAt = time.Now().Add(faultDelay)
 	}
 	c.world.boxes[wdest].put(m)
 	if ob != nil {
@@ -218,6 +317,11 @@ func (c *Comm) RecvNew(src int, tag int) ([]float64, Status) {
 
 func (c *Comm) recv(src, tag int) message {
 	wself := c.group[c.rank]
+	if inj := c.world.inj; inj != nil {
+		if of := inj.Op(wself, "recv"); of.Crash || of.Delay > 0 {
+			c.applyOpFault(wself, "recv", of)
+		}
+	}
 	ob := c.world.obs
 	if ob == nil {
 		m, _ := c.world.boxes[wself].take(src, tag, c.ctx, c.world.deadline)
@@ -274,20 +378,31 @@ func (c *Comm) Sendrecv(dest, sendTag int, sendBuf []float64, src, recvTag int, 
 func (c *Comm) Probe(src, tag int) Status {
 	wself := c.group[c.rank]
 	b := c.world.boxes[wself]
-	var timer *time.Timer
-	if d := c.world.deadline; d > 0 {
-		timer = time.AfterFunc(d, b.cond.Broadcast)
-		defer timer.Stop()
-	}
+	var wi *waitInfo
 	deadlineAt := time.Time{}
-	if c.world.deadline > 0 {
-		deadlineAt = time.Now().Add(c.world.deadline)
+	if d := c.world.deadline; d > 0 {
+		now := time.Now()
+		deadlineAt = now.Add(d)
+		// See take: the locked broadcast avoids a lost watchdog wakeup.
+		timer := time.AfterFunc(d, func() {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			b.cond.Broadcast()
+		})
+		defer timer.Stop()
+		wi = &waitInfo{op: "probe", src: src, tag: tag, ctx: c.ctx, since: now}
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	if wi != nil {
+		b.waiting = append(b.waiting, wi)
+	}
 	for {
 		if b.poisoned {
-			panic("mpi: world torn down while probing")
+			if wi != nil {
+				b.removeWait(wi)
+			}
+			b.mu.Unlock()
+			panic(teardown{"mpi: world torn down while probing"})
 		}
 		for i := range b.pending {
 			m := &b.pending[i]
@@ -308,10 +423,16 @@ func (c *Comm) Probe(src, tag int) Status {
 			if m.isFloat {
 				n = len(m.f64)
 			}
+			if wi != nil {
+				b.removeWait(wi)
+			}
+			b.mu.Unlock()
 			return Status{Source: m.src, Tag: m.tag, Count: n}
 		}
 		if !deadlineAt.IsZero() && !time.Now().Before(deadlineAt) {
-			panic(fmt.Sprintf("mpi: probe timeout waiting for src=%d tag=%d (likely deadlock)", src, tag))
+			b.removeWait(wi)
+			b.mu.Unlock()
+			b.stall(wi) // panics
 		}
 		b.cond.Wait()
 	}

@@ -147,7 +147,7 @@ func MeasureWindowDetail(f Factory, window []string, o MeasureOptions) (WindowMe
 			c.Barrier()
 			var t0 time.Time
 			if c.Rank() == 0 {
-				t0 = time.Now()
+				t0 = c.Wtime()
 			}
 			for p := 0; p < o.Passes; p++ {
 				for _, k := range window {
@@ -160,7 +160,7 @@ func MeasureWindowDetail(f Factory, window []string, o MeasureOptions) (WindowMe
 			c.SetPhase("")
 			c.Barrier()
 			if c.Rank() == 0 {
-				blockTimes = append(blockTimes, time.Since(t0).Seconds()/float64(o.Passes))
+				blockTimes = append(blockTimes, c.Wtime().Sub(t0).Seconds()/float64(o.Passes))
 			}
 		}
 	}, o.WorldOpts...)
@@ -205,7 +205,7 @@ func MeasureFull(f Factory, pre, loop []string, trips int, post []string, o Meas
 		c.Barrier()
 		var t0 time.Time
 		if c.Rank() == 0 {
-			t0 = time.Now()
+			t0 = c.Wtime()
 		}
 		runAll(pre)
 		for it := 0; it < trips; it++ {
@@ -214,7 +214,7 @@ func MeasureFull(f Factory, pre, loop []string, trips int, post []string, o Meas
 		runAll(post)
 		c.Barrier()
 		if c.Rank() == 0 {
-			elapsed = time.Since(t0).Seconds()
+			elapsed = c.Wtime().Sub(t0).Seconds()
 		}
 	}, o.WorldOpts...)
 	if err != nil {

@@ -45,8 +45,44 @@ type Manifest struct {
 	WallSeconds float64 `json:"wall_seconds,omitempty"`
 	// Extra carries free-form key/value context (flags, notes).
 	Extra map[string]string `json:"extra,omitempty"`
+	// Health records the fault-injection and degradation story of the
+	// run; nil on fault-free runs so their manifests stay byte-identical
+	// to pre-fault output.
+	Health *Health `json:"health,omitempty"`
 	// Metrics is the registry snapshot taken at the end of the run.
 	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// Health is the manifest's fault-and-degradation record: what faults were
+// injected (and how to reproduce the schedule), what the measurement
+// pipeline retried or degraded, and any structured errors the run ended
+// with. All fields are pre-rendered strings so this package stays
+// decoupled from the fault and harness layers; producers keep them
+// deterministic.
+type Health struct {
+	// FaultSpec is the canonical fault specification, empty when faults
+	// were off.
+	FaultSpec string `json:"fault_spec,omitempty"`
+	// FaultSeed reproduces the schedule together with FaultSpec.
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
+	// FaultTally summarizes how many faults of each class fired.
+	FaultTally string `json:"fault_tally,omitempty"`
+	// ScheduleDigest fingerprints the full fault schedule; two runs with
+	// the same digest injected byte-identical schedules.
+	ScheduleDigest string `json:"schedule_digest,omitempty"`
+	// FaultEvents lists the injected faults (possibly capped), one
+	// rendered line each, in deterministic order.
+	FaultEvents []string `json:"fault_events,omitempty"`
+	// Retries lists every measurement retry the harness spent.
+	Retries []string `json:"retries,omitempty"`
+	// FailedWindows lists windows that stayed unmeasurable after the
+	// retry budget.
+	FailedWindows []string `json:"failed_windows,omitempty"`
+	// DegradedCoefficients lists coefficients computed from partial or
+	// fallback window sets.
+	DegradedCoefficients []string `json:"degraded_coefficients,omitempty"`
+	// Errors holds the structured errors of a run that failed outright.
+	Errors []string `json:"errors,omitempty"`
 }
 
 // NewManifest returns a manifest for the named tool with the toolchain

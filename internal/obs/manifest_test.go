@@ -89,6 +89,49 @@ func TestManifestJSONShape(t *testing.T) {
 	}
 }
 
+// TestManifestHealthRoundTrip pins that the fault-and-degradation record
+// survives serialization and that fault-free manifests omit it entirely
+// (keeping clean-run output byte-identical to pre-fault manifests).
+func TestManifestHealthRoundTrip(t *testing.T) {
+	m := NewManifest("couple")
+	var clean bytes.Buffer
+	if err := m.WriteJSON(&clean); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean.String(), "health") {
+		t.Errorf("clean manifest must not mention health:\n%s", clean.String())
+	}
+
+	m.Health = &Health{
+		FaultSpec:            "delay:p=0.2,mean=1ms,jitter=0.5",
+		FaultSeed:            7,
+		FaultTally:           "delays=3 drops=0 lost=0 straggles=0 collectives=0 crashes=0",
+		ScheduleDigest:       "00ab-3",
+		FaultEvents:          []string{"delay rank=0 msg#1"},
+		Retries:              []string{"window B|C attempt 1: injected"},
+		FailedWindows:        []string{"B|C: lost"},
+		DegradedCoefficients: []string{"B chain=2 mode=partial"},
+		Errors:               nil,
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Health == nil {
+		t.Fatal("health record lost")
+	}
+	if got.Health.FaultSeed != 7 || got.Health.FaultSpec != m.Health.FaultSpec {
+		t.Errorf("health fields lost: %+v", got.Health)
+	}
+	if len(got.Health.Retries) != 1 || len(got.Health.DegradedCoefficients) != 1 {
+		t.Errorf("health lists lost: %+v", got.Health)
+	}
+}
+
 func TestReadManifestFileErrors(t *testing.T) {
 	if _, err := ReadManifestFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
 		t.Error("missing file should error")

@@ -19,6 +19,35 @@ go test -race ./...
 echo "==> go run ./cmd/kcvet ./..."
 go run ./cmd/kcvet ./...
 
+# Chaos gate: the measurement pipeline must degrade, never crash, under a
+# fixed-seed fault schedule. Two invariants:
+#   1. couple under mild message jitter completes with a report (exit 0);
+#   2. npbrun with an injected rank crash exits with a structured error
+#      (exit 1) — an uncaught panic would exit 2 and fail the gate.
+echo "==> chaos: couple degrades under faults (class S, fixed seed)"
+go build -o /tmp/kc-couple ./cmd/couple
+go build -o /tmp/kc-npbrun ./cmd/npbrun
+/tmp/kc-couple -bench BT -grid 8 -trips 2 -procs 4 -chains 2 -blocks 1 \
+    -fault-spec 'delay:p=0.2,mean=100us,jitter=0.5' -fault-seed 7 >/dev/null
+
+echo "==> chaos: npbrun crash fault exits structured, not panicked"
+set +e
+/tmp/kc-npbrun -bench BT -grid 8 -trips 2 -procs 4 \
+    -fault-spec 'crash:rank=2,at=40' -fault-seed 7 >/dev/null 2>/tmp/kc-chaos-err
+status=$?
+set -e
+if [ "$status" -ne 1 ]; then
+    echo "==> chaos gate FAILED: npbrun exit status $status, want structured exit 1" >&2
+    cat /tmp/kc-chaos-err >&2
+    exit 1
+fi
+if ! grep -q 'rank 2' /tmp/kc-chaos-err; then
+    echo "==> chaos gate FAILED: crash report does not name the dead rank" >&2
+    cat /tmp/kc-chaos-err >&2
+    exit 1
+fi
+rm -f /tmp/kc-couple /tmp/kc-npbrun /tmp/kc-chaos-err
+
 # Non-gating: archive a smoke-scale benchmark run so history accumulates
 # in CI logs. Failures here never fail the gate (the tables are timing-
 # sensitive and CI hosts are noisy).
