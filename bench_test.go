@@ -6,7 +6,8 @@
 //	sum-err-%      average relative error of the summation baseline
 //	cpl-err-L<k>-%  average relative error of the chain-length-k predictor
 //
-// Studies are memoized, so paired tables (2a/2b, ...) measure once.
+// Measurements are cached at the job level, so paired tables (2a/2b, ...)
+// and overlapping windows measure once.
 // Set KC_FAST=1 to run everything at smoke scale (tiny grids).
 package repro
 
@@ -137,6 +138,46 @@ func BenchmarkSection41_CacheTransitions(b *testing.B) {
 	trans := memmodel.Transitions(res.Sweep, 0.08)
 	b.ReportMetric(float64(len(trans)), "transitions")
 }
+
+// --- Serial vs parallel campaign --------------------------------------------
+
+// benchCampaign runs the full 2a+2b BT class S campaign cold (cache reset
+// every iteration) at the given worker count. The Serial/Parallel4 pair
+// records the scheduler's wall-time win in BENCH_<date>.json.
+func benchCampaign(b *testing.B, workers int) {
+	b.Helper()
+	debug.FreeOSMemory()
+	scale := benchScale()
+	scale.Parallel = workers
+	var executed, hits int
+	for i := 0; i < b.N; i++ {
+		tables.ResetCache() // cold campaign: measure scheduling, not caching
+		executed, hits = 0, 0
+		for _, id := range []string{"2a", "2b"} {
+			e, ok := tables.Find(id)
+			if !ok {
+				b.Fatalf("unknown table %s", id)
+			}
+			if scale.GridOverride > 0 && len(e.Procs) > 2 {
+				e.Procs = e.Procs[:2]
+			}
+			res, err := e.Run(scale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, ps := range res.Studies {
+				executed += ps.Study.Exec.Executed
+				hits += ps.Study.Exec.CacheHits
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(executed), "worlds-executed")
+	b.ReportMetric(float64(hits), "cache-hits")
+}
+
+func BenchmarkCampaignSerial(b *testing.B)    { benchCampaign(b, 1) }
+func BenchmarkCampaignParallel4(b *testing.B) { benchCampaign(b, 4) }
 
 // --- Ablation benches (DESIGN.md section 5) --------------------------------
 

@@ -32,6 +32,7 @@ import (
 	"repro/internal/npb/sp"
 	"repro/internal/obs"
 	"repro/internal/obscli"
+	"repro/internal/plan"
 	"repro/internal/prophesy"
 	"repro/internal/stats"
 	"repro/internal/tables"
@@ -51,6 +52,10 @@ func main() {
 		saveDB = flag.String("save", "", "append this study's measurements to a coupling repository (JSON file)")
 		reuse  = flag.String("reuse", "", "repository to reuse coupling values from: only isolated kernels are measured fresh")
 		ref    = flag.String("ref", "", "reference configuration for -reuse as workload.class.procs (e.g. BT.W.4)")
+
+		parallel  = flag.Int("parallel", 1, "measurement worker count (1 = sequential, preserves timing fidelity)")
+		cacheDir  = flag.String("cache-dir", "", "persist the content-addressed measurement cache in this directory")
+		fromCache = flag.Bool("from-cache", false, "re-analyze from the -cache-dir cache without running any world")
 	)
 	var obsFlags obscli.Flags
 	obsFlags.Register(nil)
@@ -157,9 +162,24 @@ func main() {
 
 	fmt.Printf("study: %s  grid %s  trips=%d  chains=%v\n\n", w.WorkloadName, prob, nTrips, chainLens)
 	start := time.Now()
+	var netModel *mpi.NetModel
+	if *net {
+		m := mpi.IBMSPModel()
+		netModel = &m
+	}
 	opts := harness.Options{
 		Blocks: *blocks, Passes: *passes, ActualRuns: 3,
-		Metrics: sink.Registry, Spans: sink.Spans,
+		Metrics:     sink.Registry, Spans: sink.Spans,
+		Parallel:    *parallel,
+		WorldDigest: tables.WorldDigest(prob, netModel),
+		FaultDigest: faultFlags.Digest(),
+	}
+	if *cacheDir != "" {
+		cache, err := plan.NewDirCache(*cacheDir)
+		if err != nil {
+			fail("%v", err)
+		}
+		opts.Cache = cache
 	}
 	if inj != nil {
 		// Under fault injection the harness degrades instead of dying:
@@ -168,7 +188,18 @@ func main() {
 		opts.MaxRetries = faultFlags.Retries
 		opts.Degrade = true
 	}
-	study, err := harness.RunStudy(w, nTrips, chainLens, opts)
+	eng := harness.Engine{Workload: w, Opts: opts}
+	var study *harness.Study
+	if *fromCache {
+		if opts.Cache == nil {
+			fail("-from-cache needs -cache-dir")
+		}
+		// Pure re-analysis: every measurement must already be in the
+		// cache; no world is spawned.
+		study, err = eng.RunFromCache(nTrips, chainLens)
+	} else {
+		study, err = eng.Run(nTrips, chainLens)
+	}
 
 	man := obs.NewManifest("couple")
 	man.Benchmark = benchName
@@ -178,6 +209,15 @@ func main() {
 	man.UnixSeconds = start.Unix()
 	man.WallSeconds = time.Since(start).Seconds()
 	man.Extra = map[string]string{"chains": *chains}
+	if *parallel > 1 {
+		man.Extra["parallel"] = strconv.Itoa(*parallel)
+	}
+	if *cacheDir != "" {
+		man.Extra["cache_dir"] = *cacheDir
+	}
+	if *fromCache {
+		man.Extra["from_cache"] = "true"
+	}
 	if inj != nil {
 		man.Health = inj.Health()
 	}
@@ -222,6 +262,13 @@ func main() {
 	// The full report: tables, predictions, and — only when the study
 	// degraded — the degradation section.
 	fmt.Print(harness.RenderStudy(study))
+
+	// Cache statistics go to stderr so the study report on stdout stays
+	// byte-identical whether or not the cache served it.
+	if opts.Cache != nil || *parallel > 1 {
+		fmt.Fprintf(os.Stderr, "couple: cache hits=%d misses=%d planned=%d\n",
+			study.Exec.CacheHits, study.Exec.Executed, study.Exec.Planned)
+	}
 }
 
 // runReuse is the experiment-reduction flow of the paper's future-work

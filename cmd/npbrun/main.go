@@ -33,6 +33,8 @@ import (
 	"repro/internal/npb/sp"
 	"repro/internal/obs"
 	"repro/internal/obscli"
+	"repro/internal/plan"
+	"repro/internal/stats"
 	"repro/internal/tables"
 	"repro/internal/trace"
 )
@@ -51,6 +53,9 @@ func main() {
 		grid    = flag.Int("grid", 0, "grid override: use an n³ grid instead of the class size")
 		net     = flag.Bool("net", false, "attach the IBM SP interconnect cost model")
 		doTrace = flag.Bool("trace", false, "record per-kernel events; print profile and timeline")
+
+		repeat   = flag.Int("repeat", 1, "run the full application this many times and report the median")
+		parallel = flag.Int("parallel", 1, "worker count for -repeat runs (each run is its own world)")
 	)
 	var obsFlags obscli.Flags
 	obsFlags.Register(nil)
@@ -149,18 +154,66 @@ func main() {
 		factory = trace.WrapFactory(factory, tracer)
 	}
 
+	if *repeat > 1 && tracer != nil {
+		fmt.Fprintln(os.Stderr, "npbrun: -trace/-trace-out need a single run; drop them or -repeat")
+		os.Exit(2)
+	}
+
 	fmt.Printf("%s class %s  grid %s  %d procs  %d loop trips\n",
 		strings.ToUpper(*bench), cls, prob, *procs, nTrips)
 	start := time.Now()
 	var norms [5]float64
-	err = npb.RunOnce(factory, pre, loop, nTrips, post, *procs, func(ks npb.KernelSet) {
-		if u, ok := ks.(interface{ Unwrap() npb.KernelSet }); ok {
-			ks = u.Unwrap()
+	runApp := func(out *[5]float64) error {
+		return npb.RunOnce(factory, pre, loop, nTrips, post, *procs, func(ks npb.KernelSet) {
+			if u, ok := ks.(interface{ Unwrap() npb.KernelSet }); ok {
+				ks = u.Unwrap()
+			}
+			if nr, ok := ks.(normReporter); ok {
+				*out = nr.Norms()
+			}
+		}, worldOpts...)
+	}
+	if *repeat > 1 {
+		// Repeated-run campaign through the measurement scheduler: each
+		// run is an independent world, so runs can execute concurrently.
+		in := plan.Inputs{Workload: strings.ToUpper(*bench) + "." + string(cls), Procs: *procs, Trips: nTrips, ActualRuns: *repeat}
+		jobs := make([]plan.Job, *repeat)
+		for r := range jobs {
+			jobs[r] = plan.ActualJob(in, r)
 		}
-		if nr, ok := ks.(normReporter); ok {
-			norms = nr.Norms()
+		allNorms := make([][5]float64, *repeat)
+		outcomes := plan.Executor{Parallel: *parallel}.Run(jobs, func(i int, j plan.Job) (plan.Result, error) {
+			runStart := time.Now()
+			if err := runApp(&allNorms[i]); err != nil {
+				return plan.Result{}, err
+			}
+			return plan.Result{Seconds: time.Since(runStart).Seconds()}, nil
+		})
+		times := make([]float64, 0, *repeat)
+		for _, out := range outcomes {
+			if out.Err != nil {
+				err = out.Err
+				break
+			}
+			times = append(times, out.Result.Seconds)
 		}
-	}, worldOpts...)
+		if err == nil {
+			norms = allNorms[0]
+			for i := 1; i < *repeat; i++ {
+				if allNorms[i] != norms {
+					err = fmt.Errorf("run %d norms diverge from run 0 — the benchmark is not deterministic", i)
+					break
+				}
+			}
+			for r, s := range times {
+				fmt.Printf("run %d: %v\n", r, time.Duration(s*float64(time.Second)).Round(time.Millisecond))
+			}
+			fmt.Printf("median of %d runs: %v  (parallel=%d)\n",
+				*repeat, time.Duration(stats.Median(times)*float64(time.Second)).Round(time.Millisecond), *parallel)
+		}
+	} else {
+		err = runApp(&norms)
+	}
 	if err != nil {
 		// A faulted or deadlocked run still exits with a structured
 		// report (and a manifest when -metrics-out was asked for), never

@@ -37,10 +37,16 @@ func main() {
 		net    = flag.Bool("net", false, "attach the IBM SP interconnect cost model")
 		fast   = flag.Bool("fast", false, "smoke-test scale: 8³ grids, 2 trips")
 		out    = flag.String("out", "", "also append the rendered tables to this file")
+
+		parallel = flag.Int("parallel", 1, "measurement worker count (1 = sequential, preserves timing fidelity)")
+		cacheDir = flag.String("cache-dir", "", "persist the content-addressed measurement cache in this directory")
 	)
 	flag.Parse()
 
-	scale := tables.Scale{Trips: *trips, Blocks: *blocks, Passes: *passes, GridOverride: *grid}
+	scale := tables.Scale{
+		Trips: *trips, Blocks: *blocks, Passes: *passes, GridOverride: *grid,
+		Parallel: *parallel, CacheDir: *cacheDir,
+	}
 	if *fast {
 		scale.GridOverride = 8
 		if scale.Trips == 0 {
@@ -92,6 +98,7 @@ func main() {
 		outFile = f
 	}
 
+	var planned, executed, hits int
 	for _, e := range exps {
 		if procsOverride != nil && len(e.Procs) > 0 {
 			e.Procs = procsOverride
@@ -102,10 +109,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "paper: table %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		for _, ps := range res.Studies {
+			planned += ps.Study.Exec.Planned
+			executed += ps.Study.Exec.Executed
+			hits += ps.Study.Exec.CacheHits
+		}
 		fmt.Println(res.Text)
 		fmt.Printf("[table %s regenerated in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		if outFile != nil {
 			fmt.Fprintf(outFile, "```\n%s```\n\n", res.Text)
 		}
+	}
+	// Campaign summary: with the job cache on, paired tables and shared
+	// windows mean strictly fewer world executions than jobs planned.
+	if *parallel > 1 || *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "paper: campaign jobs planned=%d executed=%d cache hits=%d (parallel=%d)\n",
+			planned, executed, hits, *parallel)
 	}
 }

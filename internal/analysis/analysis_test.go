@@ -24,6 +24,7 @@ var fixtureCases = []struct {
 	{"determinism", Determinism},
 	{"faultpkg", Determinism},
 	{"obsregistry", Determinism},
+	{"planpkg", Determinism},
 	{"floatsum", FloatSum},
 	{"errcheckmpi", ErrcheckMPI},
 }

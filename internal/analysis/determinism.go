@@ -10,16 +10,19 @@ import (
 // across runs: everything between a set of measured times going in and a
 // table of predictions coming out, plus the fault injector, whose schedule
 // must be a pure function of its seed (a wall-clock or global-rand read
-// there would break same-seed-same-schedule reproducibility). Measurement
-// packages (timing, npb, mpi) are excluded — they read real clocks by
-// design and reach determinism through the injectable timing.Clock
-// instead.
+// there would break same-seed-same-schedule reproducibility), and the
+// measurement planner, whose job order and content-addressed keys are a
+// cache contract — a map-range or time-source read there would split the
+// cache or scramble the serial execution order. Measurement packages
+// (timing, npb, mpi) are excluded — they read real clocks by design and
+// reach determinism through the injectable timing.Clock instead.
 var determinismScope = map[string]bool{
 	"repro/internal/core":     true,
 	"repro/internal/fault":    true,
 	"repro/internal/model":    true,
 	"repro/internal/memmodel": true,
 	"repro/internal/obs":      true,
+	"repro/internal/plan":     true,
 	"repro/internal/stats":    true,
 	"repro/internal/tables":   true,
 	"repro/internal/trace":    true,

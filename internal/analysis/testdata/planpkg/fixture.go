@@ -1,0 +1,55 @@
+// Package fixture exercises the determinism analyzer against the mistakes
+// that would break the measurement planner: a study's job list must have
+// identical order and content-addressed keys on every run, because the
+// order is the serial executor's measurement order (pinned by a golden)
+// and the keys are a cache contract shared across processes. A map
+// iteration while enumerating jobs or a timestamp folded into a key
+// silently splits the cache and scrambles `-parallel 1` byte-fidelity.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+type job struct {
+	kind   string
+	window string
+}
+
+type planner struct {
+	windows map[string][]string
+}
+
+func (p *planner) enumerate() []job {
+	var jobs []job
+	seen := map[string]bool{}
+	for key := range p.windows { // finding: map order varies per run
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		jobs = append(jobs, job{kind: "window", window: key})
+	}
+	return jobs
+}
+
+func (p *planner) enumerateSorted() []job {
+	keys := make([]string, 0, len(p.windows))
+	for key := range p.windows { // ok: collecting keys for sorting
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	jobs := make([]job, 0, len(keys))
+	for _, key := range keys {
+		jobs = append(jobs, job{kind: "window", window: key})
+	}
+	return jobs
+}
+
+func (p *planner) canonical(j job) string {
+	// Folding a timestamp into the key makes every run a cache miss.
+	stamp := time.Now().Unix() // finding
+	return fmt.Sprintf("v1|kind=%s|win=%s|at=%d", j.kind, j.window, stamp)
+}

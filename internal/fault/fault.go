@@ -21,8 +21,12 @@ const maxRecordedEvents = 10000
 // a schedule comparable across runs.
 type Event struct {
 	// Class is the fault class: "delay", "drop", "straggler", "collective"
-	// or "crash".
+	// or "crash"; a decision spanning classes joins them with "+"
+	// ("straggler+collective").
 	Class string
+	// World is the 1-based index of the world the fault fired in (0 when
+	// the injector was driven without world boundaries).
+	World uint64
 	// Rank is the world rank the fault applied to (the sender for message
 	// faults).
 	Rank int
@@ -48,7 +52,7 @@ type Event struct {
 // String renders the event on one line, stable across runs.
 func (e Event) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s rank=%d %s#%d", e.Class, e.Rank, e.Kind, e.Index)
+	fmt.Fprintf(&b, "%-10s w%d rank=%d %s#%d", e.Class, e.World, e.Rank, e.Kind, e.Index)
 	if e.Op != "" {
 		fmt.Fprintf(&b, " op=%s", e.Op)
 	}
@@ -87,13 +91,67 @@ func (t Tally) String() string {
 		t.Delays, t.Drops, t.Lost, t.Straggles, t.Collectives, t.Crashes)
 }
 
+// tallyDelta maps one recorded event back to its tally contribution, so a
+// doomed world's trimmed events can be subtracted exactly.
+func tallyDelta(ev Event) Tally {
+	var t Tally
+	for _, c := range strings.Split(ev.Class, "+") {
+		switch c {
+		case "delay":
+			t.Delays++
+		case "drop":
+			if ev.Lost {
+				t.Lost++
+			} else {
+				t.Drops++
+			}
+		case "straggler":
+			t.Straggles++
+		case "collective":
+			t.Collectives++
+		case "crash":
+			t.Crashes++
+		}
+	}
+	return t
+}
+
+func (t *Tally) add(d Tally) {
+	t.Delays += d.Delays
+	t.Drops += d.Drops
+	t.Lost += d.Lost
+	t.Straggles += d.Straggles
+	t.Collectives += d.Collectives
+	t.Crashes += d.Crashes
+}
+
+func (t *Tally) sub(d Tally) {
+	t.Delays -= d.Delays
+	t.Drops -= d.Drops
+	t.Lost -= d.Lost
+	t.Straggles -= d.Straggles
+	t.Collectives -= d.Collectives
+	t.Crashes -= d.Crashes
+}
+
 // Injector implements mpi.Injector: it turns a Spec into per-operation
-// fault decisions. Every decision is a pure function of (seed, rank,
-// per-rank operation index), so two runs with the same seed and the same
-// per-rank operation sequences produce identical fault schedules — the
-// property the chaos tests pin byte-for-byte. Counters persist across
-// worlds, so a harness that retries a measurement continues the schedule
-// instead of replaying it (and a once-only crash does not re-fire).
+// fault decisions. Every probabilistic decision is a pure function of
+// (seed, world index, rank, the rank's within-world operation or message
+// index) — coordinates that do not depend on goroutine scheduling — so
+// two runs with the same seed produce identical fault schedules, the
+// property the chaos tests pin byte-for-byte. The world index advances at
+// each mpi.Launch (via the mpi.WorldStarter hook), which also makes a
+// harness retry continue the schedule in a fresh world instead of
+// replaying the failed one. The crash trigger instead counts the target
+// rank's operations across its whole lifetime, so crash `at` budgets span
+// worlds and the crash fires exactly once.
+//
+// A world killed by a fault (a crash, or a message lost past its resend
+// budget) tears its surviving ranks down at scheduler-dependent points;
+// their trailing decisions in that world are noise, not schedule. The
+// recorded schedule of a doomed world is therefore trimmed to the killing
+// rank's own events (exact up to the event-recording cap), keeping the
+// digest and schedule text reproducible across runs.
 //
 // Safe for concurrent ranks.
 type Injector struct {
@@ -101,9 +159,14 @@ type Injector struct {
 	seed uint64
 
 	mu       sync.Mutex
-	opIdx    map[int]uint64
-	msgIdx   map[int]uint64
+	world    uint64         // worlds started; 0 when driven without boundaries
+	lifeOps  map[int]uint64 // per-rank lifetime op count: the crash trigger
+	opIdx    map[int]uint64 // per-rank within-world op index
+	msgIdx   map[int]uint64 // per-rank within-world message index
 	crashed  bool
+	doomed   bool // current world was killed by a fault
+	keeper   int  // the killing rank, whose events the doomed world keeps
+	curStart int  // index into events where the current world begins
 	events   []Event
 	tally    Tally
 	digest   uint64 // order-independent combination of per-event hashes
@@ -116,6 +179,7 @@ func New(spec Spec, seed uint64) *Injector {
 	inj := &Injector{
 		spec:     spec,
 		seed:     seed,
+		lifeOps:  make(map[int]uint64),
 		opIdx:    make(map[int]uint64),
 		msgIdx:   make(map[int]uint64),
 		straggle: make(map[int]bool),
@@ -126,6 +190,46 @@ func New(spec Spec, seed uint64) *Injector {
 		}
 	}
 	return inj
+}
+
+// WorldStart implements mpi.WorldStarter: it advances the world index and
+// resets the within-world counters, giving the next world deterministic
+// decision coordinates no matter where the previous world's ranks
+// stopped.
+func (inj *Injector) WorldStart() {
+	inj.mu.Lock()
+	inj.world++
+	inj.curStart = len(inj.events)
+	inj.doomed = false
+	clear(inj.opIdx)
+	clear(inj.msgIdx)
+	inj.mu.Unlock()
+}
+
+// doom marks the current world as killed by rank keeper and trims the
+// world's already-recorded events to that rank's own: the surviving
+// ranks' progress past this point is scheduler-dependent, so keeping
+// their events would make the schedule irreproducible. The caller holds
+// inj.mu.
+func (inj *Injector) doom(keeper int) {
+	if inj.doomed {
+		return
+	}
+	inj.doomed = true
+	inj.keeper = keeper
+	kept := inj.events[:inj.curStart]
+	for _, ev := range inj.events[inj.curStart:] {
+		if ev.Rank == keeper {
+			kept = append(kept, ev)
+			continue
+		}
+		h := fnv.New64a()
+		h.Write([]byte(ev.String()))
+		inj.digest ^= h.Sum64()
+		inj.total--
+		inj.tally.sub(tallyDelta(ev))
+	}
+	inj.events = kept
 }
 
 // Spec returns the injector's parsed spec.
@@ -170,35 +274,36 @@ func (inj *Injector) Op(rank int, op string) mpi.OpFault {
 	inj.mu.Lock()
 	idx := inj.opIdx[rank]
 	inj.opIdx[rank] = idx + 1
+	life := inj.lifeOps[rank]
+	inj.lifeOps[rank] = life + 1
 
 	var of mpi.OpFault
-	var ev Event
-	if cr := inj.spec.Crash; cr != nil && !inj.crashed && rank == cr.Rank && idx >= cr.At {
+	var classes []string
+	if cr := inj.spec.Crash; cr != nil && !inj.crashed && rank == cr.Rank && life >= cr.At {
 		inj.crashed = true
 		of.Crash = true
-		inj.tally.Crashes++
-		ev = Event{Class: "crash", Crash: true}
+		classes = append(classes, "crash")
 	} else {
 		if inj.straggle[rank] {
 			of.Delay += inj.spec.Straggler.Delay
-			inj.tally.Straggles++
-			ev = Event{Class: "straggler"}
+			classes = append(classes, "straggler")
 		}
 		if co := inj.spec.Collective; co != nil && isCollective(op) && (co.Op == "*" || co.Op == op) {
-			if u01(inj.mix(saltCollective, uint64(rank), idx)) < co.P {
+			if u01(inj.mix(saltCollective, inj.world, uint64(rank), idx)) < co.P {
 				of.Delay += co.Delay
-				inj.tally.Collectives++
-				if ev.Class == "" {
-					ev = Event{Class: "collective"}
-				}
+				classes = append(classes, "collective")
 			}
 		}
-		ev.Delay = of.Delay
 	}
-	if ev.Class != "" {
-		ev.Rank, ev.Kind, ev.Index, ev.Op = rank, "op", idx, op
-		ev.Crash = of.Crash
-		inj.record(ev)
+	if len(classes) > 0 {
+		if of.Crash {
+			inj.doom(rank)
+		}
+		inj.record(Event{
+			Class: strings.Join(classes, "+"),
+			World: inj.world, Rank: rank, Kind: "op", Index: idx, Op: op,
+			Delay: of.Delay, Crash: of.Crash,
+		})
 	}
 	inj.mu.Unlock()
 	return of
@@ -215,10 +320,9 @@ func (inj *Injector) Message(src, dest, tag, bytes int) mpi.MsgFault {
 	var mf mpi.MsgFault
 	var classes []string
 	if d := inj.spec.Delay; d != nil {
-		if u01(inj.mix(saltDelay, uint64(src), idx)) < d.P {
-			scale := 1 - d.Jitter + 2*d.Jitter*u01(inj.mix(saltDelayScale, uint64(src), idx))
+		if u01(inj.mix(saltDelay, inj.world, uint64(src), idx)) < d.P {
+			scale := 1 - d.Jitter + 2*d.Jitter*u01(inj.mix(saltDelayScale, inj.world, uint64(src), idx))
 			mf.Delay += time.Duration(float64(d.Mean) * scale)
-			inj.tally.Delays++
 			classes = append(classes, "delay")
 		}
 	}
@@ -227,7 +331,7 @@ func (inj *Injector) Message(src, dest, tag, bytes int) mpi.MsgFault {
 		// dropped with probability P; each resend pays Backoff·2^i.
 		lost := true
 		for attempt := 0; attempt <= d.Resend; attempt++ {
-			if u01(inj.mix(saltDrop, uint64(src), idx, uint64(attempt))) >= d.P {
+			if u01(inj.mix(saltDrop, inj.world, uint64(src), idx, uint64(attempt))) >= d.P {
 				lost = false
 				mf.Resends = attempt
 				break
@@ -237,17 +341,18 @@ func (inj *Injector) Message(src, dest, tag, bytes int) mpi.MsgFault {
 		if lost {
 			mf.Lost = true
 			mf.Resends = d.Resend
-			inj.tally.Lost++
 			classes = append(classes, "drop")
 		} else if mf.Resends > 0 {
-			inj.tally.Drops++
 			classes = append(classes, "drop")
 		}
 	}
 	if len(classes) > 0 {
+		if mf.Lost {
+			inj.doom(src)
+		}
 		inj.record(Event{
 			Class: strings.Join(classes, "+"),
-			Rank:  src, Kind: "msg", Index: idx,
+			World: inj.world, Rank: src, Kind: "msg", Index: idx,
 			Dest: dest, Tag: tag,
 			Delay: mf.Delay, Resends: mf.Resends, Lost: mf.Lost,
 		})
@@ -256,28 +361,36 @@ func (inj *Injector) Message(src, dest, tag, bytes int) mpi.MsgFault {
 	return mf
 }
 
-// record logs an event (up to the cap) and folds it into the digest; the
-// caller holds inj.mu.
+// record logs an event (up to the cap) and folds it into the digest and
+// tally; the caller holds inj.mu. In a doomed world only the killing
+// rank's events are schedule; the rest is teardown noise and is dropped.
 func (inj *Injector) record(ev Event) {
+	if inj.doomed && ev.Rank != inj.keeper {
+		return
+	}
 	inj.total++
 	h := fnv.New64a()
 	h.Write([]byte(ev.String()))
 	// XOR is order-independent, so the digest is deterministic even though
 	// concurrent ranks append in scheduler order.
 	inj.digest ^= h.Sum64()
+	inj.tally.add(tallyDelta(ev))
 	if len(inj.events) < maxRecordedEvents {
 		inj.events = append(inj.events, ev)
 	}
 }
 
-// Events returns the recorded fault events sorted by (rank, kind, index) —
-// a deterministic order regardless of scheduler interleaving. At most
-// maxRecordedEvents are retained; Tally covers the rest.
+// Events returns the recorded fault events sorted by (world, rank, kind,
+// index) — a deterministic order regardless of scheduler interleaving. At
+// most maxRecordedEvents are retained; Tally covers the rest.
 func (inj *Injector) Events() []Event {
 	inj.mu.Lock()
 	evs := append([]Event(nil), inj.events...)
 	inj.mu.Unlock()
 	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].World != evs[j].World {
+			return evs[i].World < evs[j].World
+		}
 		if evs[i].Rank != evs[j].Rank {
 			return evs[i].Rank < evs[j].Rank
 		}

@@ -139,6 +139,54 @@ func TestScheduleDeterministicAcrossInterleavings(t *testing.T) {
 	}
 }
 
+// TestWorldBoundariesIsolateAbortedWorlds pins the contract the
+// end-to-end chaos reproducibility test relies on: a world killed by a
+// fault tears its surviving ranks down at scheduler-dependent points, so
+// the injector must (a) key decisions off within-world indexes that reset
+// at each WorldStart — the next world's schedule cannot depend on where
+// the previous one stopped — and (b) trim the doomed world's recorded
+// schedule to the killing rank's own events.
+func TestWorldBoundariesIsolateAbortedWorlds(t *testing.T) {
+	spec, err := Parse("delay:p=0.5,mean=50us;crash:rank=1,at=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(survivorProgress int) string {
+		inj := New(spec, 9)
+		inj.WorldStart()
+		// Rank 1 reaches its crash deterministically...
+		for i := 0; i <= 5; i++ {
+			inj.Op(1, "send")
+		}
+		// ...while the surviving ranks get a scheduler-dependent number of
+		// messages in before the teardown unwinds them.
+		for i := 0; i < survivorProgress; i++ {
+			inj.Message(0, 2, 7, 64)
+			inj.Message(2, 0, 7, 64)
+		}
+		// The retry world completes normally.
+		inj.WorldStart()
+		for r := 0; r < 3; r++ {
+			for i := 0; i < 20; i++ {
+				inj.Message(r, (r+1)%3, 7, 64)
+			}
+		}
+		return inj.ScheduleText()
+	}
+	first := run(3)
+	if !strings.Contains(first, "crash") {
+		t.Fatal("crash never fired; test is vacuous")
+	}
+	if !strings.Contains(first, "w2") {
+		t.Fatal("retry world injected nothing; test is vacuous")
+	}
+	for _, progress := range []int{0, 7, 19} {
+		if got := run(progress); got != first {
+			t.Fatalf("survivor progress %d changed the schedule:\n--- want ---\n%s--- got ---\n%s", progress, first, got)
+		}
+	}
+}
+
 // TestScheduleVariesWithSeed guards against a degenerate hash: different
 // seeds must produce different schedules.
 func TestScheduleVariesWithSeed(t *testing.T) {

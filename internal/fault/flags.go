@@ -58,6 +58,18 @@ func (f *Flags) WatchdogTimeout() time.Duration {
 	return 0
 }
 
+// Digest returns the canonical fault configuration for content-addressed
+// measurement keys: empty when injection is off, otherwise the raw spec
+// plus the seed (the seed changes the schedule, hence the measurements).
+// It uses the spec text as given — Build validates it first, so by the
+// time a digest reaches a job key the spec is known to parse.
+func (f *Flags) Digest() string {
+	if !f.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("spec=%s;seed=%d", f.Spec, f.Seed)
+}
+
 // Build parses the spec and returns the injector, or nil when injection is
 // disabled.
 func (f *Flags) Build() (*Injector, error) {

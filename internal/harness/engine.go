@@ -1,0 +1,441 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/npb"
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+// Engine is the three-layer measurement pipeline behind RunStudy: Plan
+// enumerates the campaign as content-addressed jobs (internal/plan),
+// Execute schedules them over a worker pool backed by the measurement
+// cache, and Analyze computes the predictions from the results. RunStudy
+// is a thin wrapper over it; commands that want parallelism, caching or
+// cache-only re-analysis use the engine directly.
+type Engine struct {
+	Workload Workload
+	Opts     Options
+}
+
+// ExecStats summarizes how a study's planned jobs were satisfied.
+type ExecStats struct {
+	// Planned is the number of jobs the plan enumerated.
+	Planned int `json:"planned"`
+	// Executed is how many measurements actually ran a world — including
+	// degradation-ladder sub-windows, which are planned on demand, so
+	// under degradation Executed may exceed Planned-CacheHits.
+	Executed int `json:"executed"`
+	// CacheHits is how many jobs the cache served without running a world.
+	CacheHits int `json:"cache_hits"`
+}
+
+// Backoff limits for measurement retries: the shift cap keeps the
+// doubling from overflowing time.Duration for large attempt counts, and
+// the absolute ceiling bounds any single sleep regardless of the
+// configured base.
+const (
+	maxBackoffShift = 10
+	maxRetryBackoff = 30 * time.Second
+)
+
+// retryDelay returns the backoff before retrying attempt (0-based):
+// base<<attempt, with the shift capped and the result clamped to
+// [0, maxRetryBackoff]. A left shift of a duration can overflow to a
+// negative value; any such result also clamps to the ceiling.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	shift := attempt
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	d := base << shift
+	if d > maxRetryBackoff || d < base {
+		return maxRetryBackoff
+	}
+	return d
+}
+
+// planInputs builds the plan parameters for a workload under the
+// (defaulted) options. The rank count is part of each job's identity —
+// the same benchmark at a different rank count is a different
+// measurement; rankless synthetic workloads contribute zero.
+func planInputs(w Workload, trips int, chainLens []int, o Options) plan.Inputs {
+	procs := 0
+	if r, ok := w.(interface{ RankCount() int }); ok {
+		procs = r.RankCount()
+	}
+	return plan.Inputs{
+		Workload:    w.Name(),
+		Procs:       procs,
+		Trips:       trips,
+		ChainLens:   chainLens,
+		Blocks:      o.Blocks,
+		Passes:      o.Passes,
+		TrimFrac:    o.TrimFrac,
+		ActualRuns:  o.ActualRuns,
+		WorldDigest: o.WorldDigest,
+		FaultDigest: o.FaultDigest,
+	}
+}
+
+// appFor builds and validates the application structure.
+func appFor(w Workload, trips int) (core.App, error) {
+	pre, loop, post := w.Kernels()
+	app := core.App{Name: w.Name(), Pre: pre, Loop: core.Ring(loop), Post: post, Trips: trips}
+	return app, app.Validate()
+}
+
+// Plan enumerates the study's measurement jobs without running anything.
+func (e Engine) Plan(trips int, chainLens []int) ([]plan.Job, error) {
+	o := e.Opts.withDefaults()
+	app, err := appFor(e.Workload, trips)
+	if err != nil {
+		return nil, err
+	}
+	return plan.StudyJobs(app, planInputs(e.Workload, trips, chainLens, o))
+}
+
+// record converts a job result into the study's provenance form.
+func record(j plan.Job, res plan.Result, cached bool) MeasurementRecord {
+	return MeasurementRecord{
+		Key:      j.Label(),
+		Kind:     string(j.Kind),
+		Seconds:  res.Seconds,
+		Raw:      res.Raw,
+		TrimFrac: res.TrimFrac,
+		Cached:   cached,
+	}
+}
+
+// measurer runs single jobs against the workload with the options' retry
+// budget and observability. Its methods are called concurrently by the
+// executor's workers; the sinks it writes to (Metrics, Spans) are
+// concurrency-safe, and all per-job state lives in the caller's
+// index-aligned slots.
+type measurer struct {
+	w Workload
+	o Options
+}
+
+// measure runs one job under the retry budget: each failed attempt is
+// recorded and retried after a capped exponential backoff until the
+// budget is spent.
+func (r *measurer) measure(j plan.Job) (plan.Result, []RetryRecord, error) {
+	var retries []RetryRecord
+	for attempt := 0; ; attempt++ {
+		res, err := r.measureOnce(j)
+		if err == nil {
+			return res, retries, nil
+		}
+		if attempt >= r.o.MaxRetries {
+			return plan.Result{}, retries, err
+		}
+		retries = append(retries, RetryRecord{Key: j.Label(), Kind: string(j.Kind), Attempt: attempt + 1, Err: err.Error()})
+		if r.o.Metrics != nil {
+			r.o.Metrics.Counter("harness.retry.count").Inc()
+		}
+		r.o.sleep(retryDelay(r.o.RetryBackoff, attempt))
+	}
+}
+
+// measureOnce performs one measurement attempt with full observability: a
+// span and counters on success, and a ".failed" span and counter on
+// failure — without those, traces of degraded runs have holes where the
+// failed attempts' wall time went.
+func (r *measurer) measureOnce(j plan.Job) (plan.Result, error) {
+	o := r.o
+	var start time.Time
+	if o.Spans != nil {
+		start = o.Spans.Now()
+	}
+	var res plan.Result
+	var err error
+	if j.Kind == plan.KindActual {
+		var v float64
+		v, err = r.w.MeasureActual(j.Spec.Trips, o)
+		res = plan.Result{Seconds: v}
+	} else {
+		var wm npb.WindowMeasurement
+		if d, ok := r.w.(WindowDetailer); ok {
+			wm, err = d.MeasureWindowDetail(j.Spec.Window, o)
+		} else {
+			var v float64
+			v, err = r.w.MeasureWindow(j.Spec.Window, o)
+			wm = npb.WindowMeasurement{Window: j.Spec.Window, PerPass: v, TrimFrac: o.TrimFrac, Passes: o.Passes}
+		}
+		res = plan.Result{Seconds: wm.PerPass, Raw: wm.Blocks, TrimFrac: wm.TrimFrac, Passes: wm.Passes}
+	}
+	if err != nil {
+		if o.Spans != nil {
+			o.Spans.Record(-1, "measure."+string(j.Kind)+".failed", j.Label(), 0, start, o.Spans.Now().Sub(start), 0)
+		}
+		if o.Metrics != nil {
+			o.Metrics.Counter("harness.measure." + string(j.Kind) + ".failed").Inc()
+		}
+		return plan.Result{}, err
+	}
+	if o.Spans != nil {
+		o.Spans.Record(-1, "measure."+string(j.Kind), j.Label(), 0, start, o.Spans.Now().Sub(start), 0)
+	}
+	if o.Metrics != nil {
+		o.Metrics.Counter("harness.measure." + string(j.Kind) + ".count").Inc()
+		if j.Kind != plan.KindActual {
+			o.Metrics.Counter("harness.blocks.timed").Add(int64(len(res.Raw)))
+			o.Metrics.Histogram("harness.measure.per_pass_ns").Observe(int64(res.Seconds * 1e9))
+		}
+	}
+	return res, nil
+}
+
+// Run measures the workload and produces predictions for every chain
+// length in chainLens, plus the summation baseline — the full
+// plan → execute → analyze pipeline. With Options.Parallel == 1 (the
+// default) execution is strictly sequential in plan order and the result
+// is identical to the historical serial pipeline.
+func (e Engine) Run(trips int, chainLens []int) (*Study, error) {
+	o := e.Opts.withDefaults()
+	w := e.Workload
+	app, err := appFor(w, trips)
+	if err != nil {
+		return nil, err
+	}
+	in := planInputs(w, trips, chainLens, o)
+	jobs, err := plan.StudyJobs(app, in)
+	if err != nil {
+		return nil, err
+	}
+	cache := o.Cache
+	if cache == nil {
+		// In-memory dedup is always on; without a caller-provided cache
+		// it is private to this study.
+		cache = plan.NewCache()
+	}
+
+	run := &measurer{w: w, o: o}
+	attempts := make([][]RetryRecord, len(jobs))
+	ex := plan.Executor{
+		Parallel: o.Parallel,
+		Cache:    cache,
+		Fatal: func(j plan.Job) bool {
+			// Window failures degrade when asked to; everything else is
+			// fatal — without isolated or actual times there is nothing
+			// to predict or compare against.
+			return j.Kind != plan.KindWindow || !o.Degrade
+		},
+	}
+	outcomes := ex.Run(jobs, func(i int, j plan.Job) (plan.Result, error) {
+		res, retries, err := run.measure(j)
+		attempts[i] = retries
+		return res, err
+	})
+
+	// Assembly runs on one goroutine in plan order, so provenance, health
+	// and the measurement maps are deterministic regardless of the worker
+	// count (and byte-identical to the serial pipeline at Parallel == 1).
+	m := core.NewMeasurements()
+	var provenance []MeasurementRecord
+	var health StudyHealth
+	measured := make(map[string][]string)
+	failed := make(map[string]bool)
+	execStats := ExecStats{Planned: len(jobs)}
+	actuals := make([]float64, 0, o.ActualRuns)
+	actualAllCached := true
+
+	recordFailure := func(key string, err error) {
+		failed[key] = true
+		health.FailedWindows = append(health.FailedWindows, WindowFailure{Key: key, Err: err.Error()})
+		if o.Metrics != nil {
+			o.Metrics.Counter("harness.window.failed").Inc()
+		}
+	}
+	// ladder measures the contiguous sub-windows of a lost window so
+	// shorter-chain couplings can stand in for it. It runs serially
+	// during assembly, routing each sub-window through the same cached,
+	// retried measurement path as planned jobs.
+	var ladder func(win []string)
+	ladder = func(win []string) {
+		subLen := len(win) - 1
+		if subLen < 2 {
+			return
+		}
+		for i := 0; i+subLen <= len(win); i++ {
+			sub := win[i : i+subLen]
+			key := core.Key(sub)
+			if _, done := m.Window[key]; done {
+				continue
+			}
+			if failed[key] {
+				continue
+			}
+			j := plan.WindowJob(in, sub)
+			res, cached := cache.Get(j)
+			if !cached {
+				var retries []RetryRecord
+				var err error
+				res, retries, err = run.measure(j)
+				health.Retries = append(health.Retries, retries...)
+				if err != nil {
+					recordFailure(key, err)
+					ladder(sub)
+					continue
+				}
+				_ = cache.Put(j, res)
+				execStats.Executed++
+			} else {
+				execStats.CacheHits++
+			}
+			m.Window[key] = res.Seconds
+			measured[key] = append([]string(nil), sub...)
+			provenance = append(provenance, record(j, res, cached))
+		}
+	}
+
+	for i, j := range jobs {
+		out := outcomes[i]
+		health.Retries = append(health.Retries, attempts[i]...)
+		if errors.Is(out.Err, plan.ErrSkipped) {
+			continue
+		}
+		if out.Cached {
+			execStats.CacheHits++
+		} else if out.Err == nil {
+			execStats.Executed++
+		}
+		switch j.Kind {
+		case plan.KindIsolated:
+			if out.Err != nil {
+				return nil, fmt.Errorf("harness: isolated %s: %w", j.Label(), out.Err)
+			}
+			m.Isolated[j.Label()] = out.Result.Seconds
+			provenance = append(provenance, record(j, out.Result, out.Cached))
+		case plan.KindWindow:
+			key := j.Label()
+			if out.Err != nil {
+				if !o.Degrade {
+					return nil, fmt.Errorf("harness: window %s: %w", key, out.Err)
+				}
+				recordFailure(key, out.Err)
+				ladder(j.Spec.Window)
+				continue
+			}
+			m.Window[key] = out.Result.Seconds
+			measured[key] = append([]string(nil), j.Spec.Window...)
+			provenance = append(provenance, record(j, out.Result, out.Cached))
+		case plan.KindActual:
+			if out.Err != nil {
+				return nil, fmt.Errorf("harness: actual run: %w", out.Err)
+			}
+			actuals = append(actuals, out.Result.Seconds)
+			if !out.Cached {
+				actualAllCached = false
+			}
+		}
+	}
+	if o.Metrics != nil {
+		if execStats.CacheHits > 0 {
+			o.Metrics.Counter("harness.cache.hit").Add(int64(execStats.CacheHits))
+		}
+		if execStats.Executed > 0 {
+			o.Metrics.Counter("harness.cache.miss").Add(int64(execStats.Executed))
+		}
+	}
+
+	actual := stats.Median(actuals)
+	provenance = append(provenance, MeasurementRecord{
+		Key:     w.Name(),
+		Kind:    KindActual,
+		Seconds: actual,
+		Raw:     actuals,
+		Cached:  actualAllCached,
+	})
+
+	an, err := Analyze(app, m, actual, chainLens, measured, o.Degrade)
+	if err != nil {
+		return nil, err
+	}
+	health.Degraded = an.Degraded
+	if o.Metrics != nil && len(an.Degraded) > 0 {
+		o.Metrics.Counter("harness.coefficient.degraded").Add(int64(len(an.Degraded)))
+	}
+	return &Study{
+		Workload:     w.Name(),
+		Trips:        trips,
+		App:          app,
+		Measurements: m,
+		Actual:       actual,
+		Summation:    an.Summation,
+		Couplings:    an.Couplings,
+		Details:      an.Details,
+		Provenance:   provenance,
+		Health:       health,
+		Exec:         execStats,
+	}, nil
+}
+
+// RunFromCache rebuilds a study purely from cached measurements: it plans
+// the campaign, requires every job to be served by Options.Cache, and
+// runs the pure analysis layer. No world is spawned — this is the
+// re-analysis path behind couple -from-cache.
+func (e Engine) RunFromCache(trips int, chainLens []int) (*Study, error) {
+	o := e.Opts.withDefaults()
+	if o.Cache == nil {
+		return nil, fmt.Errorf("harness: a from-cache run needs Options.Cache")
+	}
+	w := e.Workload
+	app, err := appFor(w, trips)
+	if err != nil {
+		return nil, err
+	}
+	in := planInputs(w, trips, chainLens, o)
+	jobs, err := plan.StudyJobs(app, in)
+	if err != nil {
+		return nil, err
+	}
+	m := core.NewMeasurements()
+	var provenance []MeasurementRecord
+	actuals := make([]float64, 0, o.ActualRuns)
+	for _, j := range jobs {
+		res, ok := o.Cache.Get(j)
+		if !ok {
+			return nil, fmt.Errorf("harness: cache has no result for %s %s (key %s); run the study against this cache first", j.Kind, j.Label(), j.Key())
+		}
+		switch j.Kind {
+		case plan.KindIsolated:
+			m.Isolated[j.Label()] = res.Seconds
+			provenance = append(provenance, record(j, res, true))
+		case plan.KindWindow:
+			m.Window[j.Label()] = res.Seconds
+			provenance = append(provenance, record(j, res, true))
+		case plan.KindActual:
+			actuals = append(actuals, res.Seconds)
+		}
+	}
+	actual := stats.Median(actuals)
+	provenance = append(provenance, MeasurementRecord{
+		Key:     w.Name(),
+		Kind:    KindActual,
+		Seconds: actual,
+		Raw:     actuals,
+		Cached:  true,
+	})
+	an, err := Analyze(app, m, actual, chainLens, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{
+		Workload:     w.Name(),
+		Trips:        trips,
+		App:          app,
+		Measurements: m,
+		Actual:       actual,
+		Summation:    an.Summation,
+		Couplings:    an.Couplings,
+		Details:      an.Details,
+		Provenance:   provenance,
+		Exec:         ExecStats{Planned: len(jobs), CacheHits: len(jobs)},
+	}, nil
+}

@@ -7,7 +7,6 @@
 package harness
 
 import (
-	"fmt"
 	"sort"
 	"time"
 
@@ -15,7 +14,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/npb"
 	"repro/internal/obs"
-	"repro/internal/stats"
+	"repro/internal/plan"
 )
 
 // Options tunes how much measurement effort a study spends.
@@ -57,6 +56,25 @@ type Options struct {
 	// and the study completes. Isolated and actual measurements stay
 	// fatal — without them there is nothing to predict or compare.
 	Degrade bool
+	// Parallel is the executor's worker count (default 1). At 1,
+	// measurements run strictly sequentially in plan order — the
+	// timing-fidelity mode whose output is byte-identical to the
+	// historical serial pipeline. Larger values run independent jobs
+	// concurrently (each job is its own world), trading timing fidelity
+	// for wall time — right for CI, chaos and correctness campaigns.
+	Parallel int
+	// Cache, when non-nil, is the content-addressed measurement cache
+	// shared across studies: jobs it already holds are served without
+	// running a world, and fresh results are stored back. Nil gives each
+	// study a private in-memory cache.
+	Cache *plan.Cache
+	// WorldDigest feeds the job keys with world configuration the
+	// workload name does not capture (problem dimensions, network model).
+	WorldDigest string
+	// FaultDigest feeds the job keys with the active fault-injection
+	// configuration, keeping perturbed measurements out of the clean
+	// cache. Empty when injection is off.
+	FaultDigest string
 	// sleep, when non-nil, replaces time.Sleep for retry backoff (tests).
 	sleep func(time.Duration)
 }
@@ -73,6 +91,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.Parallel < 1 {
+		o.Parallel = 1
 	}
 	if o.sleep == nil {
 		o.sleep = time.Sleep
@@ -120,6 +141,10 @@ type NPBWorkload struct {
 
 // Name implements Workload.
 func (w *NPBWorkload) Name() string { return w.WorkloadName }
+
+// RankCount reports the world's rank count for job planning: the same
+// benchmark at a different rank count is a different measurement.
+func (w *NPBWorkload) RankCount() int { return w.Procs }
 
 // Kernels implements Workload.
 func (w *NPBWorkload) Kernels() (pre, loop, post []string) {
@@ -195,6 +220,10 @@ type MeasurementRecord struct {
 	// TrimFrac is the effective two-sided trim applied to Raw (actual
 	// runs aggregate by median instead).
 	TrimFrac float64 `json:"trim_frac"`
+	// Cached reports the value was served by the measurement cache
+	// rather than a fresh world execution (for the aggregate actual
+	// record: every contributing run was cached).
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Study is a complete measurement-and-prediction campaign for one
@@ -224,256 +253,18 @@ type Study struct {
 	// Health records every retry, failed window and degraded coefficient;
 	// the zero value on a clean run.
 	Health StudyHealth
+	// Exec summarizes how the planned jobs were satisfied (executed vs
+	// served from cache).
+	Exec ExecStats
 }
 
 // RunStudy measures the workload and produces predictions for every chain
 // length in chainLens (each in [2, len(loop)]), plus the summation
 // baseline. trips is the loop trip count for both the actual run and the
-// predictions.
+// predictions. It is a thin wrapper over the Engine's
+// plan → execute → analyze pipeline.
 func RunStudy(w Workload, trips int, chainLens []int, o Options) (*Study, error) {
-	o = o.withDefaults()
-	pre, loop, post := w.Kernels()
-	app := core.App{Name: w.Name(), Pre: pre, Loop: core.Ring(loop), Post: post, Trips: trips}
-	if err := app.Validate(); err != nil {
-		return nil, err
-	}
-
-	m := core.NewMeasurements()
-	var provenance []MeasurementRecord
-
-	// observe wraps one measurement with the study's observability: a
-	// harness-level span (Rank -1) covering the measurement's wall time,
-	// counters, and a provenance record.
-	observe := func(kind, key string, f func() (npb.WindowMeasurement, error)) (float64, error) {
-		var start time.Time
-		if o.Spans != nil {
-			start = o.Spans.Now()
-		}
-		wm, err := f()
-		if err != nil {
-			return 0, err
-		}
-		if o.Spans != nil {
-			o.Spans.Record(-1, "measure."+kind, key, 0, start, o.Spans.Now().Sub(start), 0)
-		}
-		if o.Metrics != nil {
-			o.Metrics.Counter("harness.measure." + kind + ".count").Inc()
-			o.Metrics.Counter("harness.blocks.timed").Add(int64(len(wm.Blocks)))
-			o.Metrics.Histogram("harness.measure.per_pass_ns").Observe(int64(wm.PerPass * 1e9))
-		}
-		provenance = append(provenance, MeasurementRecord{
-			Key:      key,
-			Kind:     kind,
-			Seconds:  wm.PerPass,
-			Raw:      wm.Blocks,
-			TrimFrac: wm.TrimFrac,
-		})
-		return wm.PerPass, nil
-	}
-	// measureWindow routes through the detail interface when the
-	// workload offers one, so provenance carries the raw blocks.
-	measureWindow := func(kind string, window []string) (float64, error) {
-		key := core.Key(window)
-		return observe(kind, key, func() (npb.WindowMeasurement, error) {
-			if d, ok := w.(WindowDetailer); ok {
-				return d.MeasureWindowDetail(window, o)
-			}
-			v, err := w.MeasureWindow(window, o)
-			if err != nil {
-				return npb.WindowMeasurement{}, err
-			}
-			return npb.WindowMeasurement{Window: window, PerPass: v, TrimFrac: o.TrimFrac, Passes: o.Passes}, nil
-		})
-	}
-
-	var health StudyHealth
-	// retry wraps one measurement with the retry budget: each failed
-	// attempt is recorded in the study's Health and retried after an
-	// exponentially growing backoff, until the budget is spent.
-	retry := func(kind, key string, f func() (float64, error)) (float64, error) {
-		for attempt := 0; ; attempt++ {
-			v, err := f()
-			if err == nil {
-				return v, nil
-			}
-			if attempt >= o.MaxRetries {
-				return 0, err
-			}
-			health.Retries = append(health.Retries, RetryRecord{Key: key, Kind: kind, Attempt: attempt + 1, Err: err.Error()})
-			if o.Metrics != nil {
-				o.Metrics.Counter("harness.retry.count").Inc()
-			}
-			o.sleep(o.RetryBackoff << attempt)
-		}
-	}
-	measureWindowRetry := func(kind string, window []string) (float64, error) {
-		return retry(kind, core.Key(window), func() (float64, error) {
-			return measureWindow(kind, window)
-		})
-	}
-
-	// Isolated measurements for every kernel. A kernel unmeasurable after
-	// the retry budget is fatal even when degradation is on: without its
-	// isolated time neither predictor has anything to compose.
-	for _, k := range app.KernelsSorted() {
-		v, err := measureWindowRetry(KindIsolated, []string{k})
-		if err != nil {
-			return nil, fmt.Errorf("harness: isolated %s: %w", k, err)
-		}
-		m.Isolated[k] = v
-	}
-
-	// Window measurements for every requested chain length. measured maps
-	// every surviving window key to its kernels — the degraded-coefficient
-	// fallback pool. A window that stays unmeasurable after retries either
-	// kills the study (Degrade off, the pre-fault behavior) or descends
-	// the ladder: its contiguous sub-windows are measured so shorter-chain
-	// couplings can stand in for the lost window.
-	measured := make(map[string][]string)
-	failed := make(map[string]bool)
-	recordFailure := func(key string, err error) {
-		failed[key] = true
-		health.FailedWindows = append(health.FailedWindows, WindowFailure{Key: key, Err: err.Error()})
-		if o.Metrics != nil {
-			o.Metrics.Counter("harness.window.failed").Inc()
-		}
-	}
-	var ladder func(win []string)
-	ladder = func(win []string) {
-		subLen := len(win) - 1
-		if subLen < 2 {
-			return
-		}
-		for i := 0; i+subLen <= len(win); i++ {
-			sub := win[i : i+subLen]
-			key := core.Key(sub)
-			if _, done := m.Window[key]; done {
-				continue
-			}
-			if failed[key] {
-				continue
-			}
-			v, err := measureWindowRetry(KindWindow, sub)
-			if err != nil {
-				recordFailure(key, err)
-				ladder(sub)
-				continue
-			}
-			m.Window[key] = v
-			measured[key] = append([]string(nil), sub...)
-		}
-	}
-	sorted := append([]int(nil), chainLens...)
-	sort.Ints(sorted)
-	for _, L := range sorted {
-		if L < 2 || L > len(loop) {
-			return nil, fmt.Errorf("harness: chain length %d out of range [2,%d]", L, len(loop))
-		}
-		windows, err := app.Loop.Windows(L)
-		if err != nil {
-			return nil, err
-		}
-		for _, win := range windows {
-			key := core.Key(win)
-			if _, done := m.Window[key]; done {
-				continue
-			}
-			if failed[key] {
-				continue
-			}
-			v, err := measureWindowRetry(KindWindow, win)
-			if err != nil {
-				if !o.Degrade {
-					return nil, fmt.Errorf("harness: window %s: %w", key, err)
-				}
-				recordFailure(key, err)
-				ladder(win)
-				continue
-			}
-			m.Window[key] = v
-			measured[key] = append([]string(nil), win...)
-		}
-	}
-
-	// Actual runs: median over ActualRuns, each retried on failure. An
-	// actual run unmeasurable after retries is fatal: with no measured
-	// time there is no relative error to report.
-	actuals := make([]float64, 0, o.ActualRuns)
-	for r := 0; r < o.ActualRuns; r++ {
-		var start time.Time
-		if o.Spans != nil {
-			start = o.Spans.Now()
-		}
-		a, err := retry(KindActual, w.Name(), func() (float64, error) {
-			return w.MeasureActual(trips, o)
-		})
-		if err != nil {
-			return nil, fmt.Errorf("harness: actual run: %w", err)
-		}
-		if o.Spans != nil {
-			o.Spans.Record(-1, "measure."+KindActual, w.Name(), 0, start, o.Spans.Now().Sub(start), 0)
-		}
-		if o.Metrics != nil {
-			o.Metrics.Counter("harness.measure." + KindActual + ".count").Inc()
-		}
-		actuals = append(actuals, a)
-	}
-	actual := stats.Median(actuals)
-	provenance = append(provenance, MeasurementRecord{
-		Key:     w.Name(),
-		Kind:    KindActual,
-		Seconds: actual,
-		Raw:     actuals,
-	})
-
-	study := &Study{
-		Workload:     w.Name(),
-		Trips:        trips,
-		App:          app,
-		Measurements: m,
-		Actual:       actual,
-		Couplings:    make(map[int]PredictionResult, len(sorted)),
-		Details:      make(map[int]core.Prediction, len(sorted)),
-		Provenance:   provenance,
-	}
-	sum, err := app.SummationPrediction(m)
-	if err != nil {
-		return nil, err
-	}
-	study.Summation = PredictionResult{
-		Label:     "Summation",
-		Predicted: sum,
-		RelErr:    stats.RelativeError(sum, actual),
-	}
-	for _, L := range sorted {
-		// The clean path computes the prediction exactly as before; only
-		// when window measurements are missing (degradation) does the
-		// fallback ladder take over.
-		pred, err := app.CouplingPrediction(m, L, core.CoefficientOptions{})
-		if err != nil {
-			if !o.Degrade {
-				return nil, err
-			}
-			var degraded []CoefficientHealth
-			pred, degraded, err = degradedPrediction(app, m, L, measured)
-			if err != nil {
-				return nil, err
-			}
-			health.Degraded = append(health.Degraded, degraded...)
-			if o.Metrics != nil {
-				o.Metrics.Counter("harness.coefficient.degraded").Add(int64(len(degraded)))
-			}
-		}
-		study.Couplings[L] = PredictionResult{
-			Label:     fmt.Sprintf("Coupling: %d kernels", L),
-			Predicted: pred.Total,
-			RelErr:    stats.RelativeError(pred.Total, actual),
-			ChainLen:  L,
-		}
-		study.Details[L] = pred
-	}
-	study.Health = health
-	return study, nil
+	return Engine{Workload: w, Opts: o}.Run(trips, chainLens)
 }
 
 // BestPredictor returns the prediction (summation or any coupling length)

@@ -56,6 +56,18 @@ type Injector interface {
 	Message(src, dest, tag, bytes int) MsgFault
 }
 
+// WorldStarter is an optional Injector extension. Launch calls WorldStart
+// once, before any rank starts, on every world the injector is attached
+// to. It gives the injector a deterministic boundary between worlds: a
+// world that dies mid-flight leaves its surviving ranks at
+// scheduler-dependent points, so an injector keying decisions off
+// counters that persist across worlds would lose same-seed
+// reproducibility for every world after the first failure. Injectors that
+// do not implement the interface are used as-is.
+type WorldStarter interface {
+	WorldStart()
+}
+
 // WithInjector attaches a fault injector to the world. A nil injector
 // leaves the world fault-free at the cost of one nil check per operation.
 func WithInjector(inj Injector) Option {

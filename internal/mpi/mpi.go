@@ -174,6 +174,9 @@ func Run(n int, fn func(*Comm), opts ...Option) error {
 // instead of hanging on a dead rank. The returned error enumerates every
 // failure (nil when all ranks returned normally).
 func (w *World) Launch(fn func(*Comm)) error {
+	if ws, ok := w.inj.(WorldStarter); ok {
+		ws.WorldStart()
+	}
 	var wg sync.WaitGroup
 	wg.Add(w.size)
 	group := make([]int, w.size)

@@ -1,0 +1,136 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Result is one job's measured outcome — the value the cache stores and
+// the executor returns.
+type Result struct {
+	// Seconds is the aggregated value the predictors consume: per-pass
+	// seconds for isolated/window jobs, wall-clock seconds for actual runs.
+	Seconds float64 `json:"seconds"`
+	// Raw holds the pre-aggregation observations (per-block per-pass
+	// seconds); empty when the workload exposes no detail.
+	Raw []float64 `json:"raw,omitempty"`
+	// TrimFrac is the effective two-sided trim applied to Raw.
+	TrimFrac float64 `json:"trim_frac,omitempty"`
+	// Passes is the number of window passes each block timed.
+	Passes int `json:"passes,omitempty"`
+}
+
+// entry is the persisted form of one cache slot. The canonical pre-image
+// rides along so a disk entry can be audited and so a key truncation
+// collision (or a stale file from an older key scheme) reads as a miss,
+// never as a wrong result.
+type entry struct {
+	Canonical string `json:"canonical"`
+	Result    Result `json:"result"`
+}
+
+// Cache is a content-addressed measurement cache: an always-on in-memory
+// map, optionally backed by a directory holding one JSON file per key.
+// Safe for concurrent use.
+type Cache struct {
+	mu  sync.Mutex
+	mem map[string]entry
+	dir string
+}
+
+// NewCache returns an in-memory cache.
+func NewCache() *Cache {
+	return &Cache{mem: make(map[string]entry)}
+}
+
+// NewDirCache returns a cache persisted under dir (created if missing):
+// every Put writes a JSON file, and a Get that misses memory falls back
+// to disk — so a cache directory outlives the process and a later run
+// (or couple -from-cache) can reuse the whole campaign.
+func NewDirCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("plan: cache dir: %w", err)
+	}
+	return &Cache{mem: make(map[string]entry), dir: dir}, nil
+}
+
+// Dir returns the persistence directory ("" for in-memory caches).
+func (c *Cache) Dir() string { return c.dir }
+
+// Get returns the cached result for the job, consulting memory first and
+// then the directory. Corrupt or mismatched disk entries are misses.
+func (c *Cache) Get(j Job) (Result, bool) {
+	canonical := j.Canonical()
+	key := j.Key()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.mem[key]; ok {
+		if e.Canonical != canonical {
+			return Result{}, false
+		}
+		return e.Result, true
+	}
+	if c.dir == "" {
+		return Result{}, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return Result{}, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Canonical != canonical {
+		return Result{}, false
+	}
+	c.mem[key] = e
+	return e.Result, true
+}
+
+// Put stores the job's result, persisting it when the cache has a
+// directory. The in-memory store always succeeds; only disk errors are
+// returned (the caller may treat them as non-fatal — the measurement
+// itself is done).
+func (c *Cache) Put(j Job, r Result) error {
+	e := entry{Canonical: j.Canonical(), Result: r}
+	key := j.Key()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mem[key] = e
+	if c.dir == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("plan: cache encode: %w", err)
+	}
+	// Atomic write: a reader never sees a half-written entry.
+	tmp := c.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("plan: cache write: %w", err)
+	}
+	if err := os.Rename(tmp, c.path(key)); err != nil {
+		return fmt.Errorf("plan: cache write: %w", err)
+	}
+	return nil
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// Reset drops the in-memory entries. Directory entries are kept — Reset
+// forgets, it does not delete.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mem = make(map[string]entry)
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

@@ -1,0 +1,111 @@
+package plan
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestCacheRoundTrip(t *testing.T) {
+	c := NewCache()
+	j := WindowJob(btInputs(), []string{"COPY_FACES", "X_SOLVE"})
+	if _, ok := c.Get(j); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	r := Result{Seconds: 1.5, Raw: []float64{1.4, 1.5, 1.6}, TrimFrac: 0.34, Passes: 1}
+	if err := c.Put(j, r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(j)
+	if !ok || !reflect.DeepEqual(got, r) {
+		t.Fatalf("Get = %+v, %v; want %+v", got, ok, r)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	c.Reset()
+	if _, ok := c.Get(j); ok {
+		t.Error("Reset did not clear the in-memory cache")
+	}
+}
+
+// TestCacheFaultDigestSeparation: the fault digest is part of the key, so
+// results measured under injection never serve a clean study (and vice
+// versa) — the cache-correctness property ISSUE 4 calls out.
+func TestCacheFaultDigestSeparation(t *testing.T) {
+	c := NewCache()
+	clean := btInputs()
+	faulty := btInputs()
+	faulty.FaultDigest = "spec=crash:X_SOLVE:2:1:0s;seed=7"
+	win := []string{"COPY_FACES", "X_SOLVE"}
+
+	if err := c.Put(WindowJob(faulty, win), Result{Seconds: 9.9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(WindowJob(clean, win)); ok {
+		t.Fatal("injected-run result served a clean study")
+	}
+	if err := c.Put(WindowJob(clean, win), Result{Seconds: 1.1}); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Get(WindowJob(faulty, win)); !ok || got.Seconds != 9.9 {
+		t.Fatalf("faulty entry = %+v, %v", got, ok)
+	}
+	if got, ok := c.Get(WindowJob(clean, win)); !ok || got.Seconds != 1.1 {
+		t.Fatalf("clean entry = %+v, %v", got, ok)
+	}
+}
+
+func TestDirCachePersistsAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	j := ActualJob(btInputs(), 0)
+	r := Result{Seconds: 4.2, Raw: []float64{4.2}}
+
+	c1, err := NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put(j, r); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh instance over the same dir must serve the entry from disk.
+	c2, err := NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(j)
+	if !ok || !reflect.DeepEqual(got, r) {
+		t.Fatalf("disk Get = %+v, %v; want %+v", got, ok, r)
+	}
+}
+
+func TestDirCacheRejectsCorruptAndMismatchedEntries(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := WindowJob(btInputs(), []string{"ADD"})
+
+	// Corrupt JSON is a miss, not an error.
+	path := filepath.Join(dir, j.Key()+".json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(j); ok {
+		t.Error("corrupt entry served as a hit")
+	}
+
+	// A file with the right name but a different canonical pre-image
+	// (stale key scheme, collision) is also a miss.
+	other := WindowJob(btInputs(), []string{"X_SOLVE"})
+	data := `{"canonical":` + "\"" + other.Canonical() + "\"" + `,"result":{"seconds":1}}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(j); ok {
+		t.Error("mismatched canonical served as a hit")
+	}
+}

@@ -1,0 +1,95 @@
+package plan
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrSkipped marks a job that was never started because an earlier fatal
+// job failed first.
+var ErrSkipped = errors.New("plan: job skipped after earlier fatal failure")
+
+// Outcome is one job's execution result.
+type Outcome struct {
+	// Result is the measured (or cached) value; zero when Err is set.
+	Result Result
+	// Err is the job's failure after the runner gave up, ErrSkipped for
+	// jobs abandoned after a fatal failure, nil on success.
+	Err error
+	// Cached reports the result was served by the cache — no world ran.
+	Cached bool
+}
+
+// Executor schedules independent measurement jobs over a worker pool.
+// Each job is its own mpi.Run world, so jobs are safe to run concurrently
+// as long as the run function's sinks are (the harness's are).
+type Executor struct {
+	// Parallel is the worker count; values below 1 mean 1. At 1 the
+	// executor is strictly sequential in plan order — the timing-fidelity
+	// mode that preserves the serial pipeline byte for byte.
+	Parallel int
+	// Cache, when non-nil, serves jobs it already holds (no run) and
+	// stores every fresh result.
+	Cache *Cache
+	// Fatal reports whether a job's failure must abandon the remaining
+	// jobs. Nil means every failure is fatal.
+	Fatal func(Job) bool
+}
+
+// Run executes the jobs and returns one outcome per job, index-aligned.
+// run receives the job's plan index so runners can keep per-job state
+// without locking. After a fatal failure, jobs not yet started resolve to
+// ErrSkipped; jobs already in flight on other workers complete normally.
+func (e Executor) Run(jobs []Job, run func(i int, j Job) (Result, error)) []Outcome {
+	workers := e.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	outcomes := make([]Outcome, len(jobs))
+	var stop atomic.Bool
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				if stop.Load() {
+					outcomes[i] = Outcome{Err: ErrSkipped}
+					continue
+				}
+				if e.Cache != nil {
+					if r, ok := e.Cache.Get(j); ok {
+						outcomes[i] = Outcome{Result: r, Cached: true}
+						continue
+					}
+				}
+				r, err := run(i, j)
+				if err != nil {
+					outcomes[i] = Outcome{Err: err}
+					if e.Fatal == nil || e.Fatal(j) {
+						stop.Store(true)
+					}
+					continue
+				}
+				if e.Cache != nil {
+					// A failed persist is not a failed measurement: the
+					// result stays valid in memory and in this outcome.
+					_ = e.Cache.Put(j, r)
+				}
+				outcomes[i] = Outcome{Result: r}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return outcomes
+}

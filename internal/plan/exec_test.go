@@ -1,0 +1,126 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func testJobs(n int) []Job {
+	in := btInputs()
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = WindowJob(in, []string{fmt.Sprintf("K%02d", i)})
+	}
+	return jobs
+}
+
+// TestExecutorSerialOrder: at Parallel 1 jobs run strictly sequentially
+// in plan order — the timing-fidelity contract.
+func TestExecutorSerialOrder(t *testing.T) {
+	jobs := testJobs(8)
+	var order []int
+	out := Executor{Parallel: 1}.Run(jobs, func(i int, j Job) (Result, error) {
+		order = append(order, i)
+		return Result{Seconds: float64(i)}, nil
+	})
+	for i := range jobs {
+		if order[i] != i {
+			t.Fatalf("execution order %v not plan order", order)
+		}
+		if out[i].Err != nil || out[i].Result.Seconds != float64(i) {
+			t.Fatalf("outcome %d = %+v", i, out[i])
+		}
+	}
+}
+
+func TestExecutorFatalStopsRemainingJobs(t *testing.T) {
+	jobs := testJobs(6)
+	boom := errors.New("boom")
+	out := Executor{Parallel: 1}.Run(jobs, func(i int, j Job) (Result, error) {
+		if i == 2 {
+			return Result{}, boom
+		}
+		return Result{Seconds: 1}, nil
+	})
+	if !errors.Is(out[2].Err, boom) {
+		t.Fatalf("job 2 err = %v", out[2].Err)
+	}
+	for i := 3; i < len(jobs); i++ {
+		if !errors.Is(out[i].Err, ErrSkipped) {
+			t.Errorf("job %d after fatal failure: err = %v, want ErrSkipped", i, out[i].Err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if out[i].Err != nil {
+			t.Errorf("job %d before the failure errored: %v", i, out[i].Err)
+		}
+	}
+}
+
+func TestExecutorNonFatalFailuresContinue(t *testing.T) {
+	jobs := testJobs(5)
+	out := Executor{Parallel: 1, Fatal: func(Job) bool { return false }}.Run(jobs, func(i int, j Job) (Result, error) {
+		if i%2 == 0 {
+			return Result{}, errors.New("flaky")
+		}
+		return Result{Seconds: 1}, nil
+	})
+	for i := range jobs {
+		if i%2 == 0 && out[i].Err == nil {
+			t.Errorf("job %d should have failed", i)
+		}
+		if i%2 == 1 && out[i].Err != nil {
+			t.Errorf("job %d failed: %v", i, out[i].Err)
+		}
+	}
+}
+
+func TestExecutorServesAndFillsCache(t *testing.T) {
+	jobs := testJobs(4)
+	cache := NewCache()
+	if err := cache.Put(jobs[1], Result{Seconds: 7}); err != nil {
+		t.Fatal(err)
+	}
+	var ran int32
+	out := Executor{Parallel: 1, Cache: cache}.Run(jobs, func(i int, j Job) (Result, error) {
+		atomic.AddInt32(&ran, 1)
+		return Result{Seconds: float64(i)}, nil
+	})
+	if ran != 3 {
+		t.Errorf("ran %d jobs, want 3 (one cached)", ran)
+	}
+	if !out[1].Cached || out[1].Result.Seconds != 7 {
+		t.Errorf("cached outcome = %+v", out[1])
+	}
+	// Fresh results must have been stored back.
+	for i := range jobs {
+		if _, ok := cache.Get(jobs[i]); !ok {
+			t.Errorf("job %d missing from cache after run", i)
+		}
+	}
+}
+
+// TestExecutorParallel exercises the worker pool under the race detector:
+// results stay index-aligned and every job runs exactly once.
+func TestExecutorParallel(t *testing.T) {
+	jobs := testJobs(64)
+	var mu sync.Mutex
+	ran := map[int]int{}
+	out := Executor{Parallel: 8, Cache: NewCache()}.Run(jobs, func(i int, j Job) (Result, error) {
+		mu.Lock()
+		ran[i]++
+		mu.Unlock()
+		return Result{Seconds: float64(i)}, nil
+	})
+	for i := range jobs {
+		if ran[i] != 1 {
+			t.Errorf("job %d ran %d times", i, ran[i])
+		}
+		if out[i].Result.Seconds != float64(i) {
+			t.Errorf("outcome %d misaligned: %+v", i, out[i])
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/npb/bt"
 	"repro/internal/npb/lu"
 	"repro/internal/npb/sp"
+	"repro/internal/plan"
 	"repro/internal/stats"
 )
 
@@ -115,6 +116,12 @@ type Scale struct {
 	GridOverride int
 	// Net, when non-nil, attaches an interconnect cost model.
 	Net *mpi.NetModel
+	// Parallel is the measurement executor's worker count (0/1 =
+	// sequential, the timing-fidelity mode).
+	Parallel int
+	// CacheDir, when non-empty, persists the measurement cache there so
+	// repeated campaigns reuse results across processes.
+	CacheDir string
 }
 
 // DefaultTrips returns the scaled-down loop trip count used for a class
@@ -231,46 +238,76 @@ func (e Experiment) workload(s Scale, procs int) (harness.Workload, error) {
 	}, nil
 }
 
-// studyCache memoizes studies so that paired tables (e.g. 2a and 2b) and
-// repeated benchmark invocations reuse one measurement campaign.
-var studyCache = struct {
-	sync.Mutex
-	m map[string]*harness.Study
-}{m: map[string]*harness.Study{}}
+// jobCache is the process-wide content-addressed measurement cache: it
+// dedupes at the job level, so paired tables (e.g. 2a and 2b), chain
+// lengths sharing windows, and repeated benchmark invocations reuse
+// individual measurements instead of whole studies.
+var jobCache = plan.NewCache()
+
+// dirCaches memoizes persistent caches by directory so every study in a
+// campaign shares one in-memory view of the same cache dir.
+var dirCaches sync.Map // string -> *plan.Cache
+
+func (s Scale) cache() (*plan.Cache, error) {
+	if s.CacheDir == "" {
+		return jobCache, nil
+	}
+	if c, ok := dirCaches.Load(s.CacheDir); ok {
+		return c.(*plan.Cache), nil
+	}
+	c, err := plan.NewDirCache(s.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := dirCaches.LoadOrStore(s.CacheDir, c)
+	return actual.(*plan.Cache), nil
+}
+
+// WorldDigest captures world configuration that changes measured values
+// without changing the workload name: the problem dimensions (a grid
+// override shrinks them silently) and the interconnect model. Every
+// binary that feeds the measurement cache must use this one scheme, or a
+// shared -cache-dir would split into per-binary namespaces.
+func WorldDigest(prob npb.Problem, net *mpi.NetModel) string {
+	d := "grid=" + prob.String()
+	if net != nil {
+		d += fmt.Sprintf(";net=%s/%g", net.Latency, net.Bandwidth)
+	}
+	return d
+}
 
 func (e Experiment) studyFor(s Scale, procs, trips int) (*harness.Study, error) {
-	key := fmt.Sprintf("%s|%s|%d|%v|%d|%d|%d|%d|%d|%v",
-		e.Bench, e.Class, procs, e.ChainLens, trips, s.Blocks, s.Passes, s.ActualRuns, s.GridOverride, s.Net)
-	studyCache.Lock()
-	cached := studyCache.m[key]
-	studyCache.Unlock()
-	if cached != nil {
-		return cached, nil
-	}
 	w, err := e.workload(s, procs)
 	if err != nil {
 		return nil, err
 	}
-	study, err := harness.RunStudy(w, trips, e.ChainLens, harness.Options{
-		Blocks:     s.blocksFor(e.Class),
-		Passes:     s.Passes,
-		ActualRuns: s.actualRunsFor(e.Class),
-	})
+	prob, err := e.problem(s)
 	if err != nil {
 		return nil, err
 	}
-	studyCache.Lock()
-	studyCache.m[key] = study
-	studyCache.Unlock()
-	return study, nil
+	cache, err := s.cache()
+	if err != nil {
+		return nil, err
+	}
+	eng := harness.Engine{Workload: w, Opts: harness.Options{
+		Blocks:      s.blocksFor(e.Class),
+		Passes:      s.Passes,
+		ActualRuns:  s.actualRunsFor(e.Class),
+		Parallel:    s.Parallel,
+		Cache:       cache,
+		WorldDigest: WorldDigest(prob, s.Net),
+	}}
+	return eng.Run(trips, e.ChainLens)
 }
 
-// ResetCache clears the memoized studies (tests use it to force
-// re-measurement).
+// ResetCache clears the in-memory measurement cache (tests and benchmarks
+// use it to force re-measurement; persistent cache dirs are untouched).
 func ResetCache() {
-	studyCache.Lock()
-	studyCache.m = map[string]*harness.Study{}
-	studyCache.Unlock()
+	jobCache.Reset()
+	dirCaches.Range(func(k, v any) bool {
+		v.(*plan.Cache).Reset()
+		return true
+	})
 }
 
 // Run executes the experiment at the given scale and renders its table.

@@ -142,21 +142,29 @@ func TestStudyCacheSharedBetweenPairedTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if hits := resA.Studies[0].Study.Exec.CacheHits; hits != 0 {
+		t.Errorf("first campaign after ResetCache reported %d cache hits", hits)
+	}
 	resB, err := b.Run(s)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Identical pointer: the b table reused a's study.
-	if resA.Studies[0].Study != resB.Studies[0].Study {
-		t.Error("paired tables did not share the memoized study")
+	// The b table re-plans the same campaign and must be served entirely
+	// from a's measurements: zero fresh world executions, every job a hit.
+	eb := resB.Studies[0].Study.Exec
+	if eb.Executed != 0 || eb.CacheHits != eb.Planned {
+		t.Errorf("paired table re-ran measurements: %+v", eb)
+	}
+	if got, want := resB.Studies[0].Study.Actual, resA.Studies[0].Study.Actual; got != want {
+		t.Errorf("cached campaign changed the actual time: %v != %v", got, want)
 	}
 	ResetCache()
 	resC, err := b.Run(s)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resC.Studies[0].Study == resB.Studies[0].Study {
-		t.Error("ResetCache did not clear the memo")
+	if resC.Studies[0].Study.Exec.CacheHits != 0 {
+		t.Error("ResetCache did not clear the measurement cache")
 	}
 }
 
@@ -257,6 +265,11 @@ func TestNetModelScalePath(t *testing.T) {
 	}
 	if plain.Studies[0].Study == modeled.Studies[0].Study {
 		t.Error("net-model run shared the unmodeled study cache entry")
+	}
+	// The world digest includes the net model, so none of the unmodeled
+	// measurements may leak into the modeled campaign.
+	if hits := modeled.Studies[0].Study.Exec.CacheHits; hits != 0 {
+		t.Errorf("net-model run hit %d unmodeled cache entries", hits)
 	}
 }
 

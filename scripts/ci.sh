@@ -19,6 +19,36 @@ go test -race ./...
 echo "==> go run ./cmd/kcvet ./..."
 go run ./cmd/kcvet ./...
 
+# Parallel-executor gate: couple built with the race detector must survive
+# a 4-worker campaign — the scheduler, cache, and shared obs sinks are
+# exercised concurrently, so any data race in the pipeline fails here.
+echo "==> race: couple -parallel 4 (race-built)"
+go build -race -o /tmp/kc-couple-race ./cmd/couple
+/tmp/kc-couple-race -bench BT -grid 8 -trips 2 -procs 4 -chains 2,5 -blocks 2 \
+    -parallel 4 >/dev/null
+rm -f /tmp/kc-couple-race
+
+# Cache-reuse gate: a second run against a warm -cache-dir must be served
+# from the cache (>= 1 hit on stderr) and print a byte-identical study.
+echo "==> cache: warm -cache-dir reuse is hit-served and byte-identical"
+go build -o /tmp/kc-couple ./cmd/couple
+rm -rf /tmp/kc-cache-gate
+/tmp/kc-couple -bench BT -grid 8 -trips 2 -procs 4 -chains 2 -blocks 1 \
+    -cache-dir /tmp/kc-cache-gate >/tmp/kc-cache-cold.out 2>/dev/null
+/tmp/kc-couple -bench BT -grid 8 -trips 2 -procs 4 -chains 2 -blocks 1 \
+    -cache-dir /tmp/kc-cache-gate >/tmp/kc-cache-warm.out 2>/tmp/kc-cache-warm.err
+if ! grep -Eq 'cache hits=[1-9]' /tmp/kc-cache-warm.err; then
+    echo "==> cache gate FAILED: warm run reported no cache hits" >&2
+    cat /tmp/kc-cache-warm.err >&2
+    exit 1
+fi
+if ! cmp -s /tmp/kc-cache-cold.out /tmp/kc-cache-warm.out; then
+    echo "==> cache gate FAILED: cached study differs from the measured one" >&2
+    diff /tmp/kc-cache-cold.out /tmp/kc-cache-warm.out >&2 || true
+    exit 1
+fi
+rm -rf /tmp/kc-cache-gate /tmp/kc-cache-cold.out /tmp/kc-cache-warm.out /tmp/kc-cache-warm.err
+
 # Chaos gate: the measurement pipeline must degrade, never crash, under a
 # fixed-seed fault schedule. Two invariants:
 #   1. couple under mild message jitter completes with a report (exit 0);
