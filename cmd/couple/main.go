@@ -26,10 +26,6 @@ import (
 	"repro/internal/harness"
 	"repro/internal/mpi"
 	"repro/internal/npb"
-	"repro/internal/npb/bt"
-	"repro/internal/npb/ft"
-	"repro/internal/npb/lu"
-	"repro/internal/npb/sp"
 	"repro/internal/obs"
 	"repro/internal/obscli"
 	"repro/internal/plan"
@@ -77,59 +73,15 @@ func main() {
 	}
 
 	cls := npb.Class(strings.ToUpper(*class))
-	var prob npb.Problem
 	benchName := strings.ToUpper(*bench)
-	switch benchName {
-	case "BT":
-		prob, err = npb.BTProblem(cls)
-	case "SP":
-		prob, err = npb.SPProblem(cls)
-	case "LU":
-		prob, err = npb.LUProblem(cls)
-	case "FT":
-		var ftCfg ft.Config
-		ftCfg, err = ft.ClassProblem(cls)
-		if err == nil {
-			prob = npb.Problem{Class: cls, N1: ftCfg.N, N2: ftCfg.N, N3: 1, Trips: 100}
-		}
-	default:
-		fail("unknown benchmark %q", *bench)
-	}
+	prob, err := tables.BenchProblem(benchName, cls)
 	if err != nil {
 		fail("%v", err)
 	}
-	if *grid > 0 {
-		if benchName == "FT" {
-			prob.N1, prob.N2 = *grid, *grid
-		} else {
-			prob = npb.TinyProblem(*grid, prob.Trips)
-		}
-	}
+	prob = tables.GridProblem(benchName, prob, *grid)
 	nTrips := *trips
 	if nTrips <= 0 {
 		nTrips = tables.DefaultTrips(cls)
-	}
-
-	var (
-		factory         npb.Factory
-		pre, loop, post []string
-	)
-	switch benchName {
-	case "BT":
-		factory, err = bt.Factory(bt.Config{Problem: prob, Procs: *procs})
-		pre, loop, post = bt.KernelNames()
-	case "SP":
-		factory, err = sp.Factory(sp.Config{Problem: prob, Procs: *procs})
-		pre, loop, post = sp.KernelNames()
-	case "LU":
-		factory, err = lu.Factory(lu.Config{Problem: prob, Procs: *procs})
-		pre, loop, post = lu.KernelNames()
-	case "FT":
-		factory, err = ft.Factory(ft.Config{N: prob.N1, Procs: *procs})
-		pre, loop, post = ft.KernelNames()
-	}
-	if err != nil {
-		fail("%v", err)
 	}
 
 	var worldOpts []mpi.Option
@@ -147,12 +99,9 @@ func main() {
 	if wd := faultFlags.WatchdogTimeout(); wd > 0 {
 		worldOpts = append(worldOpts, mpi.WithRecvTimeout(wd))
 	}
-	w := &harness.NPBWorkload{
-		WorkloadName: fmt.Sprintf("%s.%s.%d", benchName, cls, *procs),
-		Factory:      factory,
-		Pre:          pre, Loop: loop, Post: post,
-		Procs:     *procs,
-		WorldOpts: worldOpts,
+	w, err := tables.NewWorkload(benchName, cls, prob, *procs, worldOpts)
+	if err != nil {
+		fail("%v", err)
 	}
 
 	if *reuse != "" {
@@ -169,7 +118,7 @@ func main() {
 	}
 	opts := harness.Options{
 		Blocks: *blocks, Passes: *passes, ActualRuns: 3,
-		Metrics:     sink.Registry, Spans: sink.Spans,
+		Metrics: sink.Registry, Spans: sink.Spans,
 		Parallel:    *parallel,
 		WorldDigest: tables.WorldDigest(prob, netModel),
 		FaultDigest: faultFlags.Digest(),

@@ -1,0 +1,135 @@
+// Command kcserved serves coupling predictions from a measurement cache
+// over HTTP. It loads the content-addressed cache a couple (or tables)
+// campaign warmed and answers prediction queries without running worlds;
+// with -measure it falls back to measuring cache misses on demand
+// through a bounded worker pool, persisting the results for every later
+// query.
+//
+//	couple -bench BT -chains 2,5 -cache-dir /var/kc/cache   # warm
+//	kcserved -addr :8640 -cache-dir /var/kc/cache           # serve
+//	curl 'localhost:8640/predict?bench=BT&chains=2,5'
+//
+// Endpoints (all GET):
+//
+//	/predict    prediction comparison: actual, summation, couplings (JSON)
+//	/couplings  per-window C_S and composition coefficients (JSON)
+//	/study      the full rendered study report (text)
+//	/healthz    liveness probe
+//	/metrics    obs registry snapshot (JSON)
+//
+// Query parameters mirror couple's flags: bench, class, procs, chains,
+// trips, blocks, passes, grid — same defaults, so a query answers
+// against the cache entries the equivalent couple invocation wrote.
+//
+// SIGINT/SIGTERM shut the service down gracefully: in-flight requests
+// (including on-demand measurements) drain within -shutdown-grace, and
+// -metrics-out writes a final manifest.
+//
+// The -selfcheck mode turns the binary into its own integration client
+// for CI: it polls /healthz until the service is up, fires concurrent
+// mixed requests, and verifies /predict answers are byte-identical and
+// world-free.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8640", "listen address")
+		cacheDir = flag.String("cache-dir", "", "measurement cache directory to serve from (required)")
+		measure  = flag.Bool("measure", false, "measure cache misses on demand instead of returning 404")
+		workers  = flag.Int("measure-workers", 1, "bound on concurrent on-demand measurement studies")
+		netModel = flag.Bool("net", false, "serve the net-modeled cache namespace (must match the warming run's -net)")
+		metrics  = flag.String("metrics-out", "", "write a run manifest with the final metric snapshot on shutdown")
+		grace    = flag.Duration("shutdown-grace", 30*time.Second, "how long shutdown waits for in-flight requests to drain")
+
+		selfcheck  = flag.String("selfcheck", "", "run as integration client against this base URL instead of serving")
+		checkQuery = flag.String("selfcheck-query", "bench=BT&chains=2", "query string for -selfcheck /predict probes")
+		checkN     = flag.Int("selfcheck-n", 16, "concurrent requests per -selfcheck round")
+	)
+	flag.Parse()
+
+	if *selfcheck != "" {
+		if err := runSelfcheck(*selfcheck, *checkQuery, *checkN); err != nil {
+			fail("selfcheck: %v", err)
+		}
+		fmt.Println("kcserved selfcheck: ok")
+		return
+	}
+
+	if *cacheDir == "" {
+		fail("-cache-dir is required")
+	}
+	cache, err := plan.NewDirCache(*cacheDir)
+	if err != nil {
+		fail("%v", err)
+	}
+	reg := obs.NewRegistry()
+	srv, err := serve.New(serve.Config{
+		Cache:          cache,
+		Metrics:        reg,
+		Net:            *netModel,
+		Measure:        *measure,
+		MeasureWorkers: *workers,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("%v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "kcserved: serving %s on http://%s (measure=%v)\n", *cacheDir, ln.Addr(), *measure)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "kcserved: %v — draining in-flight requests\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		err = hs.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kcserved: shutdown: %v\n", err)
+		}
+	case err := <-errc:
+		fail("%v", err)
+	}
+
+	if *metrics != "" {
+		man := obs.NewManifest("kcserved")
+		man.UnixSeconds = start.Unix()
+		man.WallSeconds = time.Since(start).Seconds()
+		man.Extra = map[string]string{"addr": *addr, "cache_dir": *cacheDir}
+		snap := reg.Snapshot()
+		man.Metrics = &snap
+		if err := man.WriteFile(*metrics); err != nil {
+			fail("%v", err)
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "kcserved: "+format+"\n", args...)
+	os.Exit(1)
+}

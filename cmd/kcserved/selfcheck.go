@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// runSelfcheck is kcserved's built-in integration client: it waits for
+// the service at base to come up, then fires n concurrent rounds of
+// mixed requests and checks the serving contract — every endpoint
+// answers 200, /predict bodies are byte-identical at any concurrency,
+// and a warm cache executes zero worlds. scripts/ci.sh runs it against a
+// race-built server; anything flaky here is a real serving bug.
+func runSelfcheck(base, query string, n int) error {
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Wait for the listener: the server is typically started in the
+	// background an instant before the client.
+	var up bool
+	for i := 0; i < 100; i++ {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				up = true
+				break
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !up {
+		return fmt.Errorf("service at %s never became healthy", base)
+	}
+
+	fetch := func(path string) ([]byte, error) {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s = %d: %s", path, resp.StatusCode, body)
+		}
+		return body, nil
+	}
+
+	// One warm-line request, then the concurrent rounds: every predict
+	// body must equal this reference byte for byte.
+	ref, err := fetch("/predict?" + query)
+	if err != nil {
+		return err
+	}
+	if !bytes.Contains(ref, []byte(`"executed": 0`)) {
+		return fmt.Errorf("/predict is executing worlds on a warm cache:\n%s", ref)
+	}
+
+	if n < 1 {
+		n = 1
+	}
+	paths := []string{"/predict?" + query, "/healthz", "/metrics", "/couplings?" + query}
+	var wg sync.WaitGroup
+	errc := make(chan error, 3*n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, err := fetch("/predict?" + query)
+			if err != nil {
+				errc <- err
+				return
+			}
+			if !bytes.Equal(body, ref) {
+				errc <- fmt.Errorf("concurrent /predict %d returned different bytes", i)
+			}
+			if _, err := fetch(paths[i%len(paths)]); err != nil {
+				errc <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	var errs []error
+	for err := range errc {
+		errs = append(errs, err)
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+
+	// The collapse must be visible on the service's own counters: with
+	// singleflight working, analyses never exceed requests and shared
+	// flights show up once contention happens. (Exact counts depend on
+	// scheduling; the hard invariant is analyses <= predict requests.)
+	metrics, err := fetch("/metrics")
+	if err != nil {
+		return err
+	}
+	if !bytes.Contains(metrics, []byte("serve.analysis.count")) {
+		return fmt.Errorf("/metrics missing serve.analysis.count:\n%s", metrics)
+	}
+	return nil
+}

@@ -3,6 +3,8 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"os"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -33,6 +35,12 @@ type ExecStats struct {
 	// CacheHits is how many jobs the cache served without running a world.
 	CacheHits int `json:"cache_hits"`
 }
+
+// ErrCacheMiss marks a RunFromCache failure caused by a job the cache
+// cannot serve — as opposed to a planning or analysis error. Serving
+// layers branch on it: a miss can be answered by measuring on demand,
+// a malformed study cannot.
+var ErrCacheMiss = errors.New("cache has no result")
 
 // Backoff limits for measurement retries: the shift cap keeps the
 // doubling from overflowing time.Duration for large attempt counts, and
@@ -217,6 +225,19 @@ func (e Engine) Run(trips int, chainLens []int) (*Study, error) {
 
 	run := &measurer{w: w, o: o}
 	attempts := make([][]RetryRecord, len(jobs))
+	// A failed cache persist never fails the study — the measurement is
+	// done — but it must be visible: a counter for dashboards and one
+	// stderr warning per run so a read-only or full cache directory does
+	// not masquerade as a mystery cold cache.
+	var persistWarn sync.Once
+	onCacheError := func(j plan.Job, err error) {
+		if o.Metrics != nil {
+			o.Metrics.Counter("harness.cache.put_error").Inc()
+		}
+		persistWarn.Do(func() {
+			fmt.Fprintf(os.Stderr, "harness: cache persist failed (measurements stay in memory; further persist errors suppressed): %v\n", err)
+		})
+	}
 	ex := plan.Executor{
 		Parallel: o.Parallel,
 		Cache:    cache,
@@ -226,6 +247,7 @@ func (e Engine) Run(trips int, chainLens []int) (*Study, error) {
 			// to predict or compare against.
 			return j.Kind != plan.KindWindow || !o.Degrade
 		},
+		OnCacheError: onCacheError,
 	}
 	outcomes := ex.Run(jobs, func(i int, j plan.Job) (plan.Result, error) {
 		res, retries, err := run.measure(j)
@@ -283,7 +305,9 @@ func (e Engine) Run(trips int, chainLens []int) (*Study, error) {
 					ladder(sub)
 					continue
 				}
-				_ = cache.Put(j, res)
+				if err := cache.Put(j, res); err != nil {
+					onCacheError(j, err)
+				}
 				execStats.Executed++
 			} else {
 				execStats.CacheHits++
@@ -401,7 +425,7 @@ func (e Engine) RunFromCache(trips int, chainLens []int) (*Study, error) {
 	for _, j := range jobs {
 		res, ok := o.Cache.Get(j)
 		if !ok {
-			return nil, fmt.Errorf("harness: cache has no result for %s %s (key %s); run the study against this cache first", j.Kind, j.Label(), j.Key())
+			return nil, fmt.Errorf("harness: %w for %s %s (key %s); run the study against this cache first", ErrCacheMiss, j.Kind, j.Label(), j.Key())
 		}
 		switch j.Kind {
 		case plan.KindIsolated:
@@ -422,6 +446,11 @@ func (e Engine) RunFromCache(trips int, chainLens []int) (*Study, error) {
 		Raw:     actuals,
 		Cached:  true,
 	})
+	if o.Metrics != nil && len(jobs) > 0 {
+		// Every served job is a cache hit by construction; the counter
+		// keeps long-running query services' hit rates observable.
+		o.Metrics.Counter("harness.cache.hit").Add(int64(len(jobs)))
+	}
 	an, err := Analyze(app, m, actual, chainLens, nil, false)
 	if err != nil {
 		return nil, err

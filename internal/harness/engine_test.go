@@ -2,6 +2,7 @@ package harness
 
 import (
 	"errors"
+	"os"
 	"reflect"
 	"strings"
 	"testing"
@@ -145,6 +146,32 @@ func TestCacheHitMissCounters(t *testing.T) {
 	}
 	if got := reg.Counter("harness.cache.hit").Value(); got != misses {
 		t.Errorf("second run hits = %d, want %d", got, misses)
+	}
+}
+
+// TestCachePutErrorsAreCountedNotFatal: a cache directory that cannot be
+// written (full disk, read-only mount) must show up on the
+// harness.cache.put_error counter while the study itself still succeeds.
+func TestCachePutErrorsAreCountedNotFatal(t *testing.T) {
+	dir := t.TempDir() + "/gone"
+	cache, err := plan.NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	study, err := RunStudy(fourKernelSynthetic(), 10, []int{2}, Options{Cache: cache, Metrics: reg})
+	if err != nil {
+		t.Fatalf("persist failures must not fail the study: %v", err)
+	}
+	if study.Actual <= 0 {
+		t.Errorf("actual = %v", study.Actual)
+	}
+	got := reg.Counter("harness.cache.put_error").Value()
+	if got != int64(study.Exec.Executed) {
+		t.Errorf("put_error counter = %d, want one per executed job (%d)", got, study.Exec.Executed)
 	}
 }
 

@@ -2,10 +2,13 @@ package plan
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/singleflight"
 )
 
 // Result is one job's measured outcome — the value the cache stores and
@@ -32,13 +35,31 @@ type entry struct {
 	Result    Result `json:"result"`
 }
 
+// errCacheMiss marks a disk lookup that found nothing servable (missing
+// file, corrupt JSON, canonical mismatch). It is internal to Get: callers
+// only ever see the boolean miss.
+var errCacheMiss = errors.New("plan: cache miss")
+
 // Cache is a content-addressed measurement cache: an always-on in-memory
 // map, optionally backed by a directory holding one JSON file per key.
 // Safe for concurrent use.
+//
+// Concurrency contract: the mutex guards only the in-memory map and is
+// never held across disk I/O — executor workers at -parallel N must not
+// serialize on each other's cache reads. Cold disk reads of the same key
+// are collapsed by a per-key singleflight group instead, so a read
+// stampede costs one os.ReadFile, and concurrent Puts write distinct temp
+// files before atomically renaming into place.
 type Cache struct {
-	mu  sync.Mutex
+	mu  sync.Mutex // guards mem only — never held across disk I/O
 	mem map[string]entry
 	dir string
+	// disk collapses concurrent cold reads of one key into a single
+	// os.ReadFile (see Get).
+	disk singleflight.Group[string, entry]
+	// readFile replaces os.ReadFile in tests that count or block disk
+	// reads; nil means the real thing.
+	readFile func(path string) ([]byte, error)
 }
 
 // NewCache returns an in-memory cache.
@@ -66,8 +87,9 @@ func (c *Cache) Get(j Job) (Result, bool) {
 	canonical := j.Canonical()
 	key := j.Key()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.mem[key]; ok {
+	e, ok := c.mem[key]
+	c.mu.Unlock()
+	if ok {
 		if e.Canonical != canonical {
 			return Result{}, false
 		}
@@ -76,15 +98,35 @@ func (c *Cache) Get(j Job) (Result, bool) {
 	if c.dir == "" {
 		return Result{}, false
 	}
-	data, err := os.ReadFile(c.path(key))
-	if err != nil {
+	// Cold read: one flight per key, so N concurrent Gets of the same
+	// uncached job cost a single disk read; Gets of distinct keys
+	// proceed fully in parallel.
+	e, err, _ := c.disk.Do(key, func() (entry, error) {
+		// A Put (or another flight's fill) may have landed while this
+		// caller queued; memory wins over disk.
+		c.mu.Lock()
+		e, ok := c.mem[key]
+		c.mu.Unlock()
+		if ok {
+			return e, nil
+		}
+		data, err := c.read(c.path(key))
+		if err != nil {
+			return entry{}, errCacheMiss
+		}
+		if err := json.Unmarshal(data, &e); err != nil || e.Canonical != canonical {
+			// Never memoize a corrupt or mismatched file: it must stay
+			// a miss, not poison the in-memory map.
+			return entry{}, errCacheMiss
+		}
+		c.mu.Lock()
+		c.mem[key] = e
+		c.mu.Unlock()
+		return e, nil
+	})
+	if err != nil || e.Canonical != canonical {
 		return Result{}, false
 	}
-	var e entry
-	if err := json.Unmarshal(data, &e); err != nil || e.Canonical != canonical {
-		return Result{}, false
-	}
-	c.mem[key] = e
 	return e.Result, true
 }
 
@@ -96,8 +138,8 @@ func (c *Cache) Put(j Job, r Result) error {
 	e := entry{Canonical: j.Canonical(), Result: r}
 	key := j.Key()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.mem[key] = e
+	c.mu.Unlock()
 	if c.dir == "" {
 		return nil
 	}
@@ -105,12 +147,29 @@ func (c *Cache) Put(j Job, r Result) error {
 	if err != nil {
 		return fmt.Errorf("plan: cache encode: %w", err)
 	}
-	// Atomic write: a reader never sees a half-written entry.
-	tmp := c.path(key) + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	// Atomic write outside the lock: each writer fills its own temp file
+	// and renames it into place, so a reader never sees a half-written
+	// entry and concurrent Puts of one key never interleave bytes.
+	f, err := os.CreateTemp(c.dir, key+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("plan: cache write: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("plan: cache write: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("plan: cache write: %w", err)
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("plan: cache write: %w", err)
 	}
 	if err := os.Rename(tmp, c.path(key)); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("plan: cache write: %w", err)
 	}
 	return nil
@@ -133,4 +192,12 @@ func (c *Cache) Reset() {
 
 func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
+}
+
+// read goes through the test hook when one is installed.
+func (c *Cache) read(path string) ([]byte, error) {
+	if c.readFile != nil {
+		return c.readFile(path)
+	}
+	return os.ReadFile(path)
 }

@@ -4,7 +4,10 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestCacheRoundTrip(t *testing.T) {
@@ -78,6 +81,176 @@ func TestDirCachePersistsAcrossInstances(t *testing.T) {
 	got, ok := c2.Get(j)
 	if !ok || !reflect.DeepEqual(got, r) {
 		t.Fatalf("disk Get = %+v, %v; want %+v", got, ok, r)
+	}
+}
+
+// TestDirCacheParallelGetsOfDistinctKeysDoNotSerialize: the regression
+// test for the lock-across-disk-I/O bug — with the mutex held across
+// os.ReadFile, a Get of key B would block behind a stalled read of key A,
+// serializing every -parallel N worker on one disk read.
+func TestDirCacheParallelGetsOfDistinctKeysDoNotSerialize(t *testing.T) {
+	dir := t.TempDir()
+	in := btInputs()
+	jobA := WindowJob(in, []string{"ADD"})
+	jobB := WindowJob(in, []string{"X_SOLVE"})
+
+	warm, err := NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Put(jobA, Result{Seconds: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Put(jobB, Result{Seconds: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh instance reads both keys cold. Key A's disk read is stalled
+	// on a channel; key B's Get must complete while A is still in flight.
+	cold, err := NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inReadA := make(chan struct{})
+	releaseA := make(chan struct{})
+	cold.readFile = func(path string) ([]byte, error) {
+		if path == cold.path(jobA.Key()) {
+			close(inReadA)
+			<-releaseA
+		}
+		return os.ReadFile(path)
+	}
+
+	gotA := make(chan Result, 1)
+	go func() {
+		r, ok := cold.Get(jobA)
+		if !ok {
+			r = Result{Seconds: -1}
+		}
+		gotA <- r
+	}()
+	<-inReadA
+
+	done := make(chan Result, 1)
+	go func() {
+		r, ok := cold.Get(jobB)
+		if !ok {
+			r = Result{Seconds: -1}
+		}
+		done <- r
+	}()
+	select {
+	case r := <-done:
+		if r.Seconds != 2 {
+			t.Fatalf("Get(B) = %+v", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Get(B) blocked behind the stalled disk read of A — cache serializes distinct keys")
+	}
+
+	close(releaseA)
+	if r := <-gotA; r.Seconds != 1 {
+		t.Fatalf("Get(A) = %+v", r)
+	}
+}
+
+// TestDirCacheColdReadStampede: N goroutines Get the same uncached key
+// concurrently; the per-key singleflight must collapse them onto exactly
+// one disk read, and every caller must see the same result.
+func TestDirCacheColdReadStampede(t *testing.T) {
+	dir := t.TempDir()
+	j := WindowJob(btInputs(), []string{"COPY_FACES", "ADD"})
+	want := Result{Seconds: 3.14, Raw: []float64{3.1, 3.2}, Passes: 1}
+
+	warm, err := NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Put(j, want); err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads atomic.Int32
+	inRead := make(chan struct{})
+	release := make(chan struct{})
+	cold.readFile = func(path string) ([]byte, error) {
+		if reads.Add(1) == 1 {
+			close(inRead)
+		}
+		<-release
+		return os.ReadFile(path)
+	}
+
+	const n = 32
+	results := make([]Result, n)
+	oks := make([]bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], oks[i] = cold.Get(j)
+		}(i)
+	}
+	// Hold the first (and only) disk read open until the whole stampede
+	// is in flight, then let it finish.
+	<-inRead
+	close(release)
+	wg.Wait()
+
+	if got := reads.Load(); got != 1 {
+		t.Errorf("disk reads = %d, want exactly 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if !oks[i] || !reflect.DeepEqual(results[i], want) {
+			t.Fatalf("goroutine %d: Get = %+v, %v; want %+v", i, results[i], oks[i], want)
+		}
+	}
+}
+
+// TestDirCacheConcurrentPutsOfSameKey: concurrent writers must never
+// interleave bytes — whichever rename lands last, the file is one
+// complete, servable entry.
+func TestDirCacheConcurrentPutsOfSameKey(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := WindowJob(btInputs(), []string{"Y_SOLVE"})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := c.Put(j, Result{Seconds: float64(i + 1)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	fresh, err := NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := fresh.Get(j)
+	if !ok || r.Seconds < 1 || r.Seconds > 16 {
+		t.Fatalf("disk entry after concurrent Puts = %+v, %v", r, ok)
+	}
+	// No temp files may survive the renames.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
 	}
 }
 

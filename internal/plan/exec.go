@@ -35,12 +35,21 @@ type Executor struct {
 	// Fatal reports whether a job's failure must abandon the remaining
 	// jobs. Nil means every failure is fatal.
 	Fatal func(Job) bool
+	// OnCacheError, when non-nil, receives every Cache.Put persistence
+	// failure. A failed persist is not a failed measurement — the result
+	// stays valid in memory and in the job's outcome — but dropping the
+	// error silently makes a read-only or full cache directory look like
+	// a mystery cold cache on the next run.
+	OnCacheError func(Job, error)
 }
 
 // Run executes the jobs and returns one outcome per job, index-aligned.
 // run receives the job's plan index so runners can keep per-job state
 // without locking. After a fatal failure, jobs not yet started resolve to
-// ErrSkipped; jobs already in flight on other workers complete normally.
+// ErrSkipped unless the cache already holds their result — a cached job
+// costs no world and abandoning it would throw away data a later
+// re-analysis could serve. Jobs already in flight on other workers
+// complete normally.
 func (e Executor) Run(jobs []Job, run func(i int, j Job) (Result, error)) []Outcome {
 	workers := e.Parallel
 	if workers < 1 {
@@ -59,15 +68,18 @@ func (e Executor) Run(jobs []Job, run func(i int, j Job) (Result, error)) []Outc
 			defer wg.Done()
 			for i := range idx {
 				j := jobs[i]
-				if stop.Load() {
-					outcomes[i] = Outcome{Err: ErrSkipped}
-					continue
-				}
+				// The cache is consulted before the stop flag: cached
+				// results are free to serve even after a fatal failure
+				// elsewhere in the plan (degrade, don't discard).
 				if e.Cache != nil {
 					if r, ok := e.Cache.Get(j); ok {
 						outcomes[i] = Outcome{Result: r, Cached: true}
 						continue
 					}
+				}
+				if stop.Load() {
+					outcomes[i] = Outcome{Err: ErrSkipped}
+					continue
 				}
 				r, err := run(i, j)
 				if err != nil {
@@ -80,7 +92,9 @@ func (e Executor) Run(jobs []Job, run func(i int, j Job) (Result, error)) []Outc
 				if e.Cache != nil {
 					// A failed persist is not a failed measurement: the
 					// result stays valid in memory and in this outcome.
-					_ = e.Cache.Put(j, r)
+					if err := e.Cache.Put(j, r); err != nil && e.OnCacheError != nil {
+						e.OnCacheError(j, err)
+					}
 				}
 				outcomes[i] = Outcome{Result: r}
 			}

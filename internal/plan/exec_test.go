@@ -3,6 +3,8 @@ package plan
 import (
 	"errors"
 	"fmt"
+	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -100,6 +102,78 @@ func TestExecutorServesAndFillsCache(t *testing.T) {
 		if _, ok := cache.Get(jobs[i]); !ok {
 			t.Errorf("job %d missing from cache after run", i)
 		}
+	}
+}
+
+// TestExecutorServesCacheAfterFatalFailure: the regression test for the
+// skip-before-cache bug — after a fatal failure, a later job whose result
+// the cache already holds must resolve Cached, not ErrSkipped. Cached
+// results cost no world; abandoning them contradicts the
+// degrade-don't-crash ladder.
+func TestExecutorServesCacheAfterFatalFailure(t *testing.T) {
+	jobs := testJobs(6)
+	cache := NewCache()
+	if err := cache.Put(jobs[4], Result{Seconds: 7}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	out := Executor{Parallel: 1, Cache: cache}.Run(jobs, func(i int, j Job) (Result, error) {
+		if i == 1 {
+			return Result{}, boom
+		}
+		return Result{Seconds: 1}, nil
+	})
+	if !errors.Is(out[1].Err, boom) {
+		t.Fatalf("job 1 err = %v", out[1].Err)
+	}
+	if !out[4].Cached || out[4].Err != nil || out[4].Result.Seconds != 7 {
+		t.Fatalf("cached job after fatal failure = %+v, want Cached:true", out[4])
+	}
+	for _, i := range []int{2, 3, 5} {
+		if !errors.Is(out[i].Err, ErrSkipped) {
+			t.Errorf("uncached job %d after fatal failure: err = %v, want ErrSkipped", i, out[i].Err)
+		}
+	}
+}
+
+// TestExecutorSurfacesCachePutErrors: a persist failure must reach the
+// OnCacheError hook while the outcome stays a success.
+func TestExecutorSurfacesCachePutErrors(t *testing.T) {
+	dir := t.TempDir() + "/gone"
+	cache, err := NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing the directory makes every Put's temp-file create fail —
+	// works regardless of the uid the tests run as (root ignores file
+	// modes, so a chmod-based setup would not).
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	jobs := testJobs(3)
+	var mu sync.Mutex
+	var failures []string
+	out := Executor{
+		Parallel: 2,
+		Cache:    cache,
+		OnCacheError: func(j Job, err error) {
+			mu.Lock()
+			defer mu.Unlock()
+			failures = append(failures, j.Label()+": "+err.Error())
+		},
+	}.Run(jobs, func(i int, j Job) (Result, error) {
+		return Result{Seconds: 1}, nil
+	})
+	for i := range jobs {
+		if out[i].Err != nil {
+			t.Errorf("job %d failed: %v (persist errors must not fail measurements)", i, out[i].Err)
+		}
+	}
+	if len(failures) != len(jobs) {
+		t.Fatalf("OnCacheError fired %d times, want %d: %v", len(failures), len(jobs), failures)
+	}
+	if !strings.Contains(failures[0], "cache write") {
+		t.Errorf("hook error = %q, want a cache write error", failures[0])
 	}
 }
 

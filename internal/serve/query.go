@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/npb"
+	"repro/internal/tables"
+)
+
+// Query is one prediction request: which benchmark configuration the
+// caller wants predictions for. Its fields mirror cmd/couple's flags —
+// the same defaults, the same grid-override semantics — because a query
+// only makes sense against a cache that a couple (or tables) campaign
+// warmed, and the cache is keyed on exactly these parameters.
+type Query struct {
+	// Bench is the benchmark name: BT, SP, LU or FT.
+	Bench string
+	// Class is the NPB problem class.
+	Class npb.Class
+	// Procs is the rank count.
+	Procs int
+	// Chains holds the requested coupling chain lengths, ascending and
+	// deduplicated.
+	Chains []int
+	// Trips is the effective loop trip count (the class default is
+	// resolved at parse time so equivalent queries share one identity).
+	Trips int
+	// Blocks and Passes are the measurement repetition parameters.
+	Blocks int
+	// Passes is the window passes per timed block.
+	Passes int
+	// Grid is the n³ (n² for FT) grid override; zero means the class
+	// problem size.
+	Grid int
+}
+
+// queryParams is the complete set of accepted URL parameters; anything
+// else is a client error, because a typo'd parameter would otherwise
+// silently fall back to a default and answer the wrong question.
+var queryParams = map[string]string{
+	"bench":  "benchmark: BT, SP, LU or FT",
+	"class":  "problem class: S, W, A or B",
+	"procs":  "rank count",
+	"chains": "comma-separated coupling chain lengths",
+	"trips":  "loop trip count (0 = scaled class default)",
+	"blocks": "timed blocks per measurement",
+	"passes": "window passes per block",
+	"grid":   "grid override (n³, n² for FT)",
+}
+
+// ParseQuery builds a Query from URL parameters, applying cmd/couple's
+// defaults: BT class S on 4 ranks, chain length 2, 3 blocks × 1 pass.
+// The benchmark/class pair is validated here so a bad query fails with a
+// client error before any cache work happens.
+func ParseQuery(v url.Values) (Query, error) {
+	for key := range v {
+		if _, ok := queryParams[key]; !ok {
+			return Query{}, fmt.Errorf("unknown parameter %q", key)
+		}
+		if len(v[key]) > 1 {
+			return Query{}, fmt.Errorf("parameter %q given %d times", key, len(v[key]))
+		}
+	}
+	get := func(key, def string) string {
+		if s := strings.TrimSpace(v.Get(key)); s != "" {
+			return s
+		}
+		return def
+	}
+	getInt := func(key string, def, min int) (int, error) {
+		s := v.Get(key)
+		if s == "" {
+			return def, nil
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return 0, fmt.Errorf("bad %s %q", key, s)
+		}
+		if n < min {
+			return 0, fmt.Errorf("%s must be >= %d, got %d", key, min, n)
+		}
+		return n, nil
+	}
+
+	q := Query{
+		Bench: strings.ToUpper(get("bench", "BT")),
+		Class: npb.Class(strings.ToUpper(get("class", "S"))),
+	}
+	if _, err := tables.BenchProblem(q.Bench, q.Class); err != nil {
+		return Query{}, err
+	}
+	var err error
+	if q.Procs, err = getInt("procs", 4, 1); err != nil {
+		return Query{}, err
+	}
+	if q.Blocks, err = getInt("blocks", 3, 1); err != nil {
+		return Query{}, err
+	}
+	if q.Passes, err = getInt("passes", 1, 1); err != nil {
+		return Query{}, err
+	}
+	if q.Grid, err = getInt("grid", 0, 0); err != nil {
+		return Query{}, err
+	}
+	if q.Trips, err = getInt("trips", 0, 0); err != nil {
+		return Query{}, err
+	}
+	if q.Trips == 0 {
+		q.Trips = tables.DefaultTrips(q.Class)
+	}
+
+	seen := map[int]bool{}
+	for _, s := range strings.Split(get("chains", "2"), ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return Query{}, fmt.Errorf("bad chains value %q", s)
+		}
+		if n < 2 {
+			return Query{}, fmt.Errorf("chain length must be >= 2, got %d", n)
+		}
+		if !seen[n] {
+			seen[n] = true
+			q.Chains = append(q.Chains, n)
+		}
+	}
+	sort.Ints(q.Chains)
+	return q, nil
+}
+
+// Key is the query's canonical identity: two requests with the same key
+// describe the same study and may share one in-flight resolution. All
+// defaults are resolved before the key is formed, so ?bench=BT and an
+// empty query collapse together.
+func (q Query) Key() string {
+	chains := make([]string, len(q.Chains))
+	for i, c := range q.Chains {
+		chains[i] = strconv.Itoa(c)
+	}
+	return fmt.Sprintf("%s.%s.p%d g%d t%d b%d x%d c%s",
+		q.Bench, q.Class, q.Procs, q.Grid, q.Trips, q.Blocks, q.Passes, strings.Join(chains, ","))
+}

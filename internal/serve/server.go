@@ -1,0 +1,369 @@
+// Package serve is the query layer over a warmed measurement cache: a
+// long-running HTTP service that answers coupling-prediction questions
+// without re-running worlds. Every endpoint resolves its query through
+// the pure analysis tail of the harness (plan → cache → analyze), so a
+// warm cache answers in microseconds and byte-identically at any
+// concurrency; identical in-flight queries collapse onto one analysis
+// via singleflight. With on-demand measurement enabled, a cache miss
+// falls back to running the study through a bounded worker pool and the
+// fresh results are persisted for every later query.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/singleflight"
+	"repro/internal/tables"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Cache is the measurement cache queries are answered from. Required.
+	// A disk-backed cache (plan.NewDirCache) is what makes the service
+	// useful across restarts — it serves the campaigns couple warmed.
+	Cache *plan.Cache
+	// Metrics receives the service's counters, gauges and latency
+	// histograms (and the harness's cache hit/miss counters). A private
+	// registry is created when nil; /metrics snapshots whichever is used.
+	Metrics *obs.Registry
+	// Net attaches the IBM SP interconnect cost model to on-demand
+	// measurements and, through the world digest, selects the
+	// net-modeled cache namespace. It must match the warming campaign's
+	// -net flag or every query misses.
+	Net bool
+	// Measure allows a cache miss to fall back to measuring on demand.
+	// Off by default: a pure query service cannot be made to burn CPU by
+	// an unwarmed query.
+	Measure bool
+	// MeasureWorkers bounds how many on-demand studies may run worlds
+	// concurrently (minimum and default 1). Queries beyond the bound
+	// queue; cache-served queries are never throttled.
+	MeasureWorkers int
+}
+
+// Server answers prediction queries over HTTP. Create one with New and
+// mount Handler on an http.Server.
+type Server struct {
+	cache      *plan.Cache
+	reg        *obs.Registry
+	net        bool
+	measure    bool
+	measureSem chan struct{}
+	sf         singleflight.Group[string, *harness.Study]
+
+	// analyze resolves one query to a study; overridable in tests to
+	// observe or stall resolution.
+	analyze func(Query) (*harness.Study, error)
+}
+
+// New builds a Server over the given cache.
+func New(cfg Config) (*Server, error) {
+	if cfg.Cache == nil {
+		return nil, errors.New("serve: Config.Cache is required")
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	workers := cfg.MeasureWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Server{
+		cache:      cfg.Cache,
+		reg:        reg,
+		net:        cfg.Net,
+		measure:    cfg.Measure,
+		measureSem: make(chan struct{}, workers),
+	}
+	s.analyze = s.runQuery
+	return s, nil
+}
+
+// statusError carries the HTTP status a handler error maps to.
+type statusError struct {
+	code int
+	err  error
+}
+
+func (e statusError) Error() string { return e.err.Error() }
+func (e statusError) Unwrap() error { return e.err }
+
+// engineFor builds the measurement engine for a query. The workload and
+// world digest come from the same builders cmd/couple uses
+// (tables.BenchProblem / GridProblem / NewWorkload), which is the whole
+// cache-compatibility contract: a couple campaign and a kcserved query
+// with the same parameters produce the same job keys.
+func (s *Server) engineFor(q Query) (harness.Engine, error) {
+	prob, err := tables.BenchProblem(q.Bench, q.Class)
+	if err != nil {
+		return harness.Engine{}, statusError{http.StatusBadRequest, err}
+	}
+	prob = tables.GridProblem(q.Bench, prob, q.Grid)
+	var netModel *mpi.NetModel
+	var worldOpts []mpi.Option
+	if s.net {
+		m := mpi.IBMSPModel()
+		netModel = &m
+		worldOpts = append(worldOpts, mpi.WithNetModel(m))
+	}
+	w, err := tables.NewWorkload(q.Bench, q.Class, prob, q.Procs, worldOpts)
+	if err != nil {
+		return harness.Engine{}, statusError{http.StatusBadRequest, err}
+	}
+	return harness.Engine{Workload: w, Opts: harness.Options{
+		Blocks: q.Blocks, Passes: q.Passes, ActualRuns: 3,
+		Cache:       s.cache,
+		Metrics:     s.reg,
+		WorldDigest: tables.WorldDigest(prob, netModel),
+	}}, nil
+}
+
+// runQuery resolves one query: pure cache re-analysis first, on-demand
+// measurement (when enabled) second.
+func (s *Server) runQuery(q Query) (*harness.Study, error) {
+	eng, err := s.engineFor(q)
+	if err != nil {
+		return nil, err
+	}
+	st, err := eng.RunFromCache(q.Trips, q.Chains)
+	if err == nil {
+		return st, nil
+	}
+	if !errors.Is(err, harness.ErrCacheMiss) {
+		// Planning or analysis failed — a malformed study (chain longer
+		// than the loop, say), not a cold cache.
+		return nil, statusError{http.StatusBadRequest, err}
+	}
+	if !s.measure {
+		return nil, statusError{http.StatusNotFound,
+			fmt.Errorf("%w (measurement is disabled; warm the cache with couple, or start kcserved with -measure)", err)}
+	}
+	// On-demand measurement, bounded: at most MeasureWorkers studies run
+	// worlds at once. Engine.Run still consults the cache per job, so a
+	// partially warm study only measures what is actually missing, and
+	// persists every fresh result for the next query.
+	s.measureSem <- struct{}{}
+	defer func() { <-s.measureSem }()
+	s.reg.Counter("serve.measure.ondemand").Inc()
+	st, err = eng.Run(q.Trips, q.Chains)
+	if err != nil {
+		return nil, fmt.Errorf("on-demand measurement: %w", err)
+	}
+	return st, nil
+}
+
+// resolve answers a query through the singleflight group: N identical
+// in-flight queries cost one analysis (or one on-demand measurement),
+// and the followers share the leader's study.
+func (s *Server) resolve(q Query) (*harness.Study, error) {
+	st, err, shared := s.sf.Do(q.Key(), func() (*harness.Study, error) {
+		s.reg.Counter("serve.analysis.count").Inc()
+		return s.analyze(q)
+	})
+	if shared {
+		s.reg.Counter("serve.singleflight.shared").Inc()
+	}
+	return st, err
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /predict", s.wrap("predict", s.handlePredict))
+	mux.Handle("GET /couplings", s.wrap("couplings", s.handleCouplings))
+	mux.Handle("GET /study", s.wrap("study", s.handleStudy))
+	mux.Handle("GET /healthz", s.wrap("healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.wrap("metrics", s.handleMetrics))
+	return mux
+}
+
+// wrap gives every endpoint the same observability: request and error
+// counters, a latency histogram, and the shared in-flight gauge.
+func (s *Server) wrap(name string, h func(http.ResponseWriter, *http.Request) error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.reg.Gauge("serve.inflight").Add(1)
+		defer s.reg.Gauge("serve.inflight").Add(-1)
+		s.reg.Counter("serve.req." + name + ".count").Inc()
+		start := time.Now()
+		err := h(w, r)
+		s.reg.Histogram("serve.req." + name + ".latency_ns").Observe(time.Since(start).Nanoseconds())
+		if err != nil {
+			s.reg.Counter("serve.req." + name + ".errors").Inc()
+			code := http.StatusInternalServerError
+			var se statusError
+			if errors.As(err, &se) {
+				code = se.code
+			}
+			writeJSON(w, code, errorResponse{Error: err.Error()})
+		}
+	})
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v indented with a trailing newline. Responses are
+// built from ordered slices (never bare maps), so for a given cache
+// state a query's body is byte-identical across requests, restarts and
+// concurrency levels.
+func writeJSON(w http.ResponseWriter, code int, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// Predictor is one predictor's outcome in a /predict response.
+type Predictor struct {
+	// Label names the predictor, e.g. "Summation" or "Coupling: 3 kernels".
+	Label string `json:"label"`
+	// ChainLen is the window length for coupling predictors, 0 for the
+	// summation baseline.
+	ChainLen int `json:"chain_len,omitempty"`
+	// Seconds is the predicted application execution time.
+	Seconds float64 `json:"seconds"`
+	// RelativeError is |predicted-actual|/actual.
+	RelativeError float64 `json:"relative_error"`
+}
+
+// PredictResponse is the /predict body: the measured time and every
+// predictor, summation first then coupling predictors by chain length.
+type PredictResponse struct {
+	Workload      string            `json:"workload"`
+	Trips         int               `json:"trips"`
+	ActualSeconds float64           `json:"actual_seconds"`
+	Predictors    []Predictor       `json:"predictors"`
+	Exec          harness.ExecStats `json:"exec"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
+	st, err := s.study(r)
+	if err != nil {
+		return err
+	}
+	resp := PredictResponse{
+		Workload:      st.Workload,
+		Trips:         st.Trips,
+		ActualSeconds: st.Actual,
+		Exec:          st.Exec,
+		Predictors: []Predictor{{
+			Label:         st.Summation.Label,
+			Seconds:       st.Summation.Predicted,
+			RelativeError: st.Summation.RelErr,
+		}},
+	}
+	for _, L := range st.ChainLens() {
+		p := st.Couplings[L]
+		resp.Predictors = append(resp.Predictors, Predictor{
+			Label: p.Label, ChainLen: p.ChainLen,
+			Seconds: p.Predicted, RelativeError: p.RelErr,
+		})
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// KernelCoefficient is one loop kernel's composition coefficient.
+type KernelCoefficient struct {
+	Kernel string  `json:"kernel"`
+	Alpha  float64 `json:"alpha"`
+}
+
+// WindowCoupling is one window's C_S with the measurements behind it.
+type WindowCoupling struct {
+	// Window holds the kernel names in chain order.
+	Window []string `json:"window"`
+	// ChainedSeconds is P_S, the window measured together.
+	ChainedSeconds float64 `json:"chained_seconds"`
+	// ExpectedSeconds is the no-interaction combination of the isolated
+	// values.
+	ExpectedSeconds float64 `json:"expected_seconds"`
+	// Coupling is C_S = chained/expected.
+	Coupling float64 `json:"coupling"`
+}
+
+// ChainCouplings is one chain length's full coupling picture.
+type ChainCouplings struct {
+	ChainLen         int                 `json:"chain_len"`
+	PredictedSeconds float64             `json:"predicted_seconds"`
+	Coefficients     []KernelCoefficient `json:"coefficients"`
+	Windows          []WindowCoupling    `json:"windows"`
+}
+
+// CouplingsResponse is the /couplings body: per-window C_S values and
+// composition coefficients for every requested chain length, windows in
+// ring order and coefficients in loop order.
+type CouplingsResponse struct {
+	Workload string           `json:"workload"`
+	Trips    int              `json:"trips"`
+	Chains   []ChainCouplings `json:"chains"`
+}
+
+func (s *Server) handleCouplings(w http.ResponseWriter, r *http.Request) error {
+	st, err := s.study(r)
+	if err != nil {
+		return err
+	}
+	resp := CouplingsResponse{Workload: st.Workload, Trips: st.Trips}
+	for _, L := range st.ChainLens() {
+		det := st.Details[L]
+		cc := ChainCouplings{ChainLen: L, PredictedSeconds: det.Total}
+		for _, k := range st.App.Loop {
+			cc.Coefficients = append(cc.Coefficients, KernelCoefficient{Kernel: k, Alpha: det.Coefficients[k]})
+		}
+		for _, wc := range det.Couplings {
+			cc.Windows = append(cc.Windows, WindowCoupling{
+				Window:          wc.Window,
+				ChainedSeconds:  wc.Chained,
+				ExpectedSeconds: wc.Expected,
+				Coupling:        wc.C,
+			})
+		}
+		resp.Chains = append(resp.Chains, cc)
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) error {
+	st, err := s.study(r)
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, err = fmt.Fprintf(w, "study: %s  trips=%d\n\n%s", st.Workload, st.Trips, harness.RenderStudy(st))
+	return err
+}
+
+// study parses the request's query and resolves it to a study.
+func (s *Server) study(r *http.Request) (*harness.Study, error) {
+	q, err := ParseQuery(r.URL.Query())
+	if err != nil {
+		return nil, statusError{http.StatusBadRequest, err}
+	}
+	return s.resolve(q)
+}
+
+type healthResponse struct {
+	Status string `json:"status"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	return writeJSON(w, http.StatusOK, healthResponse{Status: "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	return writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}

@@ -1,0 +1,447 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// The tests share one disk cache warmed with exactly this configuration
+// — the same tiny BT study scripts/ci.sh warms — so only the first test
+// that needs it pays the measurement cost.
+const warmQS = "bench=BT&class=S&procs=4&chains=2&trips=2&blocks=2&passes=1&grid=8"
+
+func warmQuery(t *testing.T) Query {
+	t.Helper()
+	v, err := url.ParseQuery(warmQS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+var (
+	warmOnce sync.Once
+	warmDir  string
+	warmErr  error
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if warmDir != "" {
+		os.RemoveAll(warmDir)
+	}
+	os.Exit(code)
+}
+
+// warmedCache returns a fresh dir-backed cache instance over the shared
+// warmed directory, so every test sees the disk state a restarted
+// service would.
+func warmedCache(t *testing.T) *plan.Cache {
+	t.Helper()
+	warmOnce.Do(func() {
+		warmDir, warmErr = os.MkdirTemp("", "serve-warm-cache-")
+		if warmErr != nil {
+			return
+		}
+		cache, err := plan.NewDirCache(warmDir)
+		if err != nil {
+			warmErr = err
+			return
+		}
+		srv, err := New(Config{Cache: cache, Measure: true})
+		if err != nil {
+			warmErr = err
+			return
+		}
+		v, _ := url.ParseQuery(warmQS)
+		q, err := ParseQuery(v)
+		if err != nil {
+			warmErr = err
+			return
+		}
+		if _, err := srv.runQuery(q); err != nil {
+			warmErr = fmt.Errorf("warming study: %w", err)
+		}
+	})
+	if warmErr != nil {
+		t.Fatal(warmErr)
+	}
+	cache, err := plan.NewDirCache(warmDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cache
+}
+
+func get(t *testing.T, base, path string, wantCode int) []byte {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s = %d, want %d\n%s", path, resp.StatusCode, wantCode, body)
+	}
+	return body
+}
+
+// TestPredictFromWarmCacheIsDeterministicAndRunsNothing: the core serving
+// contract — a warm cache answers /predict byte-identically on every
+// request, across service restarts, with zero worlds executed.
+func TestPredictFromWarmCacheIsDeterministicAndRunsNothing(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := New(Config{Cache: warmedCache(t), Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	b1 := get(t, ts.URL, "/predict?"+warmQS, http.StatusOK)
+	b2 := get(t, ts.URL, "/predict?"+warmQS, http.StatusOK)
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("repeated /predict bodies differ:\n%s\n---\n%s", b1, b2)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(b1, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Exec.Executed != 0 {
+		t.Errorf("warm-cache /predict executed %d worlds, want 0", pr.Exec.Executed)
+	}
+	if pr.Exec.CacheHits != pr.Exec.Planned || pr.Exec.Planned == 0 {
+		t.Errorf("exec = %+v, want every planned job cache-served", pr.Exec)
+	}
+	if len(pr.Predictors) < 2 || pr.Predictors[0].Label != "Summation" {
+		t.Errorf("predictors = %+v, want summation then couplings", pr.Predictors)
+	}
+	if pr.ActualSeconds <= 0 {
+		t.Errorf("actual = %v", pr.ActualSeconds)
+	}
+
+	// A restarted service over the same directory serves the same bytes.
+	srv2, err := New(Config{Cache: warmedCache(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	if b3 := get(t, ts2.URL, "/predict?"+warmQS, http.StatusOK); !bytes.Equal(b1, b3) {
+		t.Error("restarted service serves different /predict bytes")
+	}
+
+	// Defaults resolve before the query key forms, so an equivalent query
+	// with explicit defaults omitted is the same study (trips=0 resolves
+	// to the class default, though, so it must be spelled out here).
+	if b4 := get(t, ts.URL, "/predict?bench=bt&grid=8&trips=2&procs=4&chains=2&blocks=2", http.StatusOK); !bytes.Equal(b1, b4) {
+		t.Error("equivalent query with defaulted parameters serves different bytes")
+	}
+}
+
+func TestCouplingsAndStudyEndpoints(t *testing.T) {
+	srv, err := New(Config{Cache: warmedCache(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var cr CouplingsResponse
+	if err := json.Unmarshal(get(t, ts.URL, "/couplings?"+warmQS, http.StatusOK), &cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Chains) != 1 || cr.Chains[0].ChainLen != 2 {
+		t.Fatalf("chains = %+v, want exactly L=2", cr.Chains)
+	}
+	cc := cr.Chains[0]
+	if len(cc.Windows) == 0 || len(cc.Coefficients) == 0 {
+		t.Fatalf("L=2 has %d windows, %d coefficients", len(cc.Windows), len(cc.Coefficients))
+	}
+	for _, w := range cc.Windows {
+		if len(w.Window) != 2 || w.Coupling <= 0 || w.ChainedSeconds <= 0 {
+			t.Errorf("bad window %+v", w)
+		}
+	}
+
+	study := string(get(t, ts.URL, "/study?"+warmQS, http.StatusOK))
+	for _, want := range []string{"BT.S.4", "Summation", "Coupling"} {
+		if !strings.Contains(study, want) {
+			t.Errorf("/study output missing %q:\n%s", want, study)
+		}
+	}
+
+	metrics := string(get(t, ts.URL, "/metrics", http.StatusOK))
+	for _, want := range []string{"serve.req.couplings.count", "serve.req.study.count", "harness.cache.hit"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(string(get(t, ts.URL, "/healthz", http.StatusOK)), `"status": "ok"`) {
+		t.Error("bad /healthz body")
+	}
+}
+
+// TestPredictSingleflightCollapse: N identical in-flight queries cost
+// exactly one analysis; the followers share the leader's study and the
+// collapse is visible on the obs counters.
+func TestPredictSingleflightCollapse(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := New(Config{Cache: warmedCache(t), Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := srv.analyze
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv.analyze = func(q Query) (*harness.Study, error) {
+		close(entered) // only the singleflight leader runs this
+		<-release
+		return inner(q)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const n = 8
+	key := warmQuery(t).Key()
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	fire := func(i int) {
+		defer wg.Done()
+		bodies[i] = get(t, ts.URL, "/predict?"+warmQS, http.StatusOK)
+	}
+	wg.Add(1)
+	go fire(0)
+	<-entered // the leader is inside the (stalled) analysis
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go fire(i)
+	}
+	// Wait until every follower is queued behind the leader's flight,
+	// then let it finish: all n requests must resolve to one analysis.
+	for srv.sf.Waiters(key) < n-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("caller %d got different bytes than the leader", i)
+		}
+	}
+	if got := reg.Counter("serve.analysis.count").Value(); got != 1 {
+		t.Errorf("analysis.count = %d, want 1", got)
+	}
+	if got := reg.Counter("serve.singleflight.shared").Value(); got != n-1 {
+		t.Errorf("singleflight.shared = %d, want %d", got, n-1)
+	}
+	if got := reg.Counter("serve.req.predict.count").Value(); got != n {
+		t.Errorf("predict.count = %d, want %d", got, n)
+	}
+}
+
+// TestConcurrentMixedRequests hammers every endpoint from 100 goroutines
+// — the race-detector workout for the whole serving path, including the
+// cache's lock discipline underneath it.
+func TestConcurrentMixedRequests(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := New(Config{Cache: warmedCache(t), Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	paths := []string{
+		"/predict?" + warmQS,
+		"/couplings?" + warmQS,
+		"/study?" + warmQS,
+		"/healthz",
+		"/metrics",
+	}
+	const n = 100
+	var wg sync.WaitGroup
+	errc := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := paths[i%len(paths)]
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer resp.Body.Close()
+			if _, err := io.ReadAll(resp.Body); err != nil {
+				errc <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errc <- fmt.Errorf("GET %s = %d", path, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if got := reg.Gauge("serve.inflight").Value(); got != 0 {
+		t.Errorf("inflight gauge = %d after drain, want 0", got)
+	}
+}
+
+// TestOnDemandMeasurementWarmsCache: with -measure the first query over a
+// cold cache runs the study (bounded by the worker pool) and persists it;
+// every later query — including after a restart — is pure analysis.
+func TestOnDemandMeasurementWarmsCache(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := plan.NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv, err := New(Config{Cache: cache, Metrics: reg, Measure: true, MeasureWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	qs := "bench=BT&grid=6&trips=1&procs=4&chains=2&blocks=2"
+	var first PredictResponse
+	if err := json.Unmarshal(get(t, ts.URL, "/predict?"+qs, http.StatusOK), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Exec.Executed == 0 {
+		t.Error("cold-cache measured query reports zero executed jobs")
+	}
+	if got := reg.Counter("serve.measure.ondemand").Value(); got != 1 {
+		t.Errorf("ondemand counter = %d, want 1", got)
+	}
+
+	second := get(t, ts.URL, "/predict?"+qs, http.StatusOK)
+	var sr PredictResponse
+	if err := json.Unmarshal(second, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Exec.Executed != 0 {
+		t.Errorf("second query executed %d jobs, want 0 (cache warmed on demand)", sr.Exec.Executed)
+	}
+	if got := reg.Counter("serve.measure.ondemand").Value(); got != 1 {
+		t.Errorf("ondemand counter = %d after warm query, want still 1", got)
+	}
+
+	// A measurement-disabled service over the same directory now serves
+	// the query the measured one warmed.
+	cache2, err := plan.NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := New(Config{Cache: cache2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	if b := get(t, ts2.URL, "/predict?"+qs, http.StatusOK); !bytes.Equal(second, b) {
+		t.Error("restarted read-only service serves different bytes than the warming one")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	srv, err := New(Config{Cache: warmedCache(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		path string
+		code int
+		want string
+	}{
+		{"/predict?bench=XX", http.StatusBadRequest, "unknown benchmark"},
+		{"/predict?bogus=1", http.StatusBadRequest, "unknown parameter"},
+		{"/predict?chains=1", http.StatusBadRequest, "chain length"},
+		{"/predict?chains=abc", http.StatusBadRequest, "bad chains"},
+		{"/predict?procs=0", http.StatusBadRequest, "procs"},
+		// Chain longer than the loop: a planning error, not a cache miss.
+		{"/predict?" + warmQS + "&chains=99", http.StatusBadRequest, ""},
+		// Valid query the cache has never seen, measurement off.
+		{"/predict?bench=LU&class=W&procs=8", http.StatusNotFound, "cache has no result"},
+		{"/nowhere", http.StatusNotFound, ""},
+	} {
+		body := get(t, ts.URL, tc.path, tc.code)
+		if tc.want != "" && !strings.Contains(string(body), tc.want) {
+			t.Errorf("GET %s body missing %q:\n%s", tc.path, tc.want, body)
+		}
+	}
+
+	if resp, err := http.Post(ts.URL+"/predict?"+warmQS, "application/json", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST /predict = %d, want 405", resp.StatusCode)
+		}
+	}
+
+	if _, err := New(Config{}); err == nil {
+		t.Error("New without a cache must fail")
+	}
+}
+
+func TestParseQueryCanonicalKey(t *testing.T) {
+	parse := func(qs string) Query {
+		t.Helper()
+		v, err := url.ParseQuery(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := ParseQuery(v)
+		if err != nil {
+			t.Fatalf("ParseQuery(%q): %v", qs, err)
+		}
+		return q
+	}
+	// Defaults, case and chain order all resolve before the key forms.
+	a := parse("")
+	b := parse("bench=bt&class=s&procs=4&chains=2&blocks=3&passes=1")
+	if a.Key() != b.Key() {
+		t.Errorf("default key %q != explicit key %q", a.Key(), b.Key())
+	}
+	if c := parse("chains=5,2,2,3"); fmt.Sprint(c.Chains) != "[2 3 5]" {
+		t.Errorf("chains = %v, want sorted dedup [2 3 5]", c.Chains)
+	}
+	// trips=0 resolves to the class default so the two spellings share
+	// one singleflight identity.
+	if x, y := parse("class=S&trips=0"), parse("class=S&trips=60"); x.Key() != y.Key() {
+		t.Errorf("trips=0 key %q != trips=60 key %q", x.Key(), y.Key())
+	}
+}

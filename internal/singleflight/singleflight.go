@@ -1,0 +1,79 @@
+// Package singleflight provides per-key call deduplication: when N
+// goroutines ask for the same key while one computation is in flight, the
+// first caller runs it and the rest wait for — and share — its result.
+// The measurement cache uses it to collapse cold-read stampedes on one
+// disk read, and the serving layer uses it to make N identical in-flight
+// prediction queries cost one analysis.
+//
+// Unlike golang.org/x/sync/singleflight (which this repo deliberately
+// does not depend on), the group is generic over both key and value, so
+// callers get typed results without an interface round-trip.
+package singleflight
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// call is one in-flight (or just-completed) execution.
+type call[V any] struct {
+	wg      sync.WaitGroup
+	waiters atomic.Int32
+	val     V
+	err     error
+}
+
+// Group deduplicates concurrent calls by key. The zero value is ready to
+// use. A Group must not be copied after first use.
+type Group[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*call[V]
+}
+
+// Do executes fn, making sure only one execution per key is in flight at
+// a time: the first caller (the leader) runs fn, and callers arriving
+// while it runs block and receive the leader's result. shared reports
+// whether the caller received another goroutine's result rather than
+// running fn itself. Once a flight completes, the key is forgotten — Do
+// deduplicates concurrent work, it does not memoize.
+//
+// fn must not panic: a panicking leader releases its waiters with the
+// zero value and a nil error before the panic propagates.
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[K]*call[V])
+	}
+	if c, ok := g.m[key]; ok {
+		c.waiters.Add(1)
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(call[V])
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		c.wg.Done()
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err, false
+}
+
+// Waiters reports how many callers are currently blocked behind the key's
+// in-flight leader; zero when nothing is in flight. It is an observation
+// hook for tests and metrics — the value is stale the moment it returns,
+// so production code must not branch on it.
+func (g *Group[K, V]) Waiters(key K) int32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c.waiters.Load()
+	}
+	return 0
+}

@@ -1,0 +1,121 @@
+package singleflight
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoSequentialCallsEachRun(t *testing.T) {
+	var g Group[string, int]
+	var calls atomic.Int32
+	for i := 0; i < 3; i++ {
+		v, err, shared := g.Do("k", func() (int, error) {
+			return int(calls.Add(1)), nil
+		})
+		if err != nil || shared {
+			t.Fatalf("call %d: v=%d err=%v shared=%v", i, v, err, shared)
+		}
+		if v != i+1 {
+			t.Fatalf("call %d returned %d — completed flights must not memoize", i, v)
+		}
+	}
+}
+
+func TestDoCollapsesConcurrentCalls(t *testing.T) {
+	var g Group[string, int]
+	var calls atomic.Int32
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const n = 16
+	results := make([]int, n)
+	sharedCount := atomic.Int32{}
+	var wg sync.WaitGroup
+	// The leader blocks inside fn until every follower has had a chance
+	// to queue behind the same key.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, _, _ := g.Do("k", func() (int, error) {
+			close(started)
+			<-release
+			return int(calls.Add(1)), nil
+		})
+		results[0] = v
+	}()
+	<-started
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, shared := g.Do("k", func() (int, error) {
+				return int(calls.Add(1)), nil
+			})
+			if shared {
+				sharedCount.Add(1)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Wait until every follower is queued behind the leader, then release
+	// it: all n callers must resolve to the leader's single execution.
+	for g.Waiters("k") < n-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != 1 {
+			t.Errorf("caller %d got %d, want the leader's result 1", i, v)
+		}
+	}
+	if got := sharedCount.Load(); got != n-1 {
+		t.Errorf("shared callers = %d, want %d", got, n-1)
+	}
+}
+
+func TestDoDistinctKeysIndependent(t *testing.T) {
+	var g Group[int, string]
+	block := make(chan struct{})
+	inA := make(chan struct{})
+	done := make(chan string)
+	go func() {
+		v, _, _ := g.Do(1, func() (string, error) {
+			close(inA)
+			<-block
+			return "a", nil
+		})
+		done <- v
+	}()
+	<-inA
+	// Key 2 must complete while key 1 is still in flight.
+	v, err, shared := g.Do(2, func() (string, error) { return "b", nil })
+	if v != "b" || err != nil || shared {
+		t.Fatalf("Do(2) = %q, %v, %v", v, err, shared)
+	}
+	close(block)
+	if v := <-done; v != "a" {
+		t.Fatalf("Do(1) = %q", v)
+	}
+}
+
+func TestDoPropagatesError(t *testing.T) {
+	var g Group[string, int]
+	boom := errors.New("boom")
+	_, err, _ := g.Do("k", func() (int, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failed flight is forgotten; the next call runs fresh.
+	v, err, _ := g.Do("k", func() (int, error) { return 7, nil })
+	if v != 7 || err != nil {
+		t.Fatalf("retry = %d, %v", v, err)
+	}
+}

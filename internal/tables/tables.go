@@ -14,9 +14,6 @@ import (
 	"repro/internal/memmodel"
 	"repro/internal/mpi"
 	"repro/internal/npb"
-	"repro/internal/npb/bt"
-	"repro/internal/npb/lu"
-	"repro/internal/npb/sp"
 	"repro/internal/plan"
 	"repro/internal/stats"
 )
@@ -185,18 +182,11 @@ type Result struct {
 
 // problem returns the experiment's NPB problem, honoring GridOverride.
 func (e Experiment) problem(s Scale) (npb.Problem, error) {
-	if s.GridOverride > 0 {
-		return npb.TinyProblem(s.GridOverride, DefaultTrips(e.Class)), nil
+	prob, err := BenchProblem(e.Bench, e.Class)
+	if err != nil {
+		return npb.Problem{}, err
 	}
-	switch e.Bench {
-	case "BT":
-		return npb.BTProblem(e.Class)
-	case "SP":
-		return npb.SPProblem(e.Class)
-	case "LU":
-		return npb.LUProblem(e.Class)
-	}
-	return npb.Problem{}, fmt.Errorf("tables: bench %q has no problem classes", e.Bench)
+	return GridProblem(e.Bench, prob, s.GridOverride), nil
 }
 
 // workload builds the harness workload for one processor count.
@@ -205,37 +195,11 @@ func (e Experiment) workload(s Scale, procs int) (harness.Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	var (
-		factory         npb.Factory
-		pre, loop, post []string
-	)
-	switch e.Bench {
-	case "BT":
-		factory, err = bt.Factory(bt.Config{Problem: prob, Procs: procs})
-		pre, loop, post = bt.KernelNames()
-	case "SP":
-		factory, err = sp.Factory(sp.Config{Problem: prob, Procs: procs})
-		pre, loop, post = sp.KernelNames()
-	case "LU":
-		factory, err = lu.Factory(lu.Config{Problem: prob, Procs: procs})
-		pre, loop, post = lu.KernelNames()
-	default:
-		return nil, fmt.Errorf("tables: unknown bench %q", e.Bench)
-	}
-	if err != nil {
-		return nil, err
-	}
 	var opts []mpi.Option
 	if s.Net != nil {
 		opts = append(opts, mpi.WithNetModel(*s.Net))
 	}
-	return &harness.NPBWorkload{
-		WorkloadName: fmt.Sprintf("%s.%s.%d", e.Bench, e.Class, procs),
-		Factory:      factory,
-		Pre:          pre, Loop: loop, Post: post,
-		Procs:     procs,
-		WorldOpts: opts,
-	}, nil
+	return NewWorkload(e.Bench, e.Class, prob, procs, opts)
 }
 
 // jobCache is the process-wide content-addressed measurement cache: it

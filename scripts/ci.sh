@@ -78,6 +78,35 @@ if ! grep -q 'rank 2' /tmp/kc-chaos-err; then
 fi
 rm -f /tmp/kc-couple /tmp/kc-npbrun /tmp/kc-chaos-err
 
+# Serving gate: kcserved built with the race detector must answer a
+# concurrent mixed load from a warm cache — byte-identical /predict
+# bodies, zero worlds executed — and drain cleanly on SIGTERM. The
+# binary's own -selfcheck mode is the client, so the gate needs no curl.
+echo "==> serve: race-built kcserved answers a warm cache under load"
+go build -o /tmp/kc-couple ./cmd/couple
+go build -race -o /tmp/kc-serve-race ./cmd/kcserved
+rm -rf /tmp/kc-serve-cache
+/tmp/kc-couple -bench BT -grid 8 -trips 2 -procs 4 -chains 2,5 -blocks 2 \
+    -cache-dir /tmp/kc-serve-cache >/dev/null 2>&1
+/tmp/kc-serve-race -addr 127.0.0.1:18640 -cache-dir /tmp/kc-serve-cache \
+    2>/tmp/kc-serve.err &
+serve_pid=$!
+if ! /tmp/kc-serve-race -selfcheck http://127.0.0.1:18640 \
+    -selfcheck-query 'bench=BT&grid=8&trips=2&procs=4&chains=2,5&blocks=2' \
+    -selfcheck-n 16; then
+    echo "==> serve gate FAILED: selfcheck" >&2
+    cat /tmp/kc-serve.err >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+    echo "==> serve gate FAILED: kcserved did not exit cleanly on SIGTERM" >&2
+    cat /tmp/kc-serve.err >&2
+    exit 1
+fi
+rm -rf /tmp/kc-serve-cache /tmp/kc-serve-race /tmp/kc-serve.err /tmp/kc-couple
+
 # Non-gating: archive a smoke-scale benchmark run so history accumulates
 # in CI logs. Failures here never fail the gate (the tables are timing-
 # sensitive and CI hosts are noisy).

@@ -1,0 +1,64 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/serve"
+)
+
+// BenchmarkServePredict measures the query service's warm-cache /predict
+// latency end to end (HTTP round-trip plus the pure analysis tail) and
+// reports the p50/p99 alongside the usual ns/op, so `make bench` archives
+// serving latency next to the predictor-accuracy tables:
+//
+//	p50-ns   median warm /predict latency
+//	p99-ns   99th-percentile warm /predict latency
+func BenchmarkServePredict(b *testing.B) {
+	cache := plan.NewCache()
+	srv, err := serve.New(serve.Config{Cache: cache, Measure: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const qs = "bench=BT&grid=6&trips=1&procs=4&chains=2&blocks=1"
+	fetch := func() {
+		resp, err := http.Get(ts.URL + "/predict?" + qs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatal(fmt.Errorf("GET /predict = %d", resp.StatusCode))
+		}
+	}
+	fetch() // the warming request measures the tiny study once
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		fetch()
+		lat = append(lat, time.Since(start))
+	}
+	b.StopTimer()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	quantile := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return float64(lat[i].Nanoseconds())
+	}
+	b.ReportMetric(quantile(0.50), "p50-ns")
+	b.ReportMetric(quantile(0.99), "p99-ns")
+}
