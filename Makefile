@@ -3,7 +3,7 @@
 # `make bench` archives a benchmark run as BENCH_<date>.json (set
 # KC_FAST=1 for smoke scale, BENCHTIME to override -benchtime).
 
-.PHONY: ci build vet test race kcvet bench
+.PHONY: ci build vet test race kcvet benchdiff bench
 
 BENCHTIME ?= 1x
 
@@ -15,6 +15,7 @@ build:
 
 vet:
 	go vet ./...
+	go run ./cmd/kcvet ./...
 
 test:
 	go test ./...
@@ -24,6 +25,9 @@ race:
 
 kcvet:
 	go run ./cmd/kcvet ./...
+
+benchdiff:
+	./scripts/benchdiff.sh
 
 bench:
 	go test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' . | tee bench.out

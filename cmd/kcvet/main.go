@@ -1,20 +1,33 @@
 // Command kcvet runs the module's custom static-analysis suite (see
-// internal/analysis): mpisafety, determinism, floatsum and errcheck-mpi.
-// It exits non-zero when any analyzer reports a finding, so it can gate CI
-// next to `go vet` and `go test -race`.
+// internal/analysis): mpisafety, determinism, floatsum, errcheck-mpi,
+// lockio, hotalloc, goroutineleak and atomicmix. It exits non-zero when
+// any analyzer reports a finding, so it can gate CI next to `go vet`
+// and `go test -race`.
 //
 // Usage:
 //
-//	go run ./cmd/kcvet [-list] [-only a,b] [pattern ...]
+//	go run ./cmd/kcvet [-list] [-only a,b] [-json] [-benchdiff dir] [pattern ...]
 //
 // Patterns are directories or "./..."-style trees; the default is the
-// whole module. Findings are suppressed, with a mandatory justification,
-// by a comment on (or directly above) the offending line:
+// whole module. -json renders findings as one JSON object on stdout
+// (CI archives it as a build artifact); the exit status is unchanged.
+// -benchdiff compares the two newest BENCH_<date>.json snapshots in the
+// given directory and fails on a >15% ns/op or >10% allocs/op
+// regression; it runs instead of the analyzers.
+//
+// Findings are suppressed, with a mandatory justification, by a comment
+// on (or directly above) the offending line:
 //
 //	//kcvet:ignore <analyzer>[,<analyzer>] <reason>
+//
+// Hot paths — functions whose allocation behavior hotalloc should
+// police — are marked the same way:
+//
+//	//kcvet:hotpath <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,26 +35,51 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/benchdiff"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	benchDir := flag.String("benchdiff", "", "diff the two newest BENCH_*.json in this directory and exit")
 	flag.Parse()
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
-	if err := run(flag.Args(), *only); err != nil {
+	if *benchDir != "" {
+		if err := benchdiff.CheckDir(*benchDir, benchdiff.DefaultThresholds, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "kcvet:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if err := run(flag.Args(), *only, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "kcvet:", err)
 		os.Exit(2)
 	}
 }
 
-func run(patterns []string, only string) error {
+// jsonFinding is one diagnostic in -json output.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonReport struct {
+	Findings []jsonFinding `json:"findings"`
+	Packages int           `json:"packages"`
+	Clean    bool          `json:"clean"`
+}
+
+func run(patterns []string, only string, jsonOut bool) error {
 	cwd, err := os.Getwd()
 	if err != nil {
 		return err
@@ -74,16 +112,33 @@ func run(patterns []string, only string) error {
 	}
 
 	diags := analysis.Run(pkgs, analyzers)
+	report := jsonReport{Findings: []jsonFinding{}, Packages: len(pkgs), Clean: len(diags) == 0}
 	for _, d := range diags {
 		pos := d.Pos
 		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			pos.Filename = rel
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		if jsonOut {
+			report.Findings = append(report.Findings, jsonFinding{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		} else {
+			fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
 	}
 	if len(diags) > 0 {
 		return fmt.Errorf("%d finding(s)", len(diags))
 	}
-	fmt.Printf("kcvet: %d package(s) clean\n", len(pkgs))
+	if !jsonOut {
+		fmt.Printf("kcvet: %d package(s) clean\n", len(pkgs))
+	}
 	return nil
 }

@@ -23,6 +23,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"sync"
 )
 
 // Diagnostic is one finding of one analyzer, anchored to a source position.
@@ -59,6 +60,11 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Facts is the module-wide interprocedural summary table, built once
+	// per Run over every loaded package. Analyzers that reason across
+	// calls consult it; it may be nil when an analyzer is invoked outside
+	// Run (facts-free analyzers must tolerate that).
+	Facts *Facts
 
 	diags *[]Diagnostic
 }
@@ -80,7 +86,10 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 
 // All returns the analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{MPISafety, Determinism, FloatSum, ErrcheckMPI}
+	return []*Analyzer{
+		MPISafety, Determinism, FloatSum, ErrcheckMPI,
+		LockIO, HotAlloc, GoroutineLeak, AtomicMix,
+	}
 }
 
 // ByName resolves a comma-separated selection against the suite.
@@ -104,31 +113,48 @@ func ByName(names []string) ([]*Analyzer, error) {
 // suppressed by kcvet:ignore directives, and returns the survivors sorted
 // by position. Malformed directives are reported as findings of the
 // pseudo-analyzer "kcvet".
+//
+// The interprocedural fact table is built once over all packages, then
+// packages are analyzed concurrently: facts are immutable by then, each
+// package's analyzers only touch that package's syntax, and results merge
+// into one deterministic, position-sorted slice.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	facts := BuildFacts(pkgs)
+	perPkg := make([][]Diagnostic, len(pkgs))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			idx, out := buildIgnoreIndex(pkg.Fset, pkg.Files)
+			var raw []Diagnostic
+			for _, a := range analyzers {
+				if a.Applies != nil && !a.Applies(pkg.Path) {
+					continue
+				}
+				pass := &Pass{
+					Analyzer: a,
+					Fset:     pkg.Fset,
+					Files:    pkg.Files,
+					Pkg:      pkg.Types,
+					Info:     pkg.Info,
+					Facts:    facts,
+					diags:    &raw,
+				}
+				a.Run(pass)
+			}
+			for _, d := range raw {
+				if !idx.suppresses(d) {
+					out = append(out, d)
+				}
+			}
+			perPkg[i] = out
+		}(i, pkg)
+	}
+	wg.Wait()
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		idx, bad := buildIgnoreIndex(pkg.Fset, pkg.Files)
-		diags = append(diags, bad...)
-		var raw []Diagnostic
-		for _, a := range analyzers {
-			if a.Applies != nil && !a.Applies(pkg.Path) {
-				continue
-			}
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				diags:    &raw,
-			}
-			a.Run(pass)
-		}
-		for _, d := range raw {
-			if !idx.suppresses(d) {
-				diags = append(diags, d)
-			}
-		}
+	for _, out := range perPkg {
+		diags = append(diags, out...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -27,6 +27,10 @@ var fixtureCases = []struct {
 	{"planpkg", Determinism},
 	{"floatsum", FloatSum},
 	{"errcheckmpi", ErrcheckMPI},
+	{"lockio", LockIO},
+	{"hotalloc", HotAlloc},
+	{"goroutineleak", GoroutineLeak},
+	{"atomicmix", AtomicMix},
 }
 
 // sharedLoader caches type-checked stdlib/module packages across the
@@ -139,6 +143,46 @@ func badDirectiveLine(t *testing.T, pkg *Package) int {
 	}
 	t.Fatal("fixture lost its reasonless directive")
 	return 0
+}
+
+// TestIgnoreScopeNestedLiterals pins the suppression-scoping contract
+// for the interprocedural analyzers: a kcvet:ignore reaches its own
+// line and the next one, never into a nested function literal. Each new
+// fixture marks its suppressed line with "// suppressed" and the
+// finding that must escape the directive with "// survives"; the golden
+// file must omit the former and contain the latter.
+func TestIgnoreScopeNestedLiterals(t *testing.T) {
+	for _, dir := range []string{"lockio", "hotalloc", "goroutineleak", "atomicmix"} {
+		t.Run(dir, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("testdata", dir, "fixture.go"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, err := os.ReadFile(filepath.Join("testdata", dir, "expect.txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sawSuppressed, sawSurvives bool
+			for i, line := range strings.Split(string(src), "\n") {
+				at := fmt.Sprintf("fixture.go:%d:", i+1)
+				if strings.Contains(line, "// suppressed") {
+					sawSuppressed = true
+					if strings.Contains(string(golden), at) {
+						t.Errorf("line %d is marked suppressed but appears in the golden", i+1)
+					}
+				}
+				if strings.Contains(line, "// survives") {
+					sawSurvives = true
+					if !strings.Contains(string(golden), at) {
+						t.Errorf("line %d is marked surviving but is missing from the golden", i+1)
+					}
+				}
+			}
+			if !sawSuppressed || !sawSurvives {
+				t.Fatalf("fixture lost its scoping markers (suppressed=%v survives=%v)", sawSuppressed, sawSurvives)
+			}
+		})
+	}
 }
 
 // TestScopes pins which packages each analyzer runs on in production.

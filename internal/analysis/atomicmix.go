@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix reports two ways of breaking the "all-atomic or all-locked"
+// rule for shared variables:
+//
+//  1. A variable or field whose address is passed to a sync/atomic
+//     function in one place and that is read or written plainly in
+//     another. The plain access races with every atomic one; the race
+//     detector only catches it when both sides actually collide.
+//  2. Wholesale reassignment of a typed-atomic value or a container of
+//     them (e.g. `s.flag = atomic.Bool{}` or re-making a
+//     []atomic.Value) — the assignment bypasses the type's atomic
+//     protocol entirely, so concurrent method users can observe torn
+//     state. Pre-publication initialization is the legitimate exception
+//     and carries a kcvet:ignore naming it.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed both via sync/atomic and plainly, or atomic values reassigned wholesale",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	atomicUse := map[types.Object]token.Pos{} // first atomic use
+	var atomicArgSpans []span
+
+	// Census pass: find every &x handed to a sync/atomic function.
+	forEachNode(p, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if _, ok := pkgQualified(p.Info, call, "sync/atomic"); !ok {
+			return
+		}
+		for _, arg := range call.Args {
+			ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				continue
+			}
+			if obj := addressedObject(p.Info, ue.X); obj != nil {
+				if _, seen := atomicUse[obj]; !seen {
+					atomicUse[obj] = arg.Pos()
+				}
+				atomicArgSpans = append(atomicArgSpans, span{arg.Pos(), arg.End()})
+			}
+		}
+	})
+
+	inAtomicArg := func(pos token.Pos) bool {
+		for _, s := range atomicArgSpans {
+			if s.contains(pos) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Report pass 1: plain accesses of atomically-used objects.
+	if len(atomicUse) > 0 {
+		type plain struct {
+			obj types.Object
+			pos token.Pos
+		}
+		var plains []plain
+		forEachNode(p, func(n ast.Node) {
+			id, ok := n.(*ast.Ident)
+			if !ok || inAtomicArg(id.Pos()) {
+				return
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil {
+				return
+			}
+			if _, tracked := atomicUse[obj]; tracked {
+				plains = append(plains, plain{obj, id.Pos()})
+			}
+		})
+		sort.Slice(plains, func(i, j int) bool { return plains[i].pos < plains[j].pos })
+		for _, pl := range plains {
+			at := p.Fset.Position(atomicUse[pl.obj])
+			p.Reportf(pl.pos, "%s is accessed plainly here but atomically at %s:%d; every access must go through sync/atomic",
+				pl.obj.Name(), shortBase(at.Filename), at.Line)
+		}
+	}
+
+	// Report pass 2: wholesale reassignment of typed-atomic storage.
+	forEachNode(p, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return
+		}
+		for _, lhs := range as.Lhs {
+			t := p.Info.TypeOf(lhs)
+			if t == nil || !holdsAtomicType(t) {
+				continue
+			}
+			p.Reportf(lhs.Pos(), "%s holds sync/atomic values but is reassigned wholesale, bypassing their atomic protocol",
+				exprString(lhs))
+		}
+	})
+}
+
+// forEachNode walks every declaration of the package.
+func forEachNode(p *Pass, fn func(ast.Node)) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n != nil {
+				fn(n)
+			}
+			return true
+		})
+	}
+}
+
+// addressedObject resolves &expr's base object: the field for &x.f, the
+// variable for &v, the element's backing var is not tracked (index
+// expressions alias arbitrarily).
+func addressedObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// holdsAtomicType reports whether t is a sync/atomic named type or an
+// array/slice of one. Structs containing atomics are left to go vet's
+// copylocks check.
+func holdsAtomicType(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+	case *types.Slice:
+		return holdsAtomicType(u.Elem())
+	case *types.Array:
+		return holdsAtomicType(u.Elem())
+	}
+	return false
+}
+
+// shortBase trims a path to its final element for compact diagnostics.
+func shortBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,530 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural layer of the framework: a module-wide
+// call graph plus one fact summary per declared function. Analyzers that
+// only need lexical structure keep walking their own package's AST; the
+// ones that reason across calls (lockio, hotalloc, goroutineleak) consult
+// Pass.Facts instead of re-deriving callee behavior.
+//
+// The design is deliberately first-order: only direct calls to named
+// functions and methods are edges. Calls through interfaces, function
+// values and function fields are opaque — a summary never claims anything
+// about them, so every fact is evidence-backed and the analyzers stay
+// biased toward false negatives rather than noise.
+
+// hotpathPrefix marks a function as a measured hot path. The directive is
+// written in (or directly above) the function's doc comment:
+//
+//	//kcvet:hotpath <reason>
+//
+// Hotness also propagates: a helper reachable *only* from hot functions
+// inherits the annotation, so pulling an allocation into a helper does
+// not hide it from hotalloc.
+const hotpathPrefix = "kcvet:hotpath"
+
+// FuncFacts summarizes one declared function for interprocedural
+// analyzers. Every boolean is evidence-backed: false means "no evidence",
+// never "proved safe".
+type FuncFacts struct {
+	// Fn is the declared function or method the facts describe.
+	Fn *types.Func
+	// Decl is its syntax; always non-nil for summarized functions.
+	Decl *ast.FuncDecl
+	// Blocks reports the function may block: it (transitively) performs
+	// channel operations, waits on sync primitives, sleeps, or calls into
+	// blocking stdlib I/O (os, net, syscall).
+	Blocks bool
+	// BlockWhy names the evidence, e.g. "calls os.ReadFile" or
+	// "calls plan.(*Cache).read, which calls os.ReadFile".
+	BlockWhy string
+	// Allocates reports the function (transitively) heap-allocates:
+	// make/new, reference-typed or escaping composite literals, growing
+	// appends, or fmt formatting.
+	Allocates bool
+	// AllocWhy names the first allocation evidence found.
+	AllocWhy string
+	// Spawns reports the function (transitively) launches a goroutine.
+	Spawns bool
+	// Acquires lists the lock expressions the function itself locks
+	// (rendered receiver paths like "c.mu"), sorted. Direct evidence
+	// only — callee acquisitions are reached through the call graph.
+	Acquires []string
+	// HotAnnotated reports an explicit //kcvet:hotpath directive.
+	HotAnnotated bool
+	// Hot reports the function is on a declared hot path: annotated, or
+	// reachable only from hot functions.
+	Hot bool
+	// Calls lists the resolved direct callees declared in this module,
+	// deduplicated, in source order of first call.
+	Calls []*types.Func
+}
+
+// Facts is the module-wide summary table built by Run before analyzers
+// execute. It is immutable once built and safe for concurrent readers.
+type Facts struct {
+	funcs map[*types.Func]*FuncFacts
+}
+
+// Of returns the facts for fn, or nil when fn is not a function declared
+// in the analyzed packages.
+func (f *Facts) Of(fn *types.Func) *FuncFacts {
+	if f == nil || fn == nil {
+		return nil
+	}
+	return f.funcs[fn]
+}
+
+// ---- stdlib blocking model ----
+
+// blockingPkgs are stdlib packages whose exported calls are treated as
+// blocking I/O wholesale; osNonBlocking carves out the os functions that
+// only touch the process's own memory or environment.
+var blockingPkgs = map[string]bool{
+	"os": true, "net": true, "net/http": true, "syscall": true,
+	"os/exec": true, "io/ioutil": true,
+}
+
+var osNonBlocking = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "Expand": true,
+	"ExpandEnv": true, "Getpid": true, "Getppid": true, "Getuid": true,
+	"Geteuid": true, "Getgid": true, "Getegid": true,
+	"Hostname": true, "TempDir": true, "UserHomeDir": true,
+	"UserCacheDir": true, "UserConfigDir": true, "IsNotExist": true,
+	"IsExist": true, "IsPermission": true, "IsTimeout": true,
+	"IsPathSeparator": true, "NewSyscallError": true, "Exit": true,
+}
+
+// blockingStdlibCall reports whether fn is a stdlib call treated as
+// blocking, with a display name for diagnostics.
+func blockingStdlibCall(fn *types.Func) (string, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch path {
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep", true
+		}
+		return "", false
+	case "sync":
+		// WaitGroup.Wait and Cond.Wait park the goroutine. Cond.Wait
+		// releases its own lock while parked, so lockio exempts it when
+		// the held lock belongs to the cond — see lockio.go.
+		if recv := recvNamed(fn); (recv == "WaitGroup" || recv == "Cond") && name == "Wait" {
+			return "sync.(*" + recv + ").Wait", true
+		}
+		return "", false
+	}
+	if !blockingPkgs[path] {
+		return "", false
+	}
+	if path == "os" && osNonBlocking[name] {
+		return "", false
+	}
+	if recv := recvNamed(fn); recv != "" {
+		return path + ".(*" + recv + ")." + name, true
+	}
+	return path + "." + name, true
+}
+
+// ---- building ----
+
+// BuildFacts computes the module-wide fact table for the packages: direct
+// evidence per function, then a fixed-point propagation of Blocks,
+// Allocates and Spawns up the call graph and of hotness down it.
+func BuildFacts(pkgs []*Package) *Facts {
+	f := &Facts{funcs: map[*types.Func]*FuncFacts{}}
+	for _, pkg := range pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		hotLines := hotpathLines(pkg.Fset, pkg.Files)
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ff := &FuncFacts{Fn: obj, Decl: fd}
+				ff.HotAnnotated = declIsHot(pkg.Fset, fd, hotLines)
+				ff.Hot = ff.HotAnnotated
+				collectDirectFacts(pkg, fd, ff)
+				f.funcs[obj] = ff
+			}
+		}
+	}
+	f.propagateUp()
+	f.propagateHot()
+	return f
+}
+
+// hotpathLines collects the file:line positions of every kcvet:hotpath
+// directive.
+func hotpathLines(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
+	lines := map[string]map[int]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//"+hotpathPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if lines[pos.Filename] == nil {
+					lines[pos.Filename] = map[int]bool{}
+				}
+				lines[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// declIsHot reports whether a hotpath directive is attached to the
+// declaration: anywhere in its doc comment, or on the func line itself.
+func declIsHot(fset *token.FileSet, fd *ast.FuncDecl, lines map[string]map[int]bool) bool {
+	pos := fset.Position(fd.Pos())
+	byLine := lines[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	from := pos.Line
+	if fd.Doc != nil {
+		from = fset.Position(fd.Doc.Pos()).Line
+	}
+	for l := from; l <= pos.Line; l++ {
+		if byLine[l] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectFacts walks one function body for local evidence: blocking
+// operations, allocations, goroutine launches, lock acquisitions, and
+// direct call edges.
+func collectDirectFacts(pkg *Package, fd *ast.FuncDecl, ff *FuncFacts) {
+	seenCall := map[*types.Func]bool{}
+	block := func(why string) {
+		if !ff.Blocks {
+			ff.Blocks, ff.BlockWhy = true, why
+		}
+	}
+	alloc := func(why string) {
+		if !ff.Allocates {
+			ff.Allocates, ff.AllocWhy = true, why
+		}
+	}
+	acquired := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			ff.Spawns = true
+		case *ast.SendStmt:
+			block("sends on a channel")
+		case *ast.UnaryExpr:
+			switch n.Op {
+			case token.ARROW:
+				block("receives from a channel")
+			case token.AND:
+				if _, isLit := ast.Unparen(n.X).(*ast.CompositeLit); isLit {
+					alloc("takes the address of a composite literal")
+				}
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				block("blocks in select")
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					block("ranges over a channel")
+				}
+			}
+		case *ast.CompositeLit:
+			// Reference-typed literals always allocate their backing
+			// store; plain struct values may well stay on the stack.
+			if t := pkg.Info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					alloc("allocates a composite literal")
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "make", "new":
+						alloc("calls " + id.Name)
+					case "append":
+						if !isCompactingAppend(n) {
+							alloc("may grow via append")
+						}
+					}
+				}
+			}
+			fn := calleeFunc(pkg.Info, n)
+			if fn == nil {
+				return true
+			}
+			if why, ok := blockingStdlibCall(fn); ok {
+				block("calls " + why)
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				alloc("calls fmt." + fn.Name())
+			}
+			if isMutexLockCall(pkg.Info, n) {
+				if id := lockIdentity(pkg.Info, n); id != "" {
+					acquired[id] = true
+				}
+			}
+			if isModuleFunc(pkg, fn) && !seenCall[fn] {
+				seenCall[fn] = true
+				ff.Calls = append(ff.Calls, fn)
+			}
+		}
+		return true
+	})
+	ff.Acquires = make([]string, 0, len(acquired))
+	for id := range acquired {
+		ff.Acquires = append(ff.Acquires, id)
+	}
+	sort.Strings(ff.Acquires)
+}
+
+// isModuleFunc reports whether fn is declared somewhere in the analyzed
+// module (as opposed to the stdlib).
+func isModuleFunc(pkg *Package, fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	mod := modulePrefixOf(pkg.Path)
+	return mod != "" && (fn.Pkg().Path() == mod || strings.HasPrefix(fn.Pkg().Path(), mod+"/"))
+}
+
+// modulePrefixOf recovers the module path's first segment from a package
+// import path; module-internal packages all share it, and stdlib paths
+// never collide with it in this repo ("repro/...").
+func modulePrefixOf(pkgPath string) string {
+	if i := strings.IndexByte(pkgPath, '/'); i > 0 {
+		return pkgPath[:i]
+	}
+	return pkgPath
+}
+
+// isCompactingAppend recognizes the in-place removal idiom
+// `s = append(s[:i], s[i+1:]...)` (both arguments slice the same base),
+// which shrinks rather than grows.
+func isCompactingAppend(call *ast.CallExpr) bool {
+	if len(call.Args) != 2 || call.Ellipsis == token.NoPos {
+		return false
+	}
+	a, ok1 := ast.Unparen(call.Args[0]).(*ast.SliceExpr)
+	b, ok2 := ast.Unparen(call.Args[1]).(*ast.SliceExpr)
+	return ok1 && ok2 && exprString(a.X) == exprString(b.X)
+}
+
+// selectHasDefault reports whether the select statement has a default
+// clause (making it non-blocking).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// propagateUp folds callee facts into callers until a fixed point:
+// Blocks, Allocates and Spawns are all "may" properties, so a caller
+// inherits them from any callee with a summary.
+func (f *Facts) propagateUp() {
+	// Deterministic iteration order keeps BlockWhy/AllocWhy chains stable
+	// across runs (map order would pick an arbitrary witness).
+	fns := f.sortedFuncs()
+	callers := map[*types.Func][]*FuncFacts{}
+	for _, ff := range fns {
+		for _, callee := range ff.Calls {
+			callers[callee] = append(callers[callee], ff)
+		}
+	}
+	work := fns
+	for len(work) > 0 {
+		var next []*FuncFacts
+		for _, ff := range work {
+			if !ff.Blocks && !ff.Allocates && !ff.Spawns {
+				continue
+			}
+			for _, caller := range callers[ff.Fn] {
+				changed := false
+				if ff.Blocks && !caller.Blocks {
+					caller.Blocks = true
+					caller.BlockWhy = "calls " + funcDisplay(ff.Fn) + ", which " + ff.BlockWhy
+					changed = true
+				}
+				if ff.Allocates && !caller.Allocates {
+					caller.Allocates = true
+					caller.AllocWhy = "calls " + funcDisplay(ff.Fn) + ", which " + ff.AllocWhy
+					changed = true
+				}
+				if ff.Spawns && !caller.Spawns {
+					caller.Spawns = true
+					changed = true
+				}
+				if changed {
+					next = append(next, caller)
+				}
+			}
+		}
+		work = next
+	}
+}
+
+// propagateHot marks as hot every function whose callers all are hot (and
+// that has at least one caller), iterating to a fixed point. Annotated
+// functions seed the set; functions with no call-graph callers (entry
+// points, handlers installed as method values, hook targets) never
+// inherit hotness.
+func (f *Facts) propagateHot() {
+	fns := f.sortedFuncs()
+	callers := map[*types.Func][]*FuncFacts{}
+	for _, ff := range fns {
+		for _, callee := range ff.Calls {
+			callers[callee] = append(callers[callee], ff)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, ff := range fns {
+			if ff.Hot {
+				continue
+			}
+			cs := callers[ff.Fn]
+			if len(cs) == 0 {
+				continue
+			}
+			allHot := true
+			for _, c := range cs {
+				if !c.Hot {
+					allHot = false
+					break
+				}
+			}
+			if allHot {
+				ff.Hot = true
+				changed = true
+			}
+		}
+	}
+}
+
+// sortedFuncs returns the summaries ordered by full function name, the
+// deterministic order propagation and tests rely on.
+func (f *Facts) sortedFuncs() []*FuncFacts {
+	out := make([]*FuncFacts, 0, len(f.funcs))
+	for _, ff := range f.funcs {
+		out = append(out, ff)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Fn.FullName() < out[j].Fn.FullName()
+	})
+	return out
+}
+
+// funcDisplay renders a function for diagnostics: pkg.Func or
+// pkg.(*Type).Method, with module-internal paths shortened to their last
+// element.
+func funcDisplay(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+		if i := strings.LastIndexByte(pkg, '/'); i >= 0 {
+			pkg = pkg[i+1:]
+		}
+	}
+	if recv := recvNamed(fn); recv != "" {
+		return fmt.Sprintf("%s.(*%s).%s", pkg, recv, fn.Name())
+	}
+	if pkg != "" {
+		return pkg + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// ---- mutex recognition (shared by facts and lockio) ----
+
+// mutexMethod classifies a call as a lock or unlock on sync.Mutex or
+// sync.RWMutex (including embedded ones reached by promotion).
+func mutexMethod(info *types.Info, call *ast.CallExpr) (op string, recv ast.Expr, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", nil, false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil, false
+	}
+	recvName := recvNamed(fn)
+	if recvName != "Mutex" && recvName != "RWMutex" {
+		return "", nil, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+		return fn.Name(), sel.X, true
+	}
+	return "", nil, false
+}
+
+// isMutexLockCall reports whether the call acquires a mutex.
+func isMutexLockCall(info *types.Info, call *ast.CallExpr) bool {
+	op, _, ok := mutexMethod(info, call)
+	return ok && (op == "Lock" || op == "RLock")
+}
+
+// lockIdentity renders the locked expression as a stable string, e.g.
+// "c.mu" or "b.mu". Used both as the held-set key inside one function and
+// in facts.
+func lockIdentity(info *types.Info, call *ast.CallExpr) string {
+	_, recv, ok := mutexMethod(info, call)
+	if !ok {
+		return ""
+	}
+	return exprString(recv)
+}
+
+// exprString renders simple expressions (identifiers, selectors, index
+// expressions) for identity comparison; anything more complex gets a
+// position-unique fallback so it never aliases.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	default:
+		return fmt.Sprintf("expr@%d", e.Pos())
+	}
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// factsFor builds the fact table for one testdata fixture package.
+func factsFor(t *testing.T, dir string) *Facts {
+	t.Helper()
+	l := loaderFor(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture has type errors: %v", pkg.TypeErrors)
+	}
+	return BuildFacts([]*Package{pkg})
+}
+
+// byName finds a summarized function by its bare name ("loadFrom") or
+// method name ("(*registry).add" matches on Name alone here: fixture
+// names are unique enough).
+func byName(t *testing.T, f *Facts, name string) *FuncFacts {
+	t.Helper()
+	var found *FuncFacts
+	for fn, ff := range f.funcs {
+		if fn.Name() == name {
+			if found != nil {
+				t.Fatalf("ambiguous function name %q in fixture", name)
+			}
+			found = ff
+		}
+	}
+	if found == nil {
+		t.Fatalf("no summarized function named %q", name)
+	}
+	return found
+}
+
+func TestFactsBlockingPropagation(t *testing.T) {
+	f := factsFor(t, "lockio")
+
+	load := byName(t, f, "loadFrom")
+	if !load.Blocks || load.BlockWhy != "calls os.ReadFile" {
+		t.Errorf("loadFrom: Blocks=%v why=%q, want direct os.ReadFile evidence", load.Blocks, load.BlockWhy)
+	}
+
+	// refreshHidden blocks only through its callee; the why-chain must
+	// name the hop.
+	refresh := byName(t, f, "refreshHidden")
+	if !refresh.Blocks {
+		t.Fatal("refreshHidden must inherit Blocks from loadFrom")
+	}
+	if want := "calls lockio.loadFrom, which calls os.ReadFile"; refresh.BlockWhy != want {
+		t.Errorf("refreshHidden.BlockWhy = %q, want %q", refresh.BlockWhy, want)
+	}
+
+	add := byName(t, f, "add")
+	if len(add.Acquires) != 1 || add.Acquires[0] != "r.mu" {
+		t.Errorf("add.Acquires = %v, want [r.mu]", add.Acquires)
+	}
+
+	spawn := byName(t, f, "spawnUnderLock")
+	if !spawn.Spawns {
+		t.Error("spawnUnderLock must record Spawns")
+	}
+
+	// pop parks on a Cond — that is blocking evidence even though lockio
+	// exempts it at lock-held call sites.
+	pop := byName(t, f, "pop")
+	if !pop.Blocks || !strings.Contains(pop.BlockWhy, "Cond") {
+		t.Errorf("pop: Blocks=%v why=%q, want Cond.Wait evidence", pop.Blocks, pop.BlockWhy)
+	}
+}
+
+func TestFactsHotPropagation(t *testing.T) {
+	f := factsFor(t, "hotalloc")
+
+	step := byName(t, f, "step")
+	if !step.HotAnnotated || !step.Hot {
+		t.Error("step carries the directive and must be hot")
+	}
+
+	// sum4 and describe are called only from hot functions: inherited,
+	// not annotated.
+	for _, name := range []string{"sum4", "describe"} {
+		ff := byName(t, f, name)
+		if ff.HotAnnotated {
+			t.Errorf("%s must not be annotated", name)
+		}
+		if !ff.Hot {
+			t.Errorf("%s is reachable only from hot functions and must inherit hotness", name)
+		}
+	}
+
+	// scaled has a cold caller (coldPath), so it stays cold; coldPath has
+	// no callers at all and never inherits.
+	for _, name := range []string{"scaled", "coldPath"} {
+		if ff := byName(t, f, name); ff.Hot {
+			t.Errorf("%s must stay cold", name)
+		}
+	}
+
+	if ff := byName(t, f, "scaled"); !ff.Allocates || ff.AllocWhy != "calls make" {
+		t.Errorf("scaled: Allocates=%v why=%q, want direct make evidence", ff.Allocates, ff.AllocWhy)
+	}
+}
+
+func TestFactsCallEdges(t *testing.T) {
+	f := factsFor(t, "lockio")
+	refresh := byName(t, f, "refreshHidden")
+	var names []string
+	for _, fn := range refresh.Calls {
+		names = append(names, fn.Name())
+	}
+	if len(names) != 1 || names[0] != "loadFrom" {
+		t.Errorf("refreshHidden.Calls = %v, want [loadFrom] (module callees only)", names)
+	}
+}
+
+// TestFactsOfNil pins the nil-safety contract analyzers rely on.
+func TestFactsOfNil(t *testing.T) {
+	var f *Facts
+	if f.Of(nil) != nil {
+		t.Error("nil Facts must answer nil")
+	}
+	f = &Facts{funcs: map[*types.Func]*FuncFacts{}}
+	if f.Of(nil) != nil {
+		t.Error("nil function must answer nil")
+	}
+}
+
+// TestLoadPatternsEmptyMatch pins the fixed kcvet exit-status bug: a
+// pattern resolving to zero packages must be an error, not a clean run
+// ("kcvet ./nonexistent" exiting 0 would green-light CI without
+// analyzing anything).
+func TestLoadPatternsEmptyMatch(t *testing.T) {
+	l := loaderFor(t)
+	// A directory that exists but holds no Go files, walked recursively.
+	_, err := l.LoadPatterns([]string{filepath.Join("testdata", "empty") + "/..."})
+	if err == nil || !strings.Contains(err.Error(), "no Go files matched") {
+		t.Errorf("empty-match pattern: err = %v, want 'no Go files matched'", err)
+	}
+	// A directory that does not exist at all.
+	if _, err := l.LoadPatterns([]string{"./definitely-not-a-package"}); err == nil {
+		t.Error("nonexistent directory pattern must error")
+	}
+}

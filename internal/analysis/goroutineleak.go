@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLeak reports go statements whose spawned body shows no join or
+// cancel path. The rule is deliberately lexical: the evidence must be
+// visible in the spawned function's own body (or, for a named function,
+// in its declaration) —
+//
+//   - a (*sync.WaitGroup).Done call,
+//   - any channel operation (send, receive, close, range, select): a
+//     goroutine talking on a channel has someone to answer to,
+//   - a reference to a context.Context: cancellation plumbing.
+//
+// A goroutine whose join contract lives somewhere else entirely (a
+// callback that signals completion, a counter decremented by a callee
+// three frames down) is flagged even if it is in fact joined: if the
+// reader cannot see the lifecycle at the spawn site or in the spawned
+// body, the next refactor will break it silently. Such launches carry a
+// kcvet:ignore with the justification naming where the join lives.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "goroutines launched without a visible join or cancel path",
+	Run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					checkGoStmt(p, g)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkGoStmt(p *Pass, g *ast.GoStmt) {
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		fn := calleeFunc(p.Info, g.Call)
+		if ff := p.Facts.Of(fn); ff != nil && ff.Decl != nil {
+			body = ff.Decl.Body
+		}
+	}
+	if body == nil {
+		p.Reportf(g.Pos(), "goroutine target is not analyzable (indirect or external call); no visible join or cancel path")
+		return
+	}
+	if !hasJoinEvidence(p, body) {
+		p.Reportf(g.Pos(), "goroutine has no visible join or cancel path (no WaitGroup.Done, channel op, or context)")
+	}
+}
+
+// hasJoinEvidence scans a spawned body (including nested literals — a
+// deferred closure calling wg.Done counts) for lifecycle evidence.
+func hasJoinEvidence(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+			if fn := calleeFunc(p.Info, n); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "sync" && recvNamed(fn) == "WaitGroup" && fn.Name() == "Done" {
+				found = true
+			}
+		case *ast.Ident:
+			if t := identType(p.Info, n); t != nil && isContextType(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// identType returns the type of the object an identifier refers to.
+func identType(info *types.Info, id *ast.Ident) types.Type {
+	if obj := info.Uses[id]; obj != nil {
+		return obj.Type()
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj.Type()
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc reports heap allocations on declared hot paths. A function is
+// hot when its declaration carries //kcvet:hotpath, or when every caller
+// in the module call graph is hot (so moving an allocation into a helper
+// does not hide it). Within a hot function the analyzer flags:
+//
+//   - inside loops: make/new, reference-typed composite literals,
+//     address-taken composite literals, growing appends, fmt and strconv
+//     formatting, function literals (closure allocation), and calls to
+//     non-hot module functions whose facts say they allocate;
+//   - anywhere: clone-appends (append([]T(nil), s...) — a full copy per
+//     call), growing appends to struct fields (per-call accumulation),
+//     and fmt formatting calls (per-call string/interface allocation),
+//     except fmt feeding a panic — a dying path is never hot.
+//
+// Allocations outside loops that happen once per call and return their
+// result (a pool-miss make, a constructor) are deliberately not flagged:
+// the analyzer exists to catch per-operation garbage on measurement and
+// serving paths, not to outlaw allocation.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "heap allocations inside //kcvet:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	if p.Facts == nil {
+		return
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+			ff := p.Facts.Of(obj)
+			if ff == nil || !ff.Hot {
+				continue
+			}
+			hotallocFunc(p, fd)
+		}
+	}
+}
+
+// span is a half-open position interval.
+type span struct{ lo, hi token.Pos }
+
+func (s span) contains(p token.Pos) bool { return s.lo <= p && p < s.hi }
+
+// hotallocFunc flags allocation sites in one hot function. Function
+// literals are not descended into: they run on their own schedule (their
+// bodies are separate functions, hot only if separately reachable), but
+// creating one inside a loop is itself an allocation and is flagged.
+func hotallocFunc(p *Pass, fd *ast.FuncDecl) {
+	var loops []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+	inLoop := func(pos token.Pos) bool {
+		for _, s := range loops {
+			if s.contains(pos) {
+				return true
+			}
+		}
+		return false
+	}
+	panicArgs := panicArgSpans(fd.Body)
+	exempt := func(pos token.Pos) bool {
+		for _, s := range panicArgs {
+			if s.contains(pos) {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if inLoop(n.Pos()) {
+				p.Reportf(n.Pos(), "hot path: function literal allocates a closure per iteration")
+			}
+			return false
+		case *ast.CompositeLit:
+			if !inLoop(n.Pos()) {
+				return true
+			}
+			if t := p.Info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					p.Reportf(n.Pos(), "hot path: composite literal allocates per iteration")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && inLoop(n.Pos()) {
+				if _, isLit := ast.Unparen(n.X).(*ast.CompositeLit); isLit {
+					p.Reportf(n.Pos(), "hot path: &composite literal escapes to the heap per iteration")
+				}
+			}
+		case *ast.CallExpr:
+			hotallocCall(p, n, inLoop(n.Pos()), exempt)
+		}
+		return true
+	})
+}
+
+// hotallocCall classifies one call expression in a hot function.
+func hotallocCall(p *Pass, call *ast.CallExpr, inLoop bool, exempt func(token.Pos) bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				if inLoop {
+					p.Reportf(call.Pos(), "hot path: %s allocates per iteration", id.Name)
+				}
+			case "append":
+				hotallocAppend(p, call, inLoop)
+			}
+			return
+		}
+	}
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		if !exempt(call.Pos()) {
+			p.Reportf(call.Pos(), "hot path: fmt.%s allocates on every call", fn.Name())
+		}
+		return
+	case "strconv":
+		if inLoop {
+			switch fn.Name() {
+			case "Itoa", "FormatInt", "FormatUint", "FormatFloat", "Quote", "AppendQuote":
+				p.Reportf(call.Pos(), "hot path: strconv.%s allocates per iteration", fn.Name())
+			}
+		}
+		return
+	}
+	if inLoop {
+		if ff := p.Facts.Of(fn); ff != nil && !ff.Hot && ff.Allocates {
+			p.Reportf(call.Pos(), "hot path: calls %s per iteration, which %s", funcDisplay(fn), ff.AllocWhy)
+		}
+	}
+}
+
+// hotallocAppend distinguishes the append shapes: compaction (clean),
+// clone-append (flagged anywhere), growth in a loop, and per-call growth
+// of a field.
+func hotallocAppend(p *Pass, call *ast.CallExpr, inLoop bool) {
+	if isCompactingAppend(call) {
+		return
+	}
+	if isCloneAppend(p.Info, call) {
+		p.Reportf(call.Pos(), "hot path: append-copy allocates a fresh backing array on every call")
+		return
+	}
+	if inLoop {
+		p.Reportf(call.Pos(), "hot path: append may grow per iteration")
+		return
+	}
+	if len(call.Args) > 0 {
+		if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+			p.Reportf(call.Pos(), "hot path: append grows %s on every call", exprString(sel))
+		}
+	}
+}
+
+// isCloneAppend recognizes append([]T(nil), s...) and append([]T{}, s...),
+// the copy-a-slice idiom: correct, but a guaranteed allocation per call.
+func isCloneAppend(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 2 || call.Ellipsis == token.NoPos {
+		return false
+	}
+	switch arg := ast.Unparen(call.Args[0]).(type) {
+	case *ast.CallExpr:
+		// A conversion like []byte(nil): the "function" is a type.
+		if len(arg.Args) != 1 {
+			return false
+		}
+		if tv, ok := info.Types[arg.Fun]; !ok || !tv.IsType() {
+			return false
+		}
+		id, ok := ast.Unparen(arg.Args[0]).(*ast.Ident)
+		return ok && id.Name == "nil"
+	case *ast.CompositeLit:
+		if len(arg.Elts) != 0 {
+			return false
+		}
+		t := info.TypeOf(arg)
+		if t == nil {
+			return false
+		}
+		_, isSlice := t.Underlying().(*types.Slice)
+		return isSlice
+	}
+	return false
+}
+
+// panicArgSpans collects the argument spans of panic calls: formatting a
+// message for a panic is a dying path, never a hot one.
+func panicArgSpans(body *ast.BlockStmt) []span {
+	var out []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+			for _, a := range call.Args {
+				out = append(out, span{a.Pos(), a.End()})
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -247,6 +247,12 @@ func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
 		}
 		add(p)
 	}
+	// A pattern set that resolves to zero packages is an error, not a
+	// clean run: "kcvet ./nonexistent/..." exiting 0 would green-light CI
+	// without analyzing anything.
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files matched %v", patterns)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
 }

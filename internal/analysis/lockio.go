@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockIO reports mutexes held across blocking operations: the exact bug
+// class PR 5 fixed by hand in plan.Cache, where a cache mutex was held
+// across os.ReadFile and serialized every concurrent worker behind disk
+// latency. Three patterns are flagged while a sync.Mutex or sync.RWMutex
+// is held:
+//
+//  1. blocking stdlib calls (os, net, syscall, os/exec, time.Sleep,
+//     WaitGroup.Wait) — directly, or through a module function whose
+//     facts say it blocks;
+//  2. channel operations (send, receive, range, select without default);
+//  3. calls to module functions that acquire another lock — hidden
+//     nested acquisition, the lock-ordering hazard a reader cannot see
+//     at the call site.
+//
+// The held-set tracking is a linear source-order walk, deliberately
+// biased toward false negatives: an unlock inside a branch clears the
+// lock only within that branch, a deferred unlock keeps the lock held to
+// the end of the function, and function literals are analyzed separately
+// with an empty held set (a goroutine body does not inherit the spawner's
+// locks). (*sync.Cond).Wait is exempt — it releases the lock while
+// parked; that is its contract.
+var LockIO = &Analyzer{
+	Name: "lockio",
+	Doc:  "mutex held across blocking I/O, channel ops, or hidden nested locks",
+	Run:  runLockIO,
+}
+
+func runLockIO(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				lockioBody(p, fd.Body)
+			}
+		}
+	}
+}
+
+// lockioBody analyzes one function (or function literal) body with a
+// fresh held set, then each nested function literal as its own root.
+func lockioBody(p *Pass, body *ast.BlockStmt) {
+	w := &lockWalker{p: p, held: map[string]token.Pos{}}
+	w.stmts(body.List)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			lockioBody(p, fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// lockWalker tracks which lock expressions are held at each statement of
+// a linear source-order walk.
+type lockWalker struct {
+	p    *Pass
+	held map[string]token.Pos // lock expr -> acquisition position
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+// branch walks nested statements on a copy of the held set: lock-state
+// changes inside a branch do not escape it (false-negative bias — a
+// conditional unlock never "frees" the straight-line path).
+func (w *lockWalker) branch(list []ast.Stmt) {
+	held := make(map[string]token.Pos, len(w.held))
+	for k, v := range w.held {
+		held[k] = v
+	}
+	saved := w.held
+	w.held = held
+	w.stmts(list)
+	w.held = saved
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if op, recv, ok := mutexMethod(w.p.Info, call); ok {
+				id := exprString(recv)
+				switch op {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					w.held[id] = call.Pos()
+				case "Unlock", "RUnlock":
+					delete(w.held, id)
+				}
+				return
+			}
+		}
+		w.check(s.X)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held for the rest of the
+		// function — that is the shape of the PR-5 bug. Other deferred
+		// calls run at return, outside this walk's order; skip them.
+		if op, _, ok := mutexMethod(w.p.Info, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			return
+		}
+	case *ast.GoStmt:
+		// The spawned body runs concurrently and does not inherit the
+		// spawner's locks; it is analyzed as its own root. Argument
+		// evaluation is synchronous but never blocking in this tree.
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.check(e)
+		}
+		for _, e := range s.Lhs {
+			w.check(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.check(e)
+		}
+	case *ast.SendStmt:
+		w.report(s.Pos(), "a channel send")
+		w.check(s.Value)
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.check(s.Cond)
+		w.branch(s.Body.List)
+		if s.Else != nil {
+			w.branch([]ast.Stmt{s.Else})
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		if s.Cond != nil {
+			w.check(s.Cond)
+		}
+		body := make([]ast.Stmt, 0, len(s.Body.List)+1)
+		body = append(body, s.Body.List...)
+		if s.Post != nil {
+			body = append(body, s.Post)
+		}
+		w.branch(body)
+	case *ast.RangeStmt:
+		if t := w.p.Info.TypeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				w.report(s.Pos(), "a range over a channel")
+			}
+		}
+		w.check(s.X)
+		w.branch(s.Body.List)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		if s.Tag != nil {
+			w.check(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.branch(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.branch(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		if len(w.held) > 0 && !selectHasDefault(s) {
+			w.report(s.Pos(), "a blocking select")
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.branch(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	default:
+		w.check(s)
+	}
+}
+
+// check inspects the expressions of one statement for blocking operations
+// while any lock is held. Function literals are skipped — they execute on
+// their own schedule and are analyzed as separate roots.
+func (w *lockWalker) check(n ast.Node) {
+	if len(w.held) == 0 || n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.report(n.Pos(), "a channel receive")
+			}
+		case *ast.CallExpr:
+			w.checkCall(n)
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) checkCall(call *ast.CallExpr) {
+	fn := calleeFunc(w.p.Info, call)
+	if fn == nil {
+		return
+	}
+	// Cond.Wait releases the lock while parked — that is its contract,
+	// not a lock-held block.
+	if fn.Pkg() != nil && fn.Pkg().Path() == "sync" && recvNamed(fn) == "Cond" && fn.Name() == "Wait" {
+		return
+	}
+	if why, ok := blockingStdlibCall(fn); ok {
+		w.report(call.Pos(), "blocking call to "+why)
+		return
+	}
+	ff := w.p.Facts.Of(fn)
+	if ff == nil {
+		return
+	}
+	if ff.Blocks {
+		w.report(call.Pos(), "a call to "+funcDisplay(fn)+", which "+ff.BlockWhy)
+		return
+	}
+	if len(ff.Acquires) > 0 {
+		w.report(call.Pos(), "a call to "+funcDisplay(fn)+", which locks "+strings.Join(ff.Acquires, ", "))
+	}
+}
+
+// report emits one finding naming every lock held at the blocking point.
+func (w *lockWalker) report(pos token.Pos, what string) {
+	if len(w.held) == 0 {
+		return
+	}
+	names := make([]string, 0, len(w.held))
+	for id := range w.held {
+		names = append(names, id)
+	}
+	sort.Strings(names)
+	w.p.Reportf(pos, "%s held across %s", strings.Join(names, ", "), what)
+}

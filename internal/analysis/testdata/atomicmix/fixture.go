@@ -1,0 +1,62 @@
+// Package fixture exercises the atomicmix analyzer: objects addressed
+// into sync/atomic calls but also read or written plainly, and
+// wholesale reassignment of typed-atomic storage. See expect.txt for
+// the findings this file must produce.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	flag   atomic.Bool
+	phases []atomic.Value
+}
+
+func (c *counters) hit() {
+	atomic.AddInt64(&c.hits, 1) // census: hits is atomic from here on
+}
+
+func (c *counters) read() int64 {
+	return atomic.LoadInt64(&c.hits) // ok: atomic access
+}
+
+func (c *counters) arm() {
+	c.flag.Store(true) // ok: the typed API is the atomic protocol
+}
+
+// reset mixes a plain write into the atomic protocol: it races with
+// every AddInt64 above.
+func (c *counters) reset() {
+	c.hits = 0 // finding: plain write of an atomically-used field
+}
+
+// snapshotPlain reads without the atomic load.
+func (c *counters) snapshotPlain() int64 {
+	return c.hits // finding: plain read of an atomically-used field
+}
+
+// clearFlag bypasses atomic.Bool's protocol entirely: a concurrent
+// Store can be torn by the struct copy.
+func (c *counters) clearFlag() {
+	c.flag = atomic.Bool{} // finding: wholesale reassignment
+}
+
+// growPhases swaps the whole atomic.Value backing array out from under
+// concurrent users.
+func (c *counters) growPhases(n int) {
+	c.phases = make([]atomic.Value, n) // finding: container reassignment
+}
+
+// newCounters pins ignore scoping: pre-publication initialization is
+// the legitimate exception and is suppressed with a justification, but
+// the directive does not reach the plain read inside the returned
+// literal.
+func newCounters(n int) (*counters, func() int64) {
+	c := &counters{}
+	//kcvet:ignore atomicmix fixture: pre-publication init, no concurrent readers yet
+	c.phases = make([]atomic.Value, n) // suppressed by the directive above
+	probe := func() int64 {
+		return c.hits // survives: plain read inside the literal
+	}
+	return c, probe
+}

@@ -1,0 +1,65 @@
+// Package fixture exercises the goroutineleak analyzer: go statements
+// whose spawned body shows no join or cancel path. Evidence is
+// deliberately lexical — WaitGroup.Done, any channel operation, or a
+// context.Context reference in the spawned body (for named functions,
+// in their declaration). See expect.txt for the findings this file must
+// produce.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+var sink int
+
+func work(n int) int { return n * 2 }
+
+// namedNoJoin has no lifecycle evidence: launching it leaks.
+func namedNoJoin() { sink = work(3) }
+
+// namedRanger drains a channel — its launches are accounted for.
+func namedRanger(ch chan int) {
+	for v := range ch {
+		sink = v
+	}
+}
+
+func runUntil(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func spawnAll(ctx context.Context, wg *sync.WaitGroup, ch chan int, done chan struct{}, hooks []func()) {
+	go func() { // finding: no join or cancel evidence
+		sink = work(1)
+	}()
+	go func() { // ok: WaitGroup.Done
+		defer wg.Done()
+		sink = work(2)
+	}()
+	go func() { // ok: channel send
+		ch <- work(3)
+	}()
+	go func() { // ok: channel receive
+		<-done
+	}()
+	go func() { // ok: context cancellation plumbing
+		runUntil(ctx)
+	}()
+	go namedNoJoin()   // finding: named decl with no evidence
+	go namedRanger(ch) // ok: ranges over a channel
+	go hooks[0]()      // finding: not analyzable (function value)
+}
+
+// suppressedOuterNestedLeak pins ignore scoping: the directive covers
+// the outer launch only; the nested launch inside the goroutine body is
+// still flagged.
+func suppressedOuterNestedLeak() {
+	//kcvet:ignore goroutineleak fixture: joined via process exit in this harness
+	go func() { // suppressed by the directive above
+		sink = work(4)
+		go func() { // survives: the outer directive does not reach the nested launch
+			sink = work(5)
+		}()
+	}()
+}

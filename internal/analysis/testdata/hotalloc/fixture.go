@@ -1,0 +1,130 @@
+// Package fixture exercises the hotalloc analyzer: per-iteration
+// allocations inside //kcvet:hotpath functions, clone-appends and
+// per-call field growth anywhere in them, hotness inheritance through
+// the call graph, and the exemptions (pool-miss make, compaction,
+// panic messages). See expect.txt for the findings this file must
+// produce.
+package fixture
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+type point struct{ x float64 }
+
+type ring struct {
+	buf  []float64
+	log  []string
+	pool sync.Pool
+}
+
+const maxBuf = 1 << 16
+
+// step stands in for the per-iteration solver loop: every allocation
+// shape the analyzer knows about, one per line.
+//
+//kcvet:hotpath fixture: the measured inner loop
+func (r *ring) step(xs []float64) float64 {
+	total := 0.0
+	for i, x := range xs {
+		tmp := make([]float64, 4) // finding: make per iteration
+		tmp[0] = x
+		total += sum4(tmp)
+		scratch := []float64{x, 2 * x} // finding: composite literal per iteration
+		total += scratch[0]
+		pt := &point{x: x} // finding: &composite escapes per iteration
+		total += pt.x
+		s := strconv.FormatFloat(x, 'g', -1, 64) // finding: strconv formatting per iteration
+		r.log = append(r.log, s)                 // finding: append may grow per iteration
+		cb := func() float64 { return x }        // finding: closure per iteration
+		total += cb()
+		total += scaled(x, i) // finding: non-hot callee allocates
+	}
+	_ = describe(total)
+	return total
+}
+
+// sum4 is reachable only from hot functions, so it inherits hotness; it
+// allocates nothing and stays clean.
+func sum4(xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// describe also inherits hotness from step — its fmt call is policed at
+// its own declaration, not at the call site.
+func describe(x float64) string {
+	return fmt.Sprintf("%g", x) // finding: fmt allocates on every call
+}
+
+// scaled has a cold caller too, so it never inherits hotness; the hot
+// loop pays for its allocation at the call site instead.
+func scaled(x float64, n int) float64 {
+	s := make([]float64, n+1)
+	s[n] = x
+	return s[n]
+}
+
+func coldPath() float64 { return scaled(1, 2) }
+
+// getBuf is the pool idiom: the miss-path make runs once per call and
+// returns its result — deliberately not a finding.
+//
+//kcvet:hotpath fixture: pool get path
+func (r *ring) getBuf(n int) []float64 {
+	if v := r.pool.Get(); v != nil {
+		b := v.([]float64)
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]float64, n) // ok: pool miss, once per call
+}
+
+// evict shrinks in place: a compacting append never grows.
+//
+//kcvet:hotpath fixture: eviction path
+func (r *ring) evict(i int) {
+	r.buf = append(r.buf[:i], r.buf[i+1:]...) // ok: compaction
+}
+
+// values is the copy-out idiom: correct, but a guaranteed fresh backing
+// array on every call.
+//
+//kcvet:hotpath fixture: copy-out path
+func (r *ring) values() []float64 {
+	return append([]float64(nil), r.buf...) // finding: clone-append per call
+}
+
+// record grows a field per call — the accumulation hotalloc exists to
+// catch outside loops.
+//
+//kcvet:hotpath fixture: record path
+func (r *ring) record(x float64) {
+	if len(r.buf) >= maxBuf {
+		panic(fmt.Sprintf("ring overflow: %d", len(r.buf))) // ok: dying path
+	}
+	r.buf = append(r.buf, x) // finding: grows r.buf on every call
+}
+
+// scoped pins ignore scoping: the directive suppresses the make on the
+// next line only; the closure allocation two lines down is out of its
+// reach.
+//
+//kcvet:hotpath fixture: ignore scoping case
+func (r *ring) scoped(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		//kcvet:ignore hotalloc fixture: scratch reuse measured as negligible here
+		tmp := make([]float64, 1) // suppressed by the directive above
+		tmp[0] = x
+		f := func() float64 { return x } // survives: one closure per iteration
+		t += f() + tmp[0]
+	}
+	return t
+}

@@ -1,0 +1,147 @@
+// Package fixture exercises the lockio analyzer: mutexes held across
+// blocking I/O, channel operations, and hidden nested locks, plus the
+// exemptions (Cond.Wait, unlock-before-I/O, goroutine bodies as fresh
+// roots). The first case is the exact plan.Cache bug PR 5 fixed by
+// hand. See expect.txt for the findings this file must produce.
+package fixture
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type cache struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+}
+
+// readUnderLock is the PR-5 bug shape: the cache mutex is held, via a
+// deferred unlock, across disk I/O — every concurrent reader serializes
+// behind disk latency.
+func (c *cache) readUnderLock(path string) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.entries[path]; ok {
+		return b
+	}
+	data, err := os.ReadFile(path) // finding: c.mu held across os.ReadFile
+	if err != nil {
+		return nil
+	}
+	c.entries[path] = data
+	return data
+}
+
+// readOutsideLock is the fixed shape: I/O with the lock released, lock
+// held only around the map accesses.
+func (c *cache) readOutsideLock(path string) []byte {
+	c.mu.Lock()
+	b, ok := c.entries[path]
+	c.mu.Unlock()
+	if ok {
+		return b
+	}
+	data, err := os.ReadFile(path) // ok: unlocked above
+	if err != nil {
+		return nil
+	}
+	c.mu.Lock()
+	c.entries[path] = data
+	c.mu.Unlock()
+	return data
+}
+
+// loadFrom blocks one frame down; the facts layer summarizes it so a
+// locked caller is flagged without seeing the I/O directly.
+func loadFrom(path string) []byte {
+	data, _ := os.ReadFile(path)
+	return data
+}
+
+func (c *cache) refreshHidden(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[path] = loadFrom(path) // finding: callee blocks
+}
+
+type registry struct {
+	mu    sync.Mutex
+	names []string
+}
+
+func (r *registry) add(name string) {
+	r.mu.Lock()
+	r.names = append(r.names, name)
+	r.mu.Unlock()
+}
+
+// crossLock takes a second lock through a callee: the nested
+// acquisition is invisible at the call site.
+func (c *cache) crossLock(r *registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r.add("x") // finding: callee locks r.mu
+}
+
+func (c *cache) publish(ch chan string, done chan struct{}) {
+	c.mu.Lock()
+	ch <- "update" // finding: channel send under lock
+	<-done         // finding: channel receive under lock
+	c.mu.Unlock()
+	ch <- "after" // ok: unlocked
+}
+
+func (c *cache) sleepy() {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // finding: sleep under lock
+	c.mu.Unlock()
+}
+
+type queue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []int
+}
+
+// pop parks on the condition variable with the lock held — Cond.Wait
+// releases it while parked; that is its contract, not a finding.
+func (q *queue) pop() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		q.cond.Wait() // ok: Cond.Wait releases the lock
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	return it
+}
+
+// spawnUnderLock launches a goroutine while locked: the spawned body
+// runs on its own schedule and does not inherit the spawner's lock.
+func (c *cache) spawnUnderLock(path string, wg *sync.WaitGroup) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		defer wg.Done()
+		data, _ := os.ReadFile(path) // ok: goroutine does not hold c.mu
+		_ = data
+	}()
+}
+
+var fileMu sync.Mutex
+
+// suppressedButNotNested pins ignore scoping: the directive suppresses
+// the send on the next line only; the finding inside the returned
+// literal is out of its reach.
+func (c *cache) suppressedButNotNested(ch chan string, path string) func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//kcvet:ignore lockio fixture: the consumer is guaranteed nonblocking in this test
+	ch <- "ok" // suppressed by the directive above
+	return func() {
+		fileMu.Lock()
+		defer fileMu.Unlock()
+		_, _ = os.ReadFile(path) // survives: the outer directive does not reach the literal
+	}
+}

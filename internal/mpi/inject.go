@@ -96,6 +96,7 @@ func (c *Comm) injectMessage(wdest, tag, bytes int) time.Duration {
 	}
 	mf := inj.Message(wself, wdest, tag, bytes)
 	if mf.Lost {
+		//kcvet:ignore hotalloc dying path: the lost-message error fails the world and unwinds via panic
 		err := fmt.Errorf("mpi: injected fault: message rank %d -> %d tag %d lost after resend budget", wself, wdest, tag)
 		c.world.fail(wself, err, nil)
 		panic(teardown{err.Error()})

@@ -63,6 +63,10 @@ type World struct {
 	// timing measurements this runtime exists to support.
 	bufPool sync.Pool
 
+	// rawPool recycles byte message payloads the same way; harness
+	// control traffic (SendBytes/RecvBytes) rides the same warm path.
+	rawPool sync.Pool
+
 	failMu   sync.Mutex
 	failures []RankFailure
 }
@@ -103,6 +107,28 @@ func (w *World) getBuf(n int) []float64 {
 func (w *World) putBuf(s []float64) {
 	if cap(s) > 0 {
 		w.bufPool.Put(s[:0]) //nolint:staticcheck // slice header boxing is fine here
+	}
+}
+
+// getRaw returns a length-n byte payload slice, recycled when possible.
+//
+//kcvet:hotpath per-message allocation on the send path is GC noise in timing measurements
+func (w *World) getRaw(n int) []byte {
+	if v := w.rawPool.Get(); v != nil {
+		s := v.([]byte)
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// putRaw recycles a byte payload whose contents have been copied out.
+//
+//kcvet:hotpath see getRaw
+func (w *World) putRaw(s []byte) {
+	if cap(s) > 0 {
+		w.rawPool.Put(s[:0]) //nolint:staticcheck // slice header boxing is fine here
 	}
 }
 
@@ -151,6 +177,7 @@ func NewWorld(n int, opts ...Option) *World {
 		o(w)
 	}
 	if w.obs != nil {
+		//kcvet:ignore atomicmix pre-publication init: no rank goroutine exists until Launch, so nothing races the assignment
 		w.phases = make([]atomic.Value, n)
 	}
 	return w

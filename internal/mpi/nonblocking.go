@@ -63,6 +63,7 @@ func (c *Comm) Isend(dest int, tag int, buf []float64) *Request {
 // returns, and must not be reused for anything else in between.
 func (c *Comm) Irecv(src int, tag int, buf []float64) *Request {
 	r := newRequest()
+	//kcvet:ignore goroutineleak joined via the request: complete() closes r.done, which Wait/Test receive on
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {

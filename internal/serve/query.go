@@ -135,11 +135,36 @@ func ParseQuery(v url.Values) (Query, error) {
 // describe the same study and may share one in-flight resolution. All
 // defaults are resolved before the key is formed, so ?bench=BT and an
 // empty query collapse together.
+//
+// The key is built with strconv appends into one sized buffer instead of
+// fmt.Sprintf: it runs once per request, before the singleflight group
+// can collapse anything, so it is the one serving-path string the cache
+// cannot amortize. The rendered bytes are identical to the previous
+// Sprintf("%s.%s.p%d g%d t%d b%d x%d c%s") formatting.
+//
+//kcvet:hotpath runs once per request on the /predict warm path
 func (q Query) Key() string {
-	chains := make([]string, len(q.Chains))
+	b := make([]byte, 0, 64)
+	b = append(b, q.Bench...)
+	b = append(b, '.')
+	b = append(b, string(q.Class)...)
+	b = append(b, ".p"...)
+	b = strconv.AppendInt(b, int64(q.Procs), 10)
+	b = append(b, " g"...)
+	b = strconv.AppendInt(b, int64(q.Grid), 10)
+	b = append(b, " t"...)
+	b = strconv.AppendInt(b, int64(q.Trips), 10)
+	b = append(b, " b"...)
+	b = strconv.AppendInt(b, int64(q.Blocks), 10)
+	b = append(b, " x"...)
+	b = strconv.AppendInt(b, int64(q.Passes), 10)
+	b = append(b, " c"...)
 	for i, c := range q.Chains {
-		chains[i] = strconv.Itoa(c)
+		if i > 0 {
+			//kcvet:ignore hotalloc appends fill a capacity-64 scratch buffer; growth needs a pathological chain list
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(c), 10)
 	}
-	return fmt.Sprintf("%s.%s.p%d g%d t%d b%d x%d c%s",
-		q.Bench, q.Class, q.Procs, q.Grid, q.Trips, q.Blocks, q.Passes, strings.Join(chains, ","))
+	return string(b)
 }

@@ -250,28 +250,35 @@ type PredictResponse struct {
 	Exec          harness.ExecStats `json:"exec"`
 }
 
+// handlePredict is the service's main warm path: a cached query must not
+// allocate per predictor, so the slice is sized once and filled by index.
+//
+//kcvet:hotpath /predict on a warm cache is the serving benchmark's measured path
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 	st, err := s.study(r)
 	if err != nil {
 		return err
+	}
+	lens := st.ChainLens()
+	preds := make([]Predictor, len(lens)+1)
+	preds[0] = Predictor{
+		Label:         st.Summation.Label,
+		Seconds:       st.Summation.Predicted,
+		RelativeError: st.Summation.RelErr,
+	}
+	for i, L := range lens {
+		p := st.Couplings[L]
+		preds[i+1] = Predictor{
+			Label: p.Label, ChainLen: p.ChainLen,
+			Seconds: p.Predicted, RelativeError: p.RelErr,
+		}
 	}
 	resp := PredictResponse{
 		Workload:      st.Workload,
 		Trips:         st.Trips,
 		ActualSeconds: st.Actual,
 		Exec:          st.Exec,
-		Predictors: []Predictor{{
-			Label:         st.Summation.Label,
-			Seconds:       st.Summation.Predicted,
-			RelativeError: st.Summation.RelErr,
-		}},
-	}
-	for _, L := range st.ChainLens() {
-		p := st.Couplings[L]
-		resp.Predictors = append(resp.Predictors, Predictor{
-			Label: p.Label, ChainLen: p.ChainLen,
-			Seconds: p.Predicted, RelativeError: p.RelErr,
-		})
+		Predictors:    preds,
 	}
 	return writeJSON(w, http.StatusOK, resp)
 }
@@ -317,22 +324,32 @@ func (s *Server) handleCouplings(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	resp := CouplingsResponse{Workload: st.Workload, Trips: st.Trips}
-	for _, L := range st.ChainLens() {
+	lens := st.ChainLens()
+	resp := CouplingsResponse{
+		Workload: st.Workload,
+		Trips:    st.Trips,
+		Chains:   make([]ChainCouplings, len(lens)),
+	}
+	for ci, L := range lens {
 		det := st.Details[L]
-		cc := ChainCouplings{ChainLen: L, PredictedSeconds: det.Total}
-		for _, k := range st.App.Loop {
-			cc.Coefficients = append(cc.Coefficients, KernelCoefficient{Kernel: k, Alpha: det.Coefficients[k]})
+		cc := ChainCouplings{
+			ChainLen:         L,
+			PredictedSeconds: det.Total,
+			Coefficients:     make([]KernelCoefficient, len(st.App.Loop)),
+			Windows:          make([]WindowCoupling, len(det.Couplings)),
 		}
-		for _, wc := range det.Couplings {
-			cc.Windows = append(cc.Windows, WindowCoupling{
+		for i, k := range st.App.Loop {
+			cc.Coefficients[i] = KernelCoefficient{Kernel: k, Alpha: det.Coefficients[k]}
+		}
+		for i, wc := range det.Couplings {
+			cc.Windows[i] = WindowCoupling{
 				Window:          wc.Window,
 				ChainedSeconds:  wc.Chained,
 				ExpectedSeconds: wc.Expected,
 				Coupling:        wc.C,
-			})
+			}
 		}
-		resp.Chains = append(resp.Chains, cc)
+		resp.Chains[ci] = cc
 	}
 	return writeJSON(w, http.StatusOK, resp)
 }

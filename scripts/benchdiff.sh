@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Perf-regression gate: diff the two newest committed BENCH_<date>.json
+# snapshots (written by scripts/bench2json.sh) and fail on a >15% ns/op
+# or >10% allocs/op regression in any shared benchmark. With fewer than
+# two snapshots there is nothing to diff and the gate warns and passes.
+#
+# Usage: scripts/benchdiff.sh [dir]    # dir defaults to the repo root
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+exec go run ./cmd/kcvet -benchdiff "${1:-.}"

@@ -16,8 +16,20 @@ go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> go run ./cmd/kcvet ./..."
-go run ./cmd/kcvet ./...
+# kcvet publishes its findings as a JSON build artifact whether or not
+# the gate passes; CI systems archive /tmp/kcvet-findings.json.
+echo "==> go run ./cmd/kcvet -json ./... (artifact: /tmp/kcvet-findings.json)"
+if ! go run ./cmd/kcvet -json ./... >/tmp/kcvet-findings.json; then
+    echo "==> kcvet gate FAILED:" >&2
+    cat /tmp/kcvet-findings.json >&2
+    exit 1
+fi
+
+# Perf-regression gate over the committed benchmark snapshots: the two
+# newest BENCH_<date>.json must not differ by >15% ns/op or >10%
+# allocs/op on any shared benchmark. Warns and passes with <2 snapshots.
+echo "==> benchdiff: committed BENCH snapshots within thresholds"
+scripts/benchdiff.sh
 
 # Parallel-executor gate: couple built with the race detector must survive
 # a 4-worker campaign — the scheduler, cache, and shared obs sinks are
