@@ -7,6 +7,15 @@
 //
 //	kcreport bt-metrics.json
 //	kcreport -all bt-metrics.json   # additionally dump every raw metric
+//
+// With -requests the input is a kcserved flight-recorder dump (from
+// GET /debug/requests or the -flight-out flush) instead of a manifest:
+// kcreport renders each retained request's span tree with per-stage
+// timings, and -trace-out additionally exports the dump as a
+// Chrome/Perfetto trace-event file, one process per request.
+//
+//	kcreport -requests flight.json
+//	kcreport -requests -trace-out flight-perfetto.json flight.json
 package main
 
 import (
@@ -22,10 +31,19 @@ import (
 
 func main() {
 	all := flag.Bool("all", false, "also dump every raw counter, gauge and histogram")
+	requests := flag.Bool("requests", false, "input is a kcserved flight-recorder dump; render request span trees")
+	traceOut := flag.String("trace-out", "", "with -requests, also export the dump as Perfetto trace-event JSON")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: kcreport [-all] <manifest.json>")
+		fmt.Fprintln(os.Stderr, "usage: kcreport [-all] <manifest.json>\n       kcreport -requests [-trace-out f.json] <flight-dump.json>")
 		os.Exit(2)
+	}
+	if *requests {
+		if err := runRequests(flag.Arg(0), *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "kcreport: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	man, err := obs.ReadManifestFile(flag.Arg(0))
 	if err != nil {

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// runRequests renders a kcserved flight-recorder dump: a summary table,
+// then one span tree per retained trace — slowest set first, errored
+// ring after — with per-stage durations and the share of the request
+// each stage accounts for. With traceOut set the dump is also exported
+// as a Perfetto trace-event file.
+func runRequests(path, traceOut string) error {
+	d, err := obs.ReadFlightDumpFile(path)
+	if err != nil {
+		return err
+	}
+
+	tb := stats.NewTable("Flight recorder", "Field", "Value")
+	tb.AddRowf("traces seen\t%d", d.Seen)
+	tb.AddRowf("slowest retained\t%d", len(d.Slowest))
+	tb.AddRowf("errored retained\t%d", len(d.Errored))
+	if d.ErroredEvicted > 0 {
+		tb.AddRowf("errored evicted\t%d", d.ErroredEvicted)
+	}
+	fmt.Println(tb.String())
+
+	printGroup("Slowest requests", d.Slowest)
+	printGroup("Errored requests", d.Errored)
+
+	if traceOut != "" {
+		if err := trace.WriteRequestEventFile(traceOut, d); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Perfetto trace: %s\n", traceOut)
+	}
+	return nil
+}
+
+func printGroup(title string, traces []obs.TraceDump) {
+	if len(traces) == 0 {
+		return
+	}
+	fmt.Printf("== %s ==\n\n", title)
+	for _, t := range traces {
+		head := fmt.Sprintf("%s  /%s  %d  %s", t.ID, t.Endpoint, t.Status, fmtNs(t.TotalNs))
+		if len(t.Attrs) > 0 {
+			parts := make([]string, len(t.Attrs))
+			for i, a := range t.Attrs {
+				parts[i] = a.Key + "=" + a.Value
+			}
+			head += "  [" + strings.Join(parts, " ") + "]"
+		}
+		fmt.Println(head)
+		if t.Err != "" {
+			fmt.Printf("  error: %s\n", t.Err)
+		}
+		printSpanTree(t.Root, 1, t.TotalNs)
+		fmt.Println()
+	}
+}
+
+// printSpanTree renders one span subtree, one line per span: indent,
+// name, duration, share of the whole request, and detail.
+func printSpanTree(s obs.SpanDump, depth int, totalNs int64) {
+	line := fmt.Sprintf("%s%-*s %10s", strings.Repeat("  ", depth), 28-2*depth, s.Name, fmtNs(s.DurNs))
+	if totalNs > 0 {
+		line += fmt.Sprintf(" %5.1f%%", 100*float64(s.DurNs)/float64(totalNs))
+	}
+	if s.Detail != "" {
+		line += "  " + s.Detail
+	}
+	fmt.Println(line)
+	for _, c := range s.Children {
+		printSpanTree(c, depth+1, totalNs)
+	}
+}

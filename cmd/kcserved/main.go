@@ -11,11 +11,22 @@
 //
 // Endpoints (all GET):
 //
-//	/predict    prediction comparison: actual, summation, couplings (JSON)
-//	/couplings  per-window C_S and composition coefficients (JSON)
-//	/study      the full rendered study report (text)
-//	/healthz    liveness probe
-//	/metrics    obs registry snapshot (JSON)
+//	/predict         prediction comparison: actual, summation, couplings (JSON)
+//	/couplings       per-window C_S and composition coefficients (JSON)
+//	/study           the full rendered study report (text)
+//	/healthz         liveness probe
+//	/metrics         obs registry snapshot (JSON; ?format=prom or
+//	                 Accept: text/plain for Prometheus text exposition)
+//	/version         build identity of the serving binary (JSON)
+//	/debug/requests  flight-recorder dump: slowest + errored traces (JSON)
+//
+// Every request (except /debug/requests itself) carries a trace: a
+// deterministic ID echoed in the X-Trace-Id header and a span tree
+// covering parse, singleflight wait, cache loads and on-demand
+// measurement. The N slowest and all recent errored traces are retained
+// in a flight recorder, dumpable via /debug/requests or flushed to
+// -flight-out automatically when a request errors or exceeds -slow-ms
+// (and always at shutdown). Inspect dumps with kcreport -requests.
 //
 // Query parameters mirror couple's flags: bench, class, procs, chains,
 // trips, blocks, passes, grid — same defaults, so a query answers
@@ -43,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obscli"
 	"repro/internal/plan"
 	"repro/internal/serve"
 )
@@ -57,10 +69,16 @@ func main() {
 		metrics  = flag.String("metrics-out", "", "write a run manifest with the final metric snapshot on shutdown")
 		grace    = flag.Duration("shutdown-grace", 30*time.Second, "how long shutdown waits for in-flight requests to drain")
 
+		notrace   = flag.Bool("notrace", false, "disable request tracing and the flight recorder")
+		slowMs    = flag.Int("slow-ms", 0, "slow-request threshold in milliseconds (0 disables); slow requests auto-flush the flight recorder")
+		flightOut = flag.String("flight-out", "", "flight-recorder dump path, written on errors/slow requests and at shutdown")
+
 		selfcheck  = flag.String("selfcheck", "", "run as integration client against this base URL instead of serving")
 		checkQuery = flag.String("selfcheck-query", "bench=BT&chains=2", "query string for -selfcheck /predict probes")
 		checkN     = flag.Int("selfcheck-n", 16, "concurrent requests per -selfcheck round")
 	)
+	var oflags obscli.ServeFlags
+	oflags.Register(nil)
 	flag.Parse()
 
 	if *selfcheck != "" {
@@ -79,12 +97,29 @@ func main() {
 		fail("%v", err)
 	}
 	reg := obs.NewRegistry()
+	var tracer *obs.RequestTracer
+	if !*notrace {
+		tracer = obs.NewRequestTracer(obs.TracerConfig{
+			Recorder:  obs.NewFlightRecorder(0, 0),
+			Slow:      time.Duration(*slowMs) * time.Millisecond,
+			FlushPath: *flightOut,
+		})
+	}
+	accessLog, logCloser, err := oflags.OpenAccessLog()
+	if err != nil {
+		fail("%v", err)
+	}
+	if logCloser != nil {
+		defer logCloser.Close()
+	}
 	srv, err := serve.New(serve.Config{
 		Cache:          cache,
 		Metrics:        reg,
 		Net:            *netModel,
 		Measure:        *measure,
 		MeasureWorkers: *workers,
+		Tracer:         tracer,
+		AccessLog:      accessLog,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -114,6 +149,12 @@ func main() {
 		}
 	case err := <-errc:
 		fail("%v", err)
+	}
+
+	// Final flight-recorder dump: whatever the recorder held when the
+	// service stopped is exactly what a post-mortem wants to read.
+	if err := srv.Tracer().Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "kcserved: flight dump: %v\n", err)
 	}
 
 	if *metrics != "" {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -39,30 +40,40 @@ func runSelfcheck(base, query string, n int) error {
 		return fmt.Errorf("service at %s never became healthy", base)
 	}
 
-	fetch := func(path string) ([]byte, error) {
+	fetchHdr := func(path string) ([]byte, http.Header, error) {
 		resp, err := client.Get(base + path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer resp.Body.Close()
 		body, err := io.ReadAll(resp.Body)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if resp.StatusCode != http.StatusOK {
-			return nil, fmt.Errorf("GET %s = %d: %s", path, resp.StatusCode, body)
+			return nil, nil, fmt.Errorf("GET %s = %d: %s", path, resp.StatusCode, body)
 		}
-		return body, nil
+		return body, resp.Header, nil
+	}
+	fetch := func(path string) ([]byte, error) {
+		body, _, err := fetchHdr(path)
+		return body, err
 	}
 
 	// One warm-line request, then the concurrent rounds: every predict
-	// body must equal this reference byte for byte.
-	ref, err := fetch("/predict?" + query)
+	// body must equal this reference byte for byte. The warm line also
+	// checks the tracing contract: a trace ID on the response and — key —
+	// a body identical to what an untraced server would produce (tracing
+	// must never leak into the payload).
+	ref, hdr, err := fetchHdr("/predict?" + query)
 	if err != nil {
 		return err
 	}
 	if !bytes.Contains(ref, []byte(`"executed": 0`)) {
 		return fmt.Errorf("/predict is executing worlds on a warm cache:\n%s", ref)
+	}
+	if id := hdr.Get("X-Trace-Id"); id == "" {
+		return errors.New("/predict response carries no X-Trace-Id (request tracing is not wired)")
 	}
 
 	if n < 1 {
@@ -108,6 +119,76 @@ func runSelfcheck(base, query string, n int) error {
 	}
 	if !bytes.Contains(metrics, []byte("serve.analysis.count")) {
 		return fmt.Errorf("/metrics missing serve.analysis.count:\n%s", metrics)
+	}
+	if !bytes.Contains(metrics, []byte("serve.req.predict.p50_ns")) {
+		return fmt.Errorf("/metrics missing sliding-window quantiles:\n%s", metrics)
+	}
+	prom, err := fetch("/metrics?format=prom")
+	if err != nil {
+		return err
+	}
+	if !bytes.Contains(prom, []byte("# TYPE serve_analysis_count counter")) {
+		return fmt.Errorf("/metrics?format=prom is not Prometheus text exposition:\n%.512s", prom)
+	}
+
+	// The flight recorder must have seen the traffic this client just
+	// generated, and the retained /predict traces must account for the
+	// wall time they report: every trace carries the full stage
+	// structure (parse, singleflight, respond), and across all of them
+	// the stage spans cover >=95% of the wall time. The coverage bound is
+	// aggregate rather than per-trace because an individual request can
+	// lose a scheduler quantum between its epoch and its first span —
+	// that is preemption, not an untraced serving stage.
+	dump, err := fetch("/debug/requests")
+	if err != nil {
+		return err
+	}
+	var flight struct {
+		Seen    int64 `json:"seen"`
+		Slowest []struct {
+			ID       string `json:"id"`
+			Endpoint string `json:"endpoint"`
+			Status   int    `json:"status"`
+			TotalNs  int64  `json:"total_ns"`
+			Spans    struct {
+				Children []struct {
+					Name  string `json:"name"`
+					DurNs int64  `json:"dur_ns"`
+				} `json:"children"`
+			} `json:"spans"`
+		} `json:"slowest"`
+	}
+	if err := json.Unmarshal(dump, &flight); err != nil {
+		return fmt.Errorf("/debug/requests: %w\n%s", err, dump)
+	}
+	if flight.Seen == 0 || len(flight.Slowest) == 0 {
+		return fmt.Errorf("/debug/requests saw no traffic after %d requests:\n%s", n, dump)
+	}
+	var total, covered int64
+	checked := 0
+	for _, t := range flight.Slowest {
+		if t.Endpoint != "predict" || t.Status != http.StatusOK {
+			continue
+		}
+		checked++
+		stages := map[string]bool{}
+		for _, c := range t.Spans.Children {
+			covered += c.DurNs
+			stages[c.Name] = true
+		}
+		total += t.TotalNs
+		for _, want := range []string{"parse", "singleflight", "respond"} {
+			if !stages[want] {
+				return fmt.Errorf("trace %s: missing %q stage span", t.ID, want)
+			}
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("/debug/requests retained no /predict traces:\n%s", dump)
+	}
+	if total > 0 && covered*100 < total*95 {
+		return fmt.Errorf("spans cover %d of %d ns across %d /predict traces (<95%%) — a serving stage is untraced",
+			covered, total, checked)
 	}
 	return nil
 }

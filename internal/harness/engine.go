@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/npb"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/stats"
 )
@@ -205,14 +207,28 @@ func (r *measurer) measureOnce(j plan.Job) (plan.Result, error) {
 // default) execution is strictly sequential in plan order and the result
 // is identical to the historical serial pipeline.
 func (e Engine) Run(trips int, chainLens []int) (*Study, error) {
+	return e.RunCtx(context.Background(), trips, chainLens)
+}
+
+// RunCtx is Run with request-trace attribution: when ctx carries an obs
+// request span, the pipeline's stages land as child spans — "plan",
+// "execute" (with one "measure.<kind>" child per job that runs a world,
+// opened concurrently by executor workers), "assemble" and "analyze" —
+// so a serving layer's on-demand measurement can show a caller where an
+// expensive request's wall time went. With no span in ctx the only cost
+// is one nil check per stage.
+func (e Engine) RunCtx(ctx context.Context, trips int, chainLens []int) (*Study, error) {
 	o := e.Opts.withDefaults()
 	w := e.Workload
+	planSpan, _ := obs.StartSpan(ctx, "plan", w.Name())
 	app, err := appFor(w, trips)
 	if err != nil {
+		planSpan.End()
 		return nil, err
 	}
 	in := planInputs(w, trips, chainLens, o)
 	jobs, err := plan.StudyJobs(app, in)
+	planSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -238,6 +254,7 @@ func (e Engine) Run(trips int, chainLens []int) (*Study, error) {
 			fmt.Fprintf(os.Stderr, "harness: cache persist failed (measurements stay in memory; further persist errors suppressed): %v\n", err)
 		})
 	}
+	execSpan, execCtx := obs.StartSpan(ctx, "execute", fmt.Sprintf("jobs=%d parallel=%d", len(jobs), o.Parallel))
 	ex := plan.Executor{
 		Parallel: o.Parallel,
 		Cache:    cache,
@@ -248,16 +265,24 @@ func (e Engine) Run(trips int, chainLens []int) (*Study, error) {
 			return j.Kind != plan.KindWindow || !o.Degrade
 		},
 		OnCacheError: onCacheError,
+		Ctx:          execCtx,
 	}
 	outcomes := ex.Run(jobs, func(i int, j plan.Job) (plan.Result, error) {
+		sp, _ := obs.StartSpan(execCtx, "measure."+string(j.Kind), j.Label())
 		res, retries, err := run.measure(j)
+		if err != nil {
+			sp.SetDetail(j.Label() + " failed")
+		}
+		sp.End()
 		attempts[i] = retries
 		return res, err
 	})
+	execSpan.End()
 
 	// Assembly runs on one goroutine in plan order, so provenance, health
 	// and the measurement maps are deterministic regardless of the worker
 	// count (and byte-identical to the serial pipeline at Parallel == 1).
+	assembleSpan, _ := obs.StartSpan(ctx, "assemble", "")
 	m := core.NewMeasurements()
 	var provenance []MeasurementRecord
 	var health StudyHealth
@@ -376,8 +401,11 @@ func (e Engine) Run(trips int, chainLens []int) (*Study, error) {
 		Raw:     actuals,
 		Cached:  actualAllCached,
 	})
+	assembleSpan.End()
 
+	analyzeSpan, _ := obs.StartSpan(ctx, "analyze", "")
 	an, err := Analyze(app, m, actual, chainLens, measured, o.Degrade)
+	analyzeSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -405,26 +433,43 @@ func (e Engine) Run(trips int, chainLens []int) (*Study, error) {
 // runs the pure analysis layer. No world is spawned — this is the
 // re-analysis path behind couple -from-cache.
 func (e Engine) RunFromCache(trips int, chainLens []int) (*Study, error) {
+	return e.RunFromCacheCtx(context.Background(), trips, chainLens)
+}
+
+// RunFromCacheCtx is RunFromCache with request-trace attribution: the
+// serving layer's warm path. When ctx carries an obs request span the
+// three stages land as children — "plan", "cache.load" (whose own
+// children are the individual disk reads, if any; memory hits stay
+// unlisted), and "analyze" — which together must account for the
+// resolution's wall time. With no span in ctx the cost is one nil check
+// per stage, keeping the warm path's allocation profile intact.
+func (e Engine) RunFromCacheCtx(ctx context.Context, trips int, chainLens []int) (*Study, error) {
 	o := e.Opts.withDefaults()
 	if o.Cache == nil {
 		return nil, fmt.Errorf("harness: a from-cache run needs Options.Cache")
 	}
 	w := e.Workload
+	planSpan, _ := obs.StartSpan(ctx, "plan", w.Name())
 	app, err := appFor(w, trips)
 	if err != nil {
+		planSpan.End()
 		return nil, err
 	}
 	in := planInputs(w, trips, chainLens, o)
 	jobs, err := plan.StudyJobs(app, in)
+	planSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	loadSpan, loadCtx := obs.StartSpan(ctx, "cache.load", fmt.Sprintf("jobs=%d", len(jobs)))
 	m := core.NewMeasurements()
 	var provenance []MeasurementRecord
 	actuals := make([]float64, 0, o.ActualRuns)
 	for _, j := range jobs {
-		res, ok := o.Cache.Get(j)
+		res, ok := o.Cache.GetCtx(loadCtx, j)
 		if !ok {
+			loadSpan.SetDetail(fmt.Sprintf("jobs=%d missing=%s", len(jobs), j.Key()))
+			loadSpan.End()
 			return nil, fmt.Errorf("harness: %w for %s %s (key %s); run the study against this cache first", ErrCacheMiss, j.Kind, j.Label(), j.Key())
 		}
 		switch j.Kind {
@@ -438,6 +483,7 @@ func (e Engine) RunFromCache(trips int, chainLens []int) (*Study, error) {
 			actuals = append(actuals, res.Seconds)
 		}
 	}
+	loadSpan.End()
 	actual := stats.Median(actuals)
 	provenance = append(provenance, MeasurementRecord{
 		Key:     w.Name(),
@@ -451,7 +497,9 @@ func (e Engine) RunFromCache(trips int, chainLens []int) (*Study, error) {
 		// keeps long-running query services' hit rates observable.
 		o.Metrics.Counter("harness.cache.hit").Add(int64(len(jobs)))
 	}
+	analyzeSpan, _ := obs.StartSpan(ctx, "analyze", "")
 	an, err := Analyze(app, m, actual, chainLens, nil, false)
+	analyzeSpan.End()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteProm renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4): counters and gauges as single samples, histograms as
+// cumulative le-bucketed series with _sum and _count. Metric names are
+// sanitized (dots and dashes become underscores); the snapshot is
+// already name-sorted, so the output is deterministic.
+//
+// Bucket bounds: the package's histograms hold integer observations in
+// [Lo, Hi) power-of-two buckets, so the inclusive Prometheus upper bound
+// of a bucket is Hi-1 — the emitted le labels (0, 1, 3, 7, 15, ...) are
+// exact, not approximations.
+func WriteProm(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriterSize(w, 1<<14)
+	for _, c := range s.Counters {
+		name := promName(c.Name)
+		bw.WriteString("# TYPE " + name + " counter\n")
+		bw.WriteString(name + " " + strconv.FormatInt(c.Value, 10) + "\n")
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		bw.WriteString("# TYPE " + name + " gauge\n")
+		bw.WriteString(name + " " + strconv.FormatInt(g.Value, 10) + "\n")
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		bw.WriteString("# TYPE " + name + " histogram\n")
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			bw.WriteString(name + `_bucket{le="` + strconv.FormatInt(b.Hi-1, 10) + `"} ` +
+				strconv.FormatInt(cum, 10) + "\n")
+		}
+		bw.WriteString(name + `_bucket{le="+Inf"} ` + strconv.FormatInt(h.Count, 10) + "\n")
+		bw.WriteString(name + "_sum " + strconv.FormatInt(h.Sum, 10) + "\n")
+		bw.WriteString(name + "_count " + strconv.FormatInt(h.Count, 10) + "\n")
+	}
+	return bw.Flush()
+}
+
+// promName maps the registry's dotted metric names onto the Prometheus
+// name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	b := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b[i] = c
+		case c >= '0' && c <= '9' && i > 0:
+			b[i] = c
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWritePromExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.req.predict.count").Add(7)
+	reg.Gauge("serve.inflight").Set(2)
+	h := reg.Histogram("serve.req.predict.latency_ns")
+	h.Observe(1)
+	h.Observe(5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE serve_req_predict_count counter\nserve_req_predict_count 7\n",
+		"# TYPE serve_inflight gauge\nserve_inflight 2\n",
+		"# TYPE serve_req_predict_latency_ns histogram\n",
+		`serve_req_predict_latency_ns_bucket{le="+Inf"} 3`,
+		"serve_req_predict_latency_ns_sum 11\n",
+		"serve_req_predict_latency_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets: counts must be non-decreasing down the series
+	// and end at the total.
+	var last int64 = -1
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "serve_req_predict_latency_ns_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(l[strings.LastIndexByte(l, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", l, err)
+		}
+		if v < last {
+			t.Errorf("bucket counts regress: %d after %d in %q", v, last, l)
+		}
+		last = v
+	}
+	if last != 3 {
+		t.Errorf("final cumulative bucket = %d, want 3", last)
+	}
+}
+
+func TestPromNameSanitizer(t *testing.T) {
+	cases := map[string]string{
+		"serve.req.predict.p50_ns": "serve_req_predict_p50_ns",
+		"9lives":                   "_lives",
+		"a-b c":                    "a_b_c",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPromDeterministic: the snapshot is name-sorted, so two scrapes of
+// the same registry state are byte-identical.
+func TestPromDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	for _, n := range []string{"b.two", "a.one", "c.three"} {
+		reg.Counter(n).Inc()
+	}
+	var a, b bytes.Buffer
+	if err := WriteProm(&a, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProm(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("scrapes differ")
+	}
+	idxA := strings.Index(a.String(), "a_one")
+	idxB := strings.Index(a.String(), "b_two")
+	idxC := strings.Index(a.String(), "c_three")
+	if !(idxA < idxB && idxB < idxC) {
+		t.Errorf("counters not name-sorted: %d %d %d", idxA, idxB, idxC)
+	}
+}

@@ -1,0 +1,357 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/timing"
+)
+
+// Request-scoped tracing: every serving-layer request gets a ReqTrace —
+// a deterministic ID plus a hierarchical tree of ReqSpans — propagated
+// through context.Context so each layer (serve handler, singleflight,
+// cache, analysis) can attribute its share of the request's wall time.
+// The design mirrors mpi.Injector's disabled-cost contract: with no
+// tracer attached every instrumentation point is one nil check, and all
+// span methods are safe on a nil receiver, so instrumented code never
+// branches on "is tracing on".
+//
+// Like everything in this package, no wall clock is read here — time
+// enters through the RequestTracer's timing.Clock — and trace IDs come
+// from an atomic sequence, so a seeded workload (FakeClock + sequential
+// requests) produces byte-identical trace dumps.
+
+// ReqSpan is one node of a request's span tree: a named, timed interval
+// with optional detail and child spans.
+//
+// Concurrency contract: StartChild and End may be called concurrently
+// from multiple goroutines (e.g. executor workers opening measurement
+// spans under one parent); the children list is mutex-guarded. A span's
+// Start/Elapsed fields are written by the goroutine that owns it (the
+// one that started it) and must not be read until the span — and for
+// dump purposes the whole trace — has finished.
+type ReqSpan struct {
+	// Name identifies the operation, e.g. "singleflight" or "cache.load".
+	Name string
+	// Start is the span's offset from the trace epoch.
+	Start time.Duration
+	// Elapsed is the span duration, set by End.
+	Elapsed time.Duration
+
+	mu       sync.Mutex
+	detail   string
+	children []*ReqSpan
+	trace    *ReqTrace
+}
+
+// StartChild opens a child span under s. Nil-safe: a nil receiver
+// returns nil, so disabled tracing costs one nil check.
+func (s *ReqSpan) StartChild(name, detail string) *ReqSpan {
+	if s == nil {
+		return nil
+	}
+	c := &ReqSpan{
+		Name:   name,
+		Start:  s.trace.clock.Now().Sub(s.trace.epoch),
+		detail: detail,
+		trace:  s.trace,
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, fixing its Elapsed. Nil-safe.
+func (s *ReqSpan) End() {
+	if s == nil {
+		return
+	}
+	s.Elapsed = s.trace.clock.Now().Sub(s.trace.epoch) - s.Start
+}
+
+// SetDetail replaces the span's detail string (e.g. once an outcome is
+// known: "hit" vs "miss"). Nil-safe.
+func (s *ReqSpan) SetDetail(detail string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.detail = detail
+	s.mu.Unlock()
+}
+
+// Detail returns the span's detail string. Nil-safe.
+func (s *ReqSpan) Detail() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.detail
+}
+
+// Children returns a copy of the span's children in start order. Nil-safe.
+func (s *ReqSpan) Children() []*ReqSpan {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*ReqSpan(nil), s.children...)
+}
+
+// Attr is one trace annotation. Annotations are an ordered list, not a
+// map, so dumps serialize deterministically.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// ReqTrace is one request's complete observability record: its ID, the
+// span tree rooted at Root, and the outcome fields Finish stamps.
+type ReqTrace struct {
+	// ID is the request's trace identifier, unique within the tracer.
+	ID string
+	// Endpoint names the handler, e.g. "predict".
+	Endpoint string
+	// Root is the request-level span covering the whole handler.
+	Root *ReqSpan
+	// Status is the HTTP status Finish recorded.
+	Status int
+	// Err is the error body for failed requests, "" on success.
+	Err string
+	// Total is the root span's elapsed time, fixed by Finish.
+	Total time.Duration
+	// Seq is the trace's position in the tracer's arrival order.
+	Seq uint64
+
+	mu    sync.Mutex
+	attrs []Attr
+	clock timing.Clock
+	epoch time.Time
+}
+
+// Annotate appends a key/value annotation (cache hit/miss, singleflight
+// role, ...). Nil-safe; safe for concurrent use.
+func (t *ReqTrace) Annotate(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.attrs = append(t.attrs, Attr{Key: key, Value: value})
+	t.mu.Unlock()
+}
+
+// Attrs returns a copy of the annotations in append order. Nil-safe.
+func (t *ReqTrace) Attrs() []Attr {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Attr(nil), t.attrs...)
+}
+
+// Attr returns the first annotation with the given key. Nil-safe.
+func (t *ReqTrace) Attr(key string) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, a := range t.attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// spanCtxKey carries the current *ReqSpan through a context.
+type spanCtxKey struct{}
+
+// traceCtxKey carries the request's *ReqTrace through a context.
+type traceCtxKey struct{}
+
+// ContextWithTrace returns a context carrying the trace and its root
+// span as the current span. A nil trace returns ctx unchanged.
+func ContextWithTrace(ctx context.Context, t *ReqTrace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	ctx = context.WithValue(ctx, traceCtxKey{}, t)
+	return context.WithValue(ctx, spanCtxKey{}, t.Root)
+}
+
+// TraceFrom returns the context's trace, nil when tracing is off.
+func TraceFrom(ctx context.Context) *ReqTrace {
+	t, _ := ctx.Value(traceCtxKey{}).(*ReqTrace)
+	return t
+}
+
+// SpanFrom returns the context's current span, nil when tracing is off.
+func SpanFrom(ctx context.Context) *ReqSpan {
+	s, _ := ctx.Value(spanCtxKey{}).(*ReqSpan)
+	return s
+}
+
+// StartSpan opens a child of the context's current span and returns it
+// with a context carrying it as the new current span. With tracing off
+// (no span in ctx) it returns (nil, ctx) — one map lookup, no
+// allocation — and the nil span's methods are all no-ops.
+func StartSpan(ctx context.Context, name, detail string) (*ReqSpan, context.Context) {
+	parent := SpanFrom(ctx)
+	if parent == nil {
+		return nil, ctx
+	}
+	s := parent.StartChild(name, detail)
+	return s, context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// TracerConfig configures a RequestTracer.
+type TracerConfig struct {
+	// Clock is the time source; nil means the wall clock. Tests inject a
+	// timing.FakeClock for fully deterministic traces.
+	Clock timing.Clock
+	// Recorder, when non-nil, receives every finished trace.
+	Recorder *FlightRecorder
+	// Slow is the slow-request threshold: a finished trace at or above
+	// it triggers an automatic flight-recorder flush (when FlushPath is
+	// set) and is annotated "slow". Zero disables the threshold.
+	Slow time.Duration
+	// FlushPath is where automatic flushes write the flight-recorder
+	// dump; "" disables automatic flushing.
+	FlushPath string
+	// IDPrefix prefixes generated trace IDs (default "t-").
+	IDPrefix string
+}
+
+// RequestTracer mints request traces and routes finished ones into the
+// flight recorder. A nil *RequestTracer is valid and inert: Start
+// returns a nil trace, and everything downstream no-ops — the
+// disabled-tracing cost is one nil check per request.
+type RequestTracer struct {
+	clock  timing.Clock
+	rec    *FlightRecorder
+	slow   time.Duration
+	flush  string
+	prefix string
+	seq    atomic.Uint64
+	// flushing collapses a flush stampede: when many requests error or
+	// run slow at once, one goroutine writes the dump and the rest skip
+	// — the dump they would have written is a moment older, nothing
+	// more. No lock is held across the disk write (WriteFile is atomic
+	// on its own via temp-file + rename).
+	flushing atomic.Bool
+}
+
+// NewRequestTracer builds a tracer from the config.
+func NewRequestTracer(cfg TracerConfig) *RequestTracer {
+	c := cfg.Clock
+	if c == nil {
+		c = timing.WallClock
+	}
+	prefix := cfg.IDPrefix
+	if prefix == "" {
+		prefix = "t-"
+	}
+	return &RequestTracer{
+		clock:  c,
+		rec:    cfg.Recorder,
+		slow:   cfg.Slow,
+		flush:  cfg.FlushPath,
+		prefix: prefix,
+	}
+}
+
+// Recorder returns the tracer's flight recorder (nil when none, or on a
+// nil tracer).
+func (rt *RequestTracer) Recorder() *FlightRecorder {
+	if rt == nil {
+		return nil
+	}
+	return rt.rec
+}
+
+// Start opens a trace for one request: a fresh ID, an epoch at now, and
+// a root span covering the handler. Nil-safe: a nil tracer returns a
+// nil trace.
+func (rt *RequestTracer) Start(endpoint string) *ReqTrace {
+	if rt == nil {
+		return nil
+	}
+	seq := rt.seq.Add(1)
+	id := make([]byte, 0, len(rt.prefix)+8)
+	id = append(id, rt.prefix...)
+	id = appendSeq(id, seq)
+	t := &ReqTrace{
+		ID:       string(id),
+		Endpoint: endpoint,
+		Seq:      seq,
+		clock:    rt.clock,
+		epoch:    rt.clock.Now(),
+	}
+	t.Root = &ReqSpan{Name: endpoint, trace: t}
+	return t
+}
+
+// appendSeq renders seq as fixed-width zero-padded hex so trace IDs sort
+// lexically in arrival order.
+func appendSeq(b []byte, seq uint64) []byte {
+	var hexbuf [16]byte
+	h := strconv.AppendUint(hexbuf[:0], seq, 16)
+	for i := len(h); i < 8; i++ {
+		b = append(b, '0')
+	}
+	return append(b, h...)
+}
+
+// Finish closes the trace: the root span ends, the outcome is stamped,
+// the trace lands in the flight recorder, and a slow or errored request
+// triggers an automatic dump flush when a flush path is configured.
+// Nil-safe on both the tracer and the trace.
+func (rt *RequestTracer) Finish(t *ReqTrace, status int, errMsg string) {
+	if rt == nil || t == nil {
+		return
+	}
+	t.Root.End()
+	t.Status = status
+	t.Err = errMsg
+	t.Total = t.Root.Elapsed
+	slow := rt.slow > 0 && t.Total >= rt.slow
+	if slow {
+		t.Annotate("slow", t.Total.String())
+	}
+	if rt.rec != nil {
+		rt.rec.Observe(t)
+		if rt.flush != "" && (slow || errMsg != "") {
+			rt.tryFlush()
+		}
+	}
+}
+
+// Flush writes the flight-recorder dump to the configured flush path
+// (e.g. on shutdown or when a fault watchdog fires). Unlike the
+// automatic per-request flush it never skips — a shutdown dump must
+// reflect the final recorder state. It is a no-op without a recorder or
+// flush path. Nil-safe.
+func (rt *RequestTracer) Flush() error {
+	if rt == nil || rt.rec == nil || rt.flush == "" {
+		return nil
+	}
+	return rt.rec.WriteFile(rt.flush)
+}
+
+// tryFlush writes the dump unless another goroutine already is: an
+// error burst triggers one write, not one per failed request.
+func (rt *RequestTracer) tryFlush() {
+	if !rt.flushing.CompareAndSwap(false, true) {
+		return
+	}
+	defer rt.flushing.Store(false)
+	rt.rec.WriteFile(rt.flush)
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/timing"
+)
+
+// fakeClock returns a deterministic clock advancing stepNs per reading.
+func fakeClock(step time.Duration) *timing.FakeClock {
+	return &timing.FakeClock{T: time.Unix(0, 0), Steps: []time.Duration{step}}
+}
+
+// TestNilTracerChain: the whole disabled-tracing chain — nil tracer, nil
+// trace, nil spans, span-free contexts — must be inert, not panic.
+func TestNilTracerChain(t *testing.T) {
+	var rt *RequestTracer
+	tr := rt.Start("predict")
+	if tr != nil {
+		t.Fatal("nil tracer minted a trace")
+	}
+	tr.Annotate("k", "v")
+	if _, ok := tr.Attr("k"); ok {
+		t.Error("nil trace returned an attr")
+	}
+	rt.Finish(tr, 200, "")
+	if err := rt.Flush(); err != nil {
+		t.Errorf("nil tracer Flush: %v", err)
+	}
+	if rt.Recorder() != nil {
+		t.Error("nil tracer has a recorder")
+	}
+
+	ctx := t.Context()
+	if got := TraceFrom(ctx); got != nil {
+		t.Error("bare context carries a trace")
+	}
+	sp, ctx2 := StartSpan(ctx, "x", "")
+	if sp != nil {
+		t.Fatal("span-free context minted a span")
+	}
+	if ctx2 != ctx {
+		t.Error("StartSpan on a span-free context rebuilt the context")
+	}
+	sp.End()
+	sp.SetDetail("d")
+	if sp.StartChild("y", "") != nil {
+		t.Error("nil span minted a child")
+	}
+}
+
+// TestTraceIDsDeterministic: IDs come from an atomic sequence with a
+// fixed prefix — no wall clock, no randomness — and sort in arrival
+// order.
+func TestTraceIDsDeterministic(t *testing.T) {
+	rt := NewRequestTracer(TracerConfig{Clock: fakeClock(time.Microsecond)})
+	want := []string{"t-00000001", "t-00000002", "t-00000003"}
+	for i, w := range want {
+		tr := rt.Start("predict")
+		if tr.ID != w {
+			t.Errorf("trace %d: ID = %q, want %q", i, tr.ID, w)
+		}
+		if tr.Seq != uint64(i+1) {
+			t.Errorf("trace %d: Seq = %d, want %d", i, tr.Seq, i+1)
+		}
+	}
+	custom := NewRequestTracer(TracerConfig{Clock: fakeClock(0), IDPrefix: "shard3-"})
+	if id := custom.Start("x").ID; id != "shard3-00000001" {
+		t.Errorf("prefixed ID = %q", id)
+	}
+}
+
+// TestSpanTreeTiming: a span tree built against a FakeClock carries
+// exact offsets and durations, and the context threads parentage so
+// grandchildren nest under the right node.
+func TestSpanTreeTiming(t *testing.T) {
+	rt := NewRequestTracer(TracerConfig{Clock: fakeClock(time.Millisecond)})
+	tr := rt.Start("predict") // epoch reading
+	ctx := ContextWithTrace(t.Context(), tr)
+
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatal("context lost the trace")
+	}
+	if got := SpanFrom(ctx); got != tr.Root {
+		t.Fatal("context's current span is not the root")
+	}
+
+	parent, pctx := StartSpan(ctx, "outer", "p") // +1ms
+	child, _ := StartSpan(pctx, "inner", "c")    // +2ms
+	child.End()                                  // +3ms
+	parent.End()                                 // +4ms
+	rt.Finish(tr, 200, "")                       // root ends at +5ms
+
+	if parent.Start != time.Millisecond || parent.Elapsed != 3*time.Millisecond {
+		t.Errorf("outer: start %v elapsed %v", parent.Start, parent.Elapsed)
+	}
+	if child.Start != 2*time.Millisecond || child.Elapsed != time.Millisecond {
+		t.Errorf("inner: start %v elapsed %v", child.Start, child.Elapsed)
+	}
+	if tr.Total != 5*time.Millisecond || tr.Status != 200 {
+		t.Errorf("trace: total %v status %d", tr.Total, tr.Status)
+	}
+	kids := tr.Root.Children()
+	if len(kids) != 1 || kids[0] != parent {
+		t.Fatalf("root children = %v", kids)
+	}
+	gkids := parent.Children()
+	if len(gkids) != 1 || gkids[0] != child {
+		t.Fatalf("outer children = %v", gkids)
+	}
+	if child.Detail() != "c" {
+		t.Errorf("inner detail = %q", child.Detail())
+	}
+}
+
+// TestTraceAttrs: annotations keep append order and Attr finds the first
+// match.
+func TestTraceAttrs(t *testing.T) {
+	rt := NewRequestTracer(TracerConfig{Clock: fakeClock(0)})
+	tr := rt.Start("predict")
+	tr.Annotate("cache", "hit")
+	tr.Annotate("singleflight", "leader")
+	tr.Annotate("cache", "shadow")
+	if got := tr.Attrs(); len(got) != 3 || got[0] != (Attr{"cache", "hit"}) {
+		t.Errorf("attrs = %v", got)
+	}
+	if v, ok := tr.Attr("cache"); !ok || v != "hit" {
+		t.Errorf("Attr(cache) = %q %v", v, ok)
+	}
+	if _, ok := tr.Attr("absent"); ok {
+		t.Error("Attr found an absent key")
+	}
+}
+
+// TestAutoFlushOnSlowAndError: with a flush path configured, a slow or
+// errored request writes the dump; a fast clean one does not.
+func TestAutoFlushOnSlowAndError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flight.json")
+	rt := NewRequestTracer(TracerConfig{
+		Clock:     fakeClock(time.Millisecond),
+		Recorder:  NewFlightRecorder(4, 4),
+		Slow:      10 * time.Millisecond,
+		FlushPath: path,
+	})
+
+	// Fast and clean: one clock step (1ms) < Slow — no flush.
+	rt.Finish(rt.Start("predict"), 200, "")
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("fast clean request flushed: %v", err)
+	}
+
+	// Errored: flushes regardless of duration.
+	rt.Finish(rt.Start("predict"), 500, "boom")
+	d, err := ReadFlightDumpFile(path)
+	if err != nil {
+		t.Fatalf("after errored request: %v", err)
+	}
+	if len(d.Errored) != 1 || d.Errored[0].Err != "boom" {
+		t.Fatalf("errored dump = %+v", d)
+	}
+
+	// Slow: burn clock readings inside the request so the root span
+	// exceeds the threshold.
+	os.Remove(path)
+	tr := rt.Start("predict")
+	for i := 0; i < 20; i++ {
+		sp := tr.Root.StartChild("work", "")
+		sp.End()
+	}
+	rt.Finish(tr, 200, "")
+	if _, ok := tr.Attr("slow"); !ok {
+		t.Error("slow trace not annotated")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("slow request did not flush: %v", err)
+	}
+}
+
+// TestConcurrentSpansUnderOneParent: executor-style fan-out — many
+// goroutines opening and closing children of one span — must be safe
+// and lose nothing. Run with -race.
+func TestConcurrentSpansUnderOneParent(t *testing.T) {
+	rt := NewRequestTracer(TracerConfig{Clock: fakeClock(time.Microsecond)})
+	tr := rt.Start("predict")
+	ctx := ContextWithTrace(t.Context(), tr)
+	parent, pctx := StartSpan(ctx, "execute", "")
+
+	const workers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				sp, _ := StartSpan(pctx, "measure", "")
+				sp.SetDetail("job")
+				sp.End()
+				tr.Annotate("k", "v")
+			}
+		}(w)
+	}
+	wg.Wait()
+	parent.End()
+	rt.Finish(tr, 200, "")
+	if got := len(parent.Children()); got != workers*each {
+		t.Errorf("parent children = %d, want %d", got, workers*each)
+	}
+	if got := len(tr.Attrs()); got != workers*each {
+		t.Errorf("attrs = %d, want %d", got, workers*each)
+	}
+}
+
+// TestDumpDeterministic: the same request sequence against the same fake
+// clock serializes to byte-identical dumps — the property the seeded
+// /debug/requests CI check rests on.
+func TestDumpDeterministic(t *testing.T) {
+	build := func() []byte {
+		rt := NewRequestTracer(TracerConfig{
+			Clock:    fakeClock(time.Millisecond),
+			Recorder: NewFlightRecorder(8, 8),
+		})
+		for i := 0; i < 5; i++ {
+			tr := rt.Start("predict")
+			sp := tr.Root.StartChild("singleflight", "")
+			for j := 0; j <= i; j++ {
+				c := sp.StartChild("cache.disk", fmt.Sprintf("key%d", j))
+				c.End()
+			}
+			sp.End()
+			tr.Annotate("cache", "hit")
+			status, errMsg := 200, ""
+			if i == 3 {
+				status, errMsg = 500, "bad window"
+			}
+			rt.Finish(tr, status, errMsg)
+		}
+		b, err := json.MarshalIndent(rt.Recorder().Snapshot(), "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("dumps differ:\n%s\n---\n%s", a, b)
+	}
+}

@@ -36,6 +36,26 @@ type Span struct {
 // SpanRecorder collects spans from concurrently executing ranks against a
 // single clock and epoch. The zero value is not usable; construct with
 // NewSpanRecorder or NewSpanRecorderWithClock.
+//
+// Concurrency contract (every method is safe for concurrent use):
+//
+//   - Record is atomic: a span is either fully stored or not yet stored;
+//     Spans never observes a half-written entry. Spans recorded
+//     concurrently land in an unspecified relative order — callers that
+//     need a stable order sort by Start (the trace exporter does).
+//   - Spans and Len return consistent snapshots: a Record concurrent
+//     with a Spans call lands either in that snapshot or in a later one.
+//   - Now may be called at any time from any goroutine; the clock
+//     implementation must itself be concurrency-safe (timing.WallClock
+//     and timing.FakeClock both are).
+//   - SetEpoch and Reset are for the quiet points between measurement
+//     phases: they are themselves atomic, but a Record racing with an
+//     epoch change may be rebased against either epoch, so callers must
+//     order them (set the epoch before fanning out recorders, Reset
+//     after joining them).
+//
+// The serve handlers stress this contract from many goroutines at once;
+// TestSpanRecorderConcurrentStress pins it under the race detector.
 type SpanRecorder struct {
 	mu    sync.Mutex
 	clock timing.Clock

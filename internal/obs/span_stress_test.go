@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanRecorderConcurrentStress pins the SpanRecorder concurrency
+// contract documented on the type: Record is atomic, Spans/Len return
+// consistent snapshots while recording continues, and no span is ever
+// observed half-written. Run with -race; the readers churn deliberately
+// while writers fan spans in.
+func TestSpanRecorderConcurrentStress(t *testing.T) {
+	r := NewSpanRecorder()
+	const writers, readers, perWriter = 8, 4, 300
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: every snapshot they take must be internally consistent —
+	// each span fully formed (the op marker and byte payload written by
+	// the same Record call) and lengths monotonically non-decreasing.
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := r.Len()
+				if n < prev {
+					t.Errorf("Len went backwards: %d after %d", n, prev)
+					return
+				}
+				prev = n
+				for _, s := range r.Spans() {
+					if s.Op != "op" || s.Bytes != 64 || s.Elapsed != time.Microsecond {
+						t.Errorf("torn span observed: %+v", s)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func(rank int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Record(rank, "op", "detail", 64, r.Now(), time.Microsecond, 0)
+			}
+		}(g)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := r.Len(); got != writers*perWriter {
+		t.Errorf("recorded %d spans, want %d", got, writers*perWriter)
+	}
+}

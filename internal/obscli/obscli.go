@@ -8,6 +8,7 @@ package obscli
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/pprof"
 
@@ -39,6 +40,40 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 // Enabled reports whether any runtime instrumentation was requested
 // (the CPU profile alone does not require instrumenting worlds).
 func (f Flags) Enabled() bool { return f.TraceOut != "" || f.MetricsOut != "" }
+
+// ServeFlags holds the observability flags of long-running services
+// (kcserved): per-request outputs rather than per-run ones.
+type ServeFlags struct {
+	// LogOut is the structured JSON access-log path ("-" for stderr).
+	LogOut string
+}
+
+// Register installs the serving flags on fs (the default flag set when
+// nil).
+func (f *ServeFlags) Register(fs *flag.FlagSet) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	fs.StringVar(&f.LogOut, "log-out", "", `write a JSON access log (one line per request; "-" for stderr)`)
+}
+
+// OpenAccessLog opens the access-log writer: nil when the flag is unset,
+// os.Stderr for "-", a created file otherwise. The returned closer is
+// nil exactly when no closing is needed (unset or stderr).
+func (f ServeFlags) OpenAccessLog() (w io.Writer, closer io.Closer, err error) {
+	switch f.LogOut {
+	case "":
+		return nil, nil, nil
+	case "-":
+		return os.Stderr, nil, nil
+	default:
+		lf, err := os.Create(f.LogOut)
+		if err != nil {
+			return nil, nil, fmt.Errorf("obscli: access log: %w", err)
+		}
+		return lf, lf, nil
+	}
+}
 
 // Sink is the wired-up observability of one command run.
 type Sink struct {

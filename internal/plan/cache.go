@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/singleflight"
 )
 
@@ -84,6 +86,16 @@ func (c *Cache) Dir() string { return c.dir }
 // Get returns the cached result for the job, consulting memory first and
 // then the directory. Corrupt or mismatched disk entries are misses.
 func (c *Cache) Get(j Job) (Result, bool) {
+	return c.GetCtx(context.Background(), j)
+}
+
+// GetCtx is Get with request-trace attribution: when the context carries
+// an obs request span and the lookup leaves memory, the disk read is
+// recorded as a "cache.disk" child span with the key and its hit/miss
+// outcome. Memory hits stay span-free — they are the warm path and cost
+// nothing to attribute at the layer above (the engine's cache.load span
+// already covers them).
+func (c *Cache) GetCtx(ctx context.Context, j Job) (Result, bool) {
 	canonical := j.Canonical()
 	key := j.Key()
 	c.mu.Lock()
@@ -98,6 +110,7 @@ func (c *Cache) Get(j Job) (Result, bool) {
 	if c.dir == "" {
 		return Result{}, false
 	}
+	sp, _ := obs.StartSpan(ctx, "cache.disk", key)
 	// Cold read: one flight per key, so N concurrent Gets of the same
 	// uncached job cost a single disk read; Gets of distinct keys
 	// proceed fully in parallel.
@@ -125,8 +138,12 @@ func (c *Cache) Get(j Job) (Result, bool) {
 		return e, nil
 	})
 	if err != nil || e.Canonical != canonical {
+		sp.SetDetail(key + " miss")
+		sp.End()
 		return Result{}, false
 	}
+	sp.SetDetail(key + " hit")
+	sp.End()
 	return e.Result, true
 }
 

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -41,6 +42,11 @@ type Executor struct {
 	// error silently makes a read-only or full cache directory look like
 	// a mystery cold cache on the next run.
 	OnCacheError func(Job, error)
+	// Ctx, when non-nil, carries the request trace of the query that
+	// triggered this execution: cache lookups route through GetCtx so
+	// disk reads show up as spans in the request's tree. Workers share
+	// the context's current span; its children list is concurrency-safe.
+	Ctx context.Context
 }
 
 // Run executes the jobs and returns one outcome per job, index-aligned.
@@ -58,6 +64,10 @@ func (e Executor) Run(jobs []Job, run func(i int, j Job) (Result, error)) []Outc
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	ctx := e.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	outcomes := make([]Outcome, len(jobs))
 	var stop atomic.Bool
 	idx := make(chan int)
@@ -72,7 +82,7 @@ func (e Executor) Run(jobs []Job, run func(i int, j Job) (Result, error)) []Outc
 				// results are free to serve even after a fatal failure
 				// elsewhere in the plan (degrade, don't discard).
 				if e.Cache != nil {
-					if r, ok := e.Cache.Get(j); ok {
+					if r, ok := e.Cache.GetCtx(ctx, j); ok {
 						outcomes[i] = Outcome{Result: r, Cached: true}
 						continue
 					}

@@ -10,10 +10,16 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/harness"
@@ -47,6 +53,16 @@ type Config struct {
 	// concurrently (minimum and default 1). Queries beyond the bound
 	// queue; cache-served queries are never throttled.
 	MeasureWorkers int
+	// Tracer, when non-nil, gives every request a trace ID and a
+	// hierarchical span tree that follows the query through singleflight,
+	// the cache and (for on-demand measurement) the executor. Nil disables
+	// tracing at nil-check cost — the warm path stays allocation-free.
+	Tracer *obs.RequestTracer
+	// AccessLog, when non-nil, receives one JSON line per completed
+	// request (trace ID, endpoint, status, duration, cache outcome,
+	// singleflight role). Writes are serialized by the server; the writer
+	// itself need not be concurrency-safe.
+	AccessLog io.Writer
 }
 
 // Server answers prediction queries over HTTP. Create one with New and
@@ -58,11 +74,24 @@ type Server struct {
 	measure    bool
 	measureSem chan struct{}
 	sf         singleflight.Group[string, *harness.Study]
+	tracer     *obs.RequestTracer
+	// windows holds one sliding-window latency histogram per endpoint,
+	// fully populated at construction so handlers index without locking.
+	windows map[string]*obs.WindowHistogram
+	version VersionResponse
+
+	logMu     sync.Mutex
+	accessLog io.Writer
 
 	// analyze resolves one query to a study; overridable in tests to
-	// observe or stall resolution.
-	analyze func(Query) (*harness.Study, error)
+	// observe or stall resolution. The context carries the request trace.
+	analyze func(ctx context.Context, q Query) (*harness.Study, error)
 }
+
+// endpointNames lists every endpoint wrap() meters, in the fixed order
+// publishWindows walks so the quantile gauges land in the registry
+// deterministically.
+var endpointNames = []string{"couplings", "debug", "healthz", "metrics", "predict", "study", "version"}
 
 // New builds a Server over the given cache.
 func New(cfg Config) (*Server, error) {
@@ -83,10 +112,21 @@ func New(cfg Config) (*Server, error) {
 		net:        cfg.Net,
 		measure:    cfg.Measure,
 		measureSem: make(chan struct{}, workers),
+		tracer:     cfg.Tracer,
+		windows:    make(map[string]*obs.WindowHistogram, len(endpointNames)),
+		version:    buildVersion(),
+		accessLog:  cfg.AccessLog,
+	}
+	for _, name := range endpointNames {
+		s.windows[name] = obs.NewWindowHistogram(0)
 	}
 	s.analyze = s.runQuery
 	return s, nil
 }
+
+// Tracer returns the server's request tracer (nil when tracing is off),
+// so the process wiring can flush the flight recorder at shutdown.
+func (s *Server) Tracer() *obs.RequestTracer { return s.tracer }
 
 // statusError carries the HTTP status a handler error maps to.
 type statusError struct {
@@ -128,14 +168,18 @@ func (s *Server) engineFor(q Query) (harness.Engine, error) {
 }
 
 // runQuery resolves one query: pure cache re-analysis first, on-demand
-// measurement (when enabled) second.
-func (s *Server) runQuery(q Query) (*harness.Study, error) {
+// measurement (when enabled) second. The context carries the request
+// trace, so cache loads and on-demand executions attribute their time to
+// the request that paid for them.
+func (s *Server) runQuery(ctx context.Context, q Query) (*harness.Study, error) {
+	tr := obs.TraceFrom(ctx)
 	eng, err := s.engineFor(q)
 	if err != nil {
 		return nil, err
 	}
-	st, err := eng.RunFromCache(q.Trips, q.Chains)
+	st, err := eng.RunFromCacheCtx(ctx, q.Trips, q.Chains)
 	if err == nil {
+		tr.Annotate("cache", "hit")
 		return st, nil
 	}
 	if !errors.Is(err, harness.ErrCacheMiss) {
@@ -143,6 +187,7 @@ func (s *Server) runQuery(q Query) (*harness.Study, error) {
 		// than the loop, say), not a cold cache.
 		return nil, statusError{http.StatusBadRequest, err}
 	}
+	tr.Annotate("cache", "miss")
 	if !s.measure {
 		return nil, statusError{http.StatusNotFound,
 			fmt.Errorf("%w (measurement is disabled; warm the cache with couple, or start kcserved with -measure)", err)}
@@ -150,11 +195,18 @@ func (s *Server) runQuery(q Query) (*harness.Study, error) {
 	// On-demand measurement, bounded: at most MeasureWorkers studies run
 	// worlds at once. Engine.Run still consults the cache per job, so a
 	// partially warm study only measures what is actually missing, and
-	// persists every fresh result for the next query.
+	// persists every fresh result for the next query. The queue wait gets
+	// its own span — a saturated measure pool must read as queueing, not
+	// as slow worlds.
+	qsp, _ := obs.StartSpan(ctx, "measure.queue", "")
 	s.measureSem <- struct{}{}
+	qsp.End()
 	defer func() { <-s.measureSem }()
 	s.reg.Counter("serve.measure.ondemand").Inc()
-	st, err = eng.Run(q.Trips, q.Chains)
+	tr.Annotate("measured", "ondemand")
+	msp, mctx := obs.StartSpan(ctx, "measure.ondemand", q.Key())
+	st, err = eng.RunCtx(mctx, q.Trips, q.Chains)
+	msp.End()
 	if err != nil {
 		return nil, fmt.Errorf("on-demand measurement: %w", err)
 	}
@@ -163,49 +215,122 @@ func (s *Server) runQuery(q Query) (*harness.Study, error) {
 
 // resolve answers a query through the singleflight group: N identical
 // in-flight queries cost one analysis (or one on-demand measurement),
-// and the followers share the leader's study.
-func (s *Server) resolve(q Query) (*harness.Study, error) {
-	st, err, shared := s.sf.Do(q.Key(), func() (*harness.Study, error) {
+// and the followers share the leader's study. The leader publishes its
+// trace ID through the flight token, so a follower's trace names the
+// request whose work it waited on.
+func (s *Server) resolve(ctx context.Context, q Query) (*harness.Study, error) {
+	tr := obs.TraceFrom(ctx)
+	sp, sfctx := obs.StartSpan(ctx, "singleflight", "")
+	st, err, shared, fl := s.sf.DoFlight(q.Key(), func(fl *singleflight.Flight) (*harness.Study, error) {
+		if tr != nil {
+			fl.SetToken(tr.ID)
+		}
 		s.reg.Counter("serve.analysis.count").Inc()
-		return s.analyze(q)
+		return s.analyze(sfctx, q)
 	})
 	if shared {
 		s.reg.Counter("serve.singleflight.shared").Inc()
+		tr.Annotate("singleflight", "follower")
+		if leader, ok := fl.Token().(string); ok {
+			tr.Annotate("singleflight_leader", leader)
+			sp.SetDetail("waited on " + leader)
+		}
+	} else {
+		tr.Annotate("singleflight", "leader")
 	}
+	sp.End()
 	return st, err
 }
 
 // Handler returns the service's HTTP mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("GET /predict", s.wrap("predict", s.handlePredict))
-	mux.Handle("GET /couplings", s.wrap("couplings", s.handleCouplings))
-	mux.Handle("GET /study", s.wrap("study", s.handleStudy))
-	mux.Handle("GET /healthz", s.wrap("healthz", s.handleHealthz))
-	mux.Handle("GET /metrics", s.wrap("metrics", s.handleMetrics))
+	mux.Handle("GET /predict", s.wrap("predict", true, s.handlePredict))
+	mux.Handle("GET /couplings", s.wrap("couplings", true, s.handleCouplings))
+	mux.Handle("GET /study", s.wrap("study", true, s.handleStudy))
+	mux.Handle("GET /healthz", s.wrap("healthz", true, s.handleHealthz))
+	mux.Handle("GET /metrics", s.wrap("metrics", true, s.handleMetrics))
+	mux.Handle("GET /version", s.wrap("version", true, s.handleVersion))
+	// The dump endpoint is metered but never traced: a /debug/requests
+	// request must not insert itself into the flight recorder it is
+	// reading, or repeated dumps would perturb what they report.
+	mux.Handle("GET /debug/requests", s.wrap("debug", false, s.handleDebugRequests))
 	return mux
 }
 
 // wrap gives every endpoint the same observability: request and error
-// counters, a latency histogram, and the shared in-flight gauge.
-func (s *Server) wrap(name string, h func(http.ResponseWriter, *http.Request) error) http.Handler {
+// counters, cumulative and sliding-window latency histograms, the shared
+// in-flight gauge, and — when the server has a tracer and traced is true
+// — a request trace whose ID is echoed in the X-Trace-Id header and whose
+// span tree is installed in the request context for every layer below.
+func (s *Server) wrap(name string, traced bool, h func(http.ResponseWriter, *http.Request) error) http.Handler {
+	window := s.windows[name]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.reg.Gauge("serve.inflight").Add(1)
 		defer s.reg.Gauge("serve.inflight").Add(-1)
 		s.reg.Counter("serve.req." + name + ".count").Inc()
+		var tr *obs.ReqTrace
+		if traced {
+			tr = s.tracer.Start(name) // nil tracer → nil trace, all hooks no-op
+		}
+		if tr != nil {
+			w.Header().Set("X-Trace-Id", tr.ID)
+			r = r.WithContext(obs.ContextWithTrace(r.Context(), tr))
+		}
 		start := time.Now()
 		err := h(w, r)
-		s.reg.Histogram("serve.req." + name + ".latency_ns").Observe(time.Since(start).Nanoseconds())
+		dur := time.Since(start)
+		s.reg.Histogram("serve.req." + name + ".latency_ns").Observe(dur.Nanoseconds())
+		window.Observe(dur.Nanoseconds())
+		status := http.StatusOK
+		var errMsg string
 		if err != nil {
 			s.reg.Counter("serve.req." + name + ".errors").Inc()
-			code := http.StatusInternalServerError
+			status = http.StatusInternalServerError
 			var se statusError
 			if errors.As(err, &se) {
-				code = se.code
+				status = se.code
 			}
-			writeJSON(w, code, errorResponse{Error: err.Error()})
+			errMsg = err.Error()
+			writeJSON(w, status, errorResponse{Error: errMsg})
 		}
+		s.tracer.Finish(tr, status, errMsg)
+		s.logAccess(name, tr, status, dur, errMsg)
 	})
+}
+
+// accessRecord is one access-log line. Fields are fixed-order JSON so the
+// log is greppable and machine-parseable without a schema.
+type accessRecord struct {
+	Trace        string `json:"trace,omitempty"`
+	Endpoint     string `json:"endpoint"`
+	Status       int    `json:"status"`
+	DurNs        int64  `json:"dur_ns"`
+	Cache        string `json:"cache,omitempty"`
+	Singleflight string `json:"singleflight,omitempty"`
+	Error        string `json:"error,omitempty"`
+}
+
+// logAccess emits one JSON line per completed request. Serialization
+// under logMu keeps concurrent requests' lines whole.
+func (s *Server) logAccess(name string, tr *obs.ReqTrace, status int, dur time.Duration, errMsg string) {
+	if s.accessLog == nil {
+		return
+	}
+	rec := accessRecord{Endpoint: name, Status: status, DurNs: dur.Nanoseconds(), Error: errMsg}
+	if tr != nil {
+		rec.Trace = tr.ID
+		rec.Cache, _ = tr.Attr("cache")
+		rec.Singleflight, _ = tr.Attr("singleflight")
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	s.logMu.Lock()
+	s.accessLog.Write(b)
+	s.logMu.Unlock()
 }
 
 type errorResponse struct {
@@ -259,6 +384,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	sp, _ := obs.StartSpan(r.Context(), "respond", "")
 	lens := st.ChainLens()
 	preds := make([]Predictor, len(lens)+1)
 	preds[0] = Predictor{
@@ -280,7 +406,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 		Exec:          st.Exec,
 		Predictors:    preds,
 	}
-	return writeJSON(w, http.StatusOK, resp)
+	err = writeJSON(w, http.StatusOK, resp)
+	sp.End()
+	return err
 }
 
 // KernelCoefficient is one loop kernel's composition coefficient.
@@ -324,6 +452,7 @@ func (s *Server) handleCouplings(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	sp, _ := obs.StartSpan(r.Context(), "respond", "")
 	lens := st.ChainLens()
 	resp := CouplingsResponse{
 		Workload: st.Workload,
@@ -351,7 +480,9 @@ func (s *Server) handleCouplings(w http.ResponseWriter, r *http.Request) error {
 		}
 		resp.Chains[ci] = cc
 	}
-	return writeJSON(w, http.StatusOK, resp)
+	err = writeJSON(w, http.StatusOK, resp)
+	sp.End()
+	return err
 }
 
 func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) error {
@@ -359,18 +490,25 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	sp, _ := obs.StartSpan(r.Context(), "respond", "")
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, err = fmt.Fprintf(w, "study: %s  trips=%d\n\n%s", st.Workload, st.Trips, harness.RenderStudy(st))
+	sp.End()
 	return err
 }
 
 // study parses the request's query and resolves it to a study.
 func (s *Server) study(r *http.Request) (*harness.Study, error) {
+	ctx := r.Context()
+	sp, _ := obs.StartSpan(ctx, "parse", "")
 	q, err := ParseQuery(r.URL.Query())
 	if err != nil {
+		sp.End()
 		return nil, statusError{http.StatusBadRequest, err}
 	}
-	return s.resolve(q)
+	sp.SetDetail(q.Key())
+	sp.End()
+	return s.resolve(ctx, q)
 }
 
 type healthResponse struct {
@@ -381,6 +519,92 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, http.StatusOK, healthResponse{Status: "ok"})
 }
 
+// publishWindows refreshes the sliding-window quantile gauges from the
+// per-endpoint windows, so a /metrics scrape always reports the SLO view
+// of the recent past. Gauges are only materialized for endpoints that
+// have seen traffic — an idle endpoint contributes no p50=0 noise.
+func (s *Server) publishWindows() {
+	for _, name := range endpointNames {
+		wh := s.windows[name]
+		if wh.Len() == 0 {
+			continue
+		}
+		qs, n := wh.Quantiles(0.50, 0.99, 0.999)
+		s.reg.Gauge("serve.req." + name + ".p50_ns").Set(qs[0])
+		s.reg.Gauge("serve.req." + name + ".p99_ns").Set(qs[1])
+		s.reg.Gauge("serve.req." + name + ".p999_ns").Set(qs[2])
+		s.reg.Gauge("serve.req." + name + ".window_n").Set(int64(n))
+	}
+}
+
+// wantProm reports whether the scrape asked for Prometheus text
+// exposition, either explicitly (?format=prom) or via content
+// negotiation (Accept: text/plain). JSON stays the default so existing
+// scrapers see byte-identical bodies.
+func wantProm(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prom" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/plain")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	s.publishWindows()
+	if wantProm(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		return obs.WriteProm(w, s.reg.Snapshot())
+	}
 	return writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}
+
+// VersionResponse is the /version body: build identity for fleet audits
+// (which binary is this replica actually running?).
+type VersionResponse struct {
+	Service   string `json:"service"`
+	Module    string `json:"module,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+}
+
+// buildVersion reads the binary's build info once at construction; the
+// handler serves the frozen copy.
+func buildVersion() VersionResponse {
+	v := VersionResponse{
+		Service:   "kcserved",
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		v.Module = bi.Main.Path
+		for _, st := range bi.Settings {
+			switch st.Key {
+			case "vcs.revision":
+				v.Revision = st.Value
+			case "vcs.modified":
+				v.Modified = st.Value == "true"
+			}
+		}
+	}
+	return v
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) error {
+	return writeJSON(w, http.StatusOK, s.version)
+}
+
+// handleDebugRequests dumps the flight recorder: the N slowest traces
+// and the recent errored traces, spans and all. 404 when tracing is off
+// — an operator should learn the recorder is disabled, not see an empty
+// dump that looks like a healthy quiet service.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) error {
+	rec := s.tracer.Recorder()
+	if rec == nil {
+		return statusError{http.StatusNotFound,
+			errors.New("request tracing is disabled (start kcserved without -notrace)")}
+	}
+	return writeJSON(w, http.StatusOK, rec.Snapshot())
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -77,7 +78,7 @@ func warmedCache(t *testing.T) *plan.Cache {
 			warmErr = err
 			return
 		}
-		if _, err := srv.runQuery(q); err != nil {
+		if _, err := srv.runQuery(context.Background(), q); err != nil {
 			warmErr = fmt.Errorf("warming study: %w", err)
 		}
 	})
@@ -216,10 +217,10 @@ func TestPredictSingleflightCollapse(t *testing.T) {
 	inner := srv.analyze
 	entered := make(chan struct{})
 	release := make(chan struct{})
-	srv.analyze = func(q Query) (*harness.Study, error) {
+	srv.analyze = func(ctx context.Context, q Query) (*harness.Study, error) {
 		close(entered) // only the singleflight leader runs this
 		<-release
-		return inner(q)
+		return inner(ctx, q)
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

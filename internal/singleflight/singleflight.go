@@ -15,8 +15,37 @@ import (
 	"sync/atomic"
 )
 
+// Flight is the observable identity of one in-flight execution, shared
+// by the leader and every follower of a key. The leader may publish a
+// token — typically its request trace ID — via SetToken; followers read
+// it after their wait completes, which is how a follower's trace can
+// name the leader whose work it shared. The zero value is ready.
+type Flight struct {
+	token atomic.Value
+}
+
+// SetToken publishes the leader's token. Call it from inside the
+// flight's fn; by the time any follower unblocks, the token is visible
+// (the waiters' release happens-after fn returns).
+func (f *Flight) SetToken(v any) {
+	if f == nil {
+		return
+	}
+	f.token.Store(v)
+}
+
+// Token returns the flight's published token, nil when the leader never
+// set one. Nil-safe.
+func (f *Flight) Token() any {
+	if f == nil {
+		return nil
+	}
+	return f.token.Load()
+}
+
 // call is one in-flight (or just-completed) execution.
 type call[V any] struct {
+	flight  Flight
 	wg      sync.WaitGroup
 	waiters atomic.Int32
 	val     V
@@ -40,6 +69,18 @@ type Group[K comparable, V any] struct {
 // fn must not panic: a panicking leader releases its waiters with the
 // zero value and a nil error before the panic propagates.
 func (g *Group[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared bool) {
+	v, err, shared, _ = g.DoFlight(key, func(*Flight) (V, error) { return fn() })
+	return v, err, shared
+}
+
+// DoFlight is Do with flight observability: fn receives the Flight
+// handle shared by every caller collapsed onto this execution, and the
+// handle is also returned to leader and followers alike. The leader
+// publishes through it (Flight.SetToken) and followers — recognizable
+// by shared == true — read what it published after their wait, so a
+// serving layer can record which request actually did the work a
+// follower's latency was spent waiting on.
+func (g *Group[K, V]) DoFlight(key K, fn func(*Flight) (V, error)) (v V, err error, shared bool, fl *Flight) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[K]*call[V])
@@ -48,7 +89,7 @@ func (g *Group[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared bo
 		c.waiters.Add(1)
 		g.mu.Unlock()
 		c.wg.Wait()
-		return c.val, c.err, true
+		return c.val, c.err, true, &c.flight
 	}
 	c := new(call[V])
 	c.wg.Add(1)
@@ -61,8 +102,8 @@ func (g *Group[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared bo
 		g.mu.Unlock()
 		c.wg.Done()
 	}()
-	c.val, c.err = fn()
-	return c.val, c.err, false
+	c.val, c.err = fn(&c.flight)
+	return c.val, c.err, false, &c.flight
 }
 
 // Waiters reports how many callers are currently blocked behind the key's

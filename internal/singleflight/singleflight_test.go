@@ -119,3 +119,81 @@ func TestDoPropagatesError(t *testing.T) {
 		t.Fatalf("retry = %d, %v", v, err)
 	}
 }
+
+// TestFlightTokenPropagates: the token the leader publishes inside fn is
+// visible to every follower after its wait — the mechanism a serving
+// layer uses to stamp follower traces with the leader's trace ID.
+func TestFlightTokenPropagates(t *testing.T) {
+	var g Group[string, int]
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const n = 8
+	tokens := make([]any, n)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _, fl := g.DoFlight("k", func(fl *Flight) (int, error) {
+			fl.SetToken("t-leader")
+			close(started)
+			<-release
+			return 1, nil
+		})
+		tokens[0] = fl.Token()
+	}()
+	<-started
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, shared, fl := g.DoFlight("k", func(*Flight) (int, error) {
+				t.Error("follower ran fn")
+				return 0, nil
+			})
+			if !shared {
+				t.Errorf("caller %d was not shared", i)
+			}
+			tokens[i] = fl.Token()
+		}(i)
+	}
+	for g.Waiters("k") < n-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	for i, tok := range tokens {
+		if tok != "t-leader" {
+			t.Errorf("caller %d token = %v, want t-leader", i, tok)
+		}
+	}
+}
+
+// TestFlightNilSafe: nil Flight handles no-op, and a leader that never
+// publishes leaves followers with a nil token.
+func TestFlightNilSafe(t *testing.T) {
+	var fl *Flight
+	fl.SetToken("x") // must not panic
+	if fl.Token() != nil {
+		t.Error("nil flight returned a token")
+	}
+	var g Group[string, int]
+	_, _, _, got := g.DoFlight("k", func(*Flight) (int, error) { return 1, nil })
+	if got == nil {
+		t.Fatal("DoFlight returned a nil flight")
+	}
+	if got.Token() != nil {
+		t.Error("unpublished token is non-nil")
+	}
+}
+
+// TestDoWrapsDoFlight: the plain Do path still collapses and shares
+// through the same flight machinery.
+func TestDoWrapsDoFlight(t *testing.T) {
+	var g Group[string, string]
+	v, err, shared := g.Do("k", func() (string, error) { return "v", nil })
+	if v != "v" || err != nil || shared {
+		t.Fatalf("Do = %q %v %v", v, err, shared)
+	}
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Flight-recorder dumps export to the same Chrome/Perfetto trace-event
+// format as world traces, mapped as:
+//
+//	process (pid)   one per retained request trace, named after its
+//	                trace ID, endpoint and retention group
+//	thread 0        the request's span tree; Perfetto stacks the nested
+//	                complete events into a flame view by containment
+//
+// so a dump of the slowest requests opens as a gallery of per-request
+// flame graphs — the serving-layer analogue of the per-rank kernel/MPI
+// timeline.
+
+// WriteRequestEvents converts a flight-recorder dump into a Chrome
+// trace-event JSON document on w. The output is deterministic for a
+// deterministic dump: traces keep the dump's retention order (slowest
+// first, then errored) and spans are emitted in tree pre-order.
+func WriteRequestEvents(w io.Writer, d *obs.FlightDump) error {
+	var metas, out []traceEvent
+	pid := 0
+	emit := func(group string, traces []obs.TraceDump) {
+		for _, t := range traces {
+			pname := fmt.Sprintf("%s %s /%s (%d)", group, t.ID, t.Endpoint, t.Status)
+			metas = append(metas,
+				traceEvent{Name: "process_name", Phase: "M", Pid: pid, Tid: 0, Args: &eventArgs{Name: pname}},
+				traceEvent{Name: "thread_name", Phase: "M", Pid: pid, Tid: 0, Args: &eventArgs{Name: "spans"}},
+			)
+			var walk func(s obs.SpanDump)
+			walk = func(s obs.SpanDump) {
+				var args *eventArgs
+				if s.Detail != "" {
+					args = &eventArgs{Detail: s.Detail}
+				}
+				out = append(out, traceEvent{
+					Name:  s.Name,
+					Phase: "X",
+					Ts:    float64(s.StartNs) / 1e3,
+					Dur:   float64(s.DurNs) / 1e3,
+					Pid:   pid,
+					Tid:   0,
+					Args:  args,
+				})
+				for _, c := range s.Children {
+					walk(c)
+				}
+			}
+			walk(t.Root)
+			pid++
+		}
+	}
+	emit("slowest", d.Slowest)
+	emit("errored", d.Errored)
+	return streamEvents(w, append(metas, out...))
+}
+
+// WriteRequestEventFile is WriteRequestEvents to a named file.
+func WriteRequestEventFile(path string, d *obs.FlightDump) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteRequestEvents(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -181,15 +181,18 @@ func WriteTraceEvents(w io.Writer, events []Event, spans []obs.Span) error {
 		}
 	}
 
-	// Stream one compact event per line instead of json-encoding (and
-	// indenting) the whole document at once: the indent pass re-buffers
-	// the entire output and dominated export time at npbrun scale, and
-	// one-event-per-line still diffs cleanly in the golden tests.
+	return streamEvents(w, append(metas, out...))
+}
+
+// streamEvents writes one compact event per line instead of
+// json-encoding (and indenting) the whole document at once: the indent
+// pass re-buffers the entire output and dominated export time at npbrun
+// scale, and one-event-per-line still diffs cleanly in the golden tests.
+func streamEvents(w io.Writer, all []traceEvent) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	bw.WriteString("{\"displayTimeUnit\":\"ms\",\n \"traceEvents\":[\n")
 	enc := json.NewEncoder(bw)
 	enc.SetEscapeHTML(false) // kernel/op names never carry HTML
-	all := append(metas, out...)
 	for i := range all {
 		if i == 0 {
 			bw.WriteString("  ")

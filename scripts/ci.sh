@@ -92,15 +92,20 @@ rm -f /tmp/kc-couple /tmp/kc-npbrun /tmp/kc-chaos-err
 
 # Serving gate: kcserved built with the race detector must answer a
 # concurrent mixed load from a warm cache — byte-identical /predict
-# bodies, zero worlds executed — and drain cleanly on SIGTERM. The
-# binary's own -selfcheck mode is the client, so the gate needs no curl.
+# bodies, zero worlds executed, every response stamped with a trace ID
+# and the flight recorder populated (selfcheck asserts both) — and
+# drain cleanly on SIGTERM, flushing a flight dump and an access log.
+# The binary's own -selfcheck mode is the client, so the gate needs no
+# curl.
 echo "==> serve: race-built kcserved answers a warm cache under load"
 go build -o /tmp/kc-couple ./cmd/couple
 go build -race -o /tmp/kc-serve-race ./cmd/kcserved
 rm -rf /tmp/kc-serve-cache
+rm -f /tmp/kc-serve-flight.json /tmp/kc-serve-access.log
 /tmp/kc-couple -bench BT -grid 8 -trips 2 -procs 4 -chains 2,5 -blocks 2 \
     -cache-dir /tmp/kc-serve-cache >/dev/null 2>&1
 /tmp/kc-serve-race -addr 127.0.0.1:18640 -cache-dir /tmp/kc-serve-cache \
+    -flight-out /tmp/kc-serve-flight.json -log-out /tmp/kc-serve-access.log \
     2>/tmp/kc-serve.err &
 serve_pid=$!
 if ! /tmp/kc-serve-race -selfcheck http://127.0.0.1:18640 \
@@ -117,7 +122,16 @@ if ! wait "$serve_pid"; then
     cat /tmp/kc-serve.err >&2
     exit 1
 fi
-rm -rf /tmp/kc-serve-cache /tmp/kc-serve-race /tmp/kc-serve.err /tmp/kc-couple
+if ! grep -q '"spans"' /tmp/kc-serve-flight.json; then
+    echo "==> serve gate FAILED: shutdown left no flight-recorder dump" >&2
+    exit 1
+fi
+if ! grep -q '"trace":"t-' /tmp/kc-serve-access.log; then
+    echo "==> serve gate FAILED: access log carries no trace IDs" >&2
+    exit 1
+fi
+rm -rf /tmp/kc-serve-cache /tmp/kc-serve-race /tmp/kc-serve.err /tmp/kc-couple \
+    /tmp/kc-serve-flight.json /tmp/kc-serve-access.log
 
 # Non-gating: archive a smoke-scale benchmark run so history accumulates
 # in CI logs. Failures here never fail the gate (the tables are timing-

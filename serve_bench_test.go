@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/serve"
 )
@@ -20,9 +21,23 @@ import (
 //
 //	p50-ns   median warm /predict latency
 //	p99-ns   99th-percentile warm /predict latency
+//
+// BenchmarkServePredictTraced is the same load with request tracing and
+// the flight recorder on; the two archived together bound the
+// observability overhead (the acceptance bar is within 5% ns/op).
 func BenchmarkServePredict(b *testing.B) {
+	benchServePredict(b, nil)
+}
+
+func BenchmarkServePredictTraced(b *testing.B) {
+	benchServePredict(b, obs.NewRequestTracer(obs.TracerConfig{
+		Recorder: obs.NewFlightRecorder(0, 0),
+	}))
+}
+
+func benchServePredict(b *testing.B, tracer *obs.RequestTracer) {
 	cache := plan.NewCache()
-	srv, err := serve.New(serve.Config{Cache: cache, Measure: true})
+	srv, err := serve.New(serve.Config{Cache: cache, Measure: true, Tracer: tracer})
 	if err != nil {
 		b.Fatal(err)
 	}
