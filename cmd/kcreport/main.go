@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
@@ -62,6 +63,7 @@ func main() {
 	printCollectives(snap)
 	printKernels(snap)
 	printHarness(snap)
+	printGuard(snap)
 	if *all {
 		printRaw(snap)
 	}
@@ -238,6 +240,53 @@ func printHarness(snap obs.Snapshot) {
 			fmtNs(int64(h.Mean())), fmtNs(h.Min), fmtNs(h.Max)))
 	}
 	fmt.Println(tb.String())
+}
+
+// printGuard renders the serving guard's overload and failure
+// accounting from a kcserved -metrics-out manifest: admission and shed
+// totals broken down by cause, deadline expiries, degraded answers, and
+// one row per circuit breaker (discovered from the
+// guard.breaker.<dep>.state gauge) with its final state and transition
+// counts. Silent for manifests from unguarded runs.
+func printGuard(snap obs.Snapshot) {
+	c := func(name string) int64 {
+		v, _ := snap.Counter(name)
+		return v.Value
+	}
+	admitted := c("guard.admission.admitted")
+	shed := c("serve.shed")
+	deadlines := c("serve.deadline_exceeded")
+	degraded := c("serve.degraded")
+	if admitted == 0 && shed == 0 && deadlines == 0 && degraded == 0 && c("breaker.open") == 0 {
+		return
+	}
+	tb := stats.NewTable("Serving guard", "Metric", "Value")
+	tb.AddRowf("admitted\t%d", admitted)
+	tb.AddRowf("queued before admission\t%d", c("guard.admission.waited"))
+	tb.AddRowf("shed (503)\t%d", shed)
+	tb.AddRowf("  queue full\t%d", c("guard.shed.queue_full"))
+	tb.AddRowf("  deadline budget\t%d", c("guard.shed.deadline_budget"))
+	tb.AddRowf("deadline exceeded (504)\t%d", deadlines)
+	tb.AddRowf("degraded answers\t%d", degraded)
+	tb.AddRowf("measurement retries\t%d", c("serve.measure.retry"))
+	fmt.Println(tb.String())
+
+	bt := stats.NewTable("Circuit breakers", "Dependency", "State", "Opened", "Reopened", "Closed", "Fast-fails")
+	rows := 0
+	for _, g := range snap.Gauges {
+		dep, ok := cut(g.Name, "guard.breaker.", ".state")
+		if !ok {
+			continue
+		}
+		get := func(suffix string) int64 { return c("guard.breaker." + dep + suffix) }
+		bt.AddRow(dep, guard.BreakerState(g.Value).String(),
+			fmt.Sprint(get(".opened")), fmt.Sprint(get(".reopened")),
+			fmt.Sprint(get(".closed")), fmt.Sprint(get(".fastfail")))
+		rows++
+	}
+	if rows > 0 {
+		fmt.Println(bt.String())
+	}
 }
 
 func printRaw(snap obs.Snapshot) {

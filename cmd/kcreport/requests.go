@@ -27,6 +27,34 @@ func runRequests(path, traceOut string) error {
 	if d.ErroredEvicted > 0 {
 		tb.AddRowf("errored evicted\t%d", d.ErroredEvicted)
 	}
+	// Guard outcomes across the retained traces: shed (503), spent
+	// deadline budgets (504), and degraded answers, so an overloaded
+	// service's dump leads with how the guard behaved. A trace retained
+	// by both pools (slow AND errored) counts once.
+	var shed, deadline, degraded int
+	seen := map[string]bool{}
+	for _, t := range append(append([]obs.TraceDump{}, d.Slowest...), d.Errored...) {
+		if seen[t.ID] {
+			continue
+		}
+		seen[t.ID] = true
+		switch t.Status {
+		case 503:
+			shed++
+		case 504:
+			deadline++
+		}
+		for _, a := range t.Attrs {
+			if a.Key == "degraded" {
+				degraded++
+			}
+		}
+	}
+	if shed+deadline+degraded > 0 {
+		tb.AddRowf("shed (503)\t%d", shed)
+		tb.AddRowf("deadline exceeded (504)\t%d", deadline)
+		tb.AddRowf("degraded answers\t%d", degraded)
+	}
 	fmt.Println(tb.String())
 
 	printGroup("Slowest requests", d.Slowest)
@@ -47,7 +75,7 @@ func printGroup(title string, traces []obs.TraceDump) {
 	}
 	fmt.Printf("== %s ==\n\n", title)
 	for _, t := range traces {
-		head := fmt.Sprintf("%s  /%s  %d  %s", t.ID, t.Endpoint, t.Status, fmtNs(t.TotalNs))
+		head := fmt.Sprintf("%s  /%s  %d%s  %s", t.ID, t.Endpoint, t.Status, guardTag(t.Status), fmtNs(t.TotalNs))
 		if len(t.Attrs) > 0 {
 			parts := make([]string, len(t.Attrs))
 			for i, a := range t.Attrs {
@@ -62,6 +90,18 @@ func printGroup(title string, traces []obs.TraceDump) {
 		printSpanTree(t.Root, 1, t.TotalNs)
 		fmt.Println()
 	}
+}
+
+// guardTag labels the two guard-specific status codes so shed and
+// deadline-expired traces stand out in the listing.
+func guardTag(status int) string {
+	switch status {
+	case 503:
+		return " SHED"
+	case 504:
+		return " DEADLINE"
+	}
+	return ""
 }
 
 // printSpanTree renders one span subtree, one line per span: indent,

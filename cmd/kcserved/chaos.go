@@ -1,0 +1,386 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// runChaosCheck is the serving layer's chaos drill: against a hardened
+// kcserved (-measure, guard flags, and a fault spec whose measure clause
+// is an exhaustible burst like measure:count=2), it drives the full
+// failure ladder and verifies every hardening promise at once:
+//
+//   - warm healthy answers stay byte-identical through the chaos
+//   - injected measurement failures open the circuit breaker, fast-fail
+//     while it cools down, and a clean probe closes it again
+//   - an unanswerable query degrades to a provenance-tagged stale/nearby
+//     answer instead of a 5xx
+//   - an overload burst sheds deterministically: 503 + Retry-After, and
+//     the serve.shed counter matches the 503s the client saw
+//   - deadline expiries answer 504 within budget + scheduling slack
+//   - the service drains clean: no stuck inflight or queued gauges
+//
+// It records client-observed latency quantiles (p50/p99/p999) and the
+// shed rate, optionally merging them into a BENCH_<date>.json so chaos
+// behavior is archived next to the perf history.
+func runChaosCheck(base, query string, n int, deadline time.Duration, benchOut string) error {
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	var up bool
+	for i := 0; i < 100; i++ {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				up = true
+				break
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !up {
+		return fmt.Errorf("service at %s never became healthy", base)
+	}
+
+	warmQ, err := url.ParseQuery(query)
+	if err != nil {
+		return fmt.Errorf("bad -selfcheck-query: %w", err)
+	}
+	variant := func(kv ...string) string {
+		v := url.Values{}
+		for key, vals := range warmQ {
+			v[key] = append([]string(nil), vals...)
+		}
+		for i := 0; i+1 < len(kv); i += 2 {
+			v.Set(kv[i], kv[i+1])
+		}
+		return v.Encode()
+	}
+
+	var latencies []time.Duration
+	var shed503 int
+	fetch := func(path string) (chaosResult, error) {
+		r, err := chaosGet(client, base+path)
+		if err != nil {
+			return r, err
+		}
+		latencies = append(latencies, r.elapsed)
+		if r.status == http.StatusServiceUnavailable {
+			shed503++
+		}
+		return r, nil
+	}
+
+	// Phase A — healthy warm baseline: two fetches, byte-identical, no
+	// worlds executed, no degradation tag.
+	ref, err := fetch("/predict?" + query)
+	if err != nil {
+		return err
+	}
+	if ref.status != http.StatusOK || ref.degraded != "" {
+		return fmt.Errorf("warm baseline: status %d degraded %q\n%s", ref.status, ref.degraded, ref.body)
+	}
+	if !bytes.Contains(ref.body, []byte(`"executed": 0`)) {
+		return fmt.Errorf("warm baseline executed worlds:\n%s", ref.body)
+	}
+	if again, err := fetch("/predict?" + query); err != nil {
+		return err
+	} else if !bytes.Equal(again.body, ref.body) {
+		return fmt.Errorf("warm /predict not byte-stable before chaos")
+	}
+
+	// Phase B — degradation with provenance: a never-answered neighbor of
+	// the warm key (same family, different blocks). Its on-demand
+	// measurement hits the injected failure burst, which opens the
+	// breaker; the ladder then serves the warm family answer tagged
+	// stale-nearby instead of a 5xx.
+	near, err := fetch("/predict?" + variant("blocks", "1"))
+	if err != nil {
+		return err
+	}
+	if near.status != http.StatusOK || near.degraded != "stale-nearby" {
+		return fmt.Errorf("degraded neighbor: status %d X-Degraded %q (want 200/stale-nearby)\n%s",
+			near.status, near.degraded, near.body)
+	}
+	if !bytes.Contains(near.body, []byte(`"degraded": "stale-nearby"`)) {
+		return fmt.Errorf("degraded body carries no provenance field:\n%s", near.body)
+	}
+
+	// Phase C — open breaker fast-fails: a cold key in a family with no
+	// stale answer cannot degrade, so it sheds 503 with the breaker body.
+	coldQS := variant("grid", "6", "trips", "1", "blocks", "1", "chains", "2")
+	ff, err := fetch("/predict?" + coldQS)
+	if err != nil {
+		return err
+	}
+	if ff.status != http.StatusServiceUnavailable ||
+		!bytes.Contains(ff.body, []byte("measure breaker open (failing fast)")) {
+		return fmt.Errorf("breaker fast-fail: status %d\n%s", ff.status, ff.body)
+	}
+
+	// Phase D — recovery: after the cooldown the next attempt is the
+	// half-open probe; the injected burst is exhausted, so the real
+	// measurement runs and closes the breaker.
+	time.Sleep(1 * time.Second)
+	rec, err := fetch("/predict?" + coldQS)
+	if err != nil {
+		return err
+	}
+	if rec.status != http.StatusOK || rec.degraded != "" {
+		return fmt.Errorf("breaker recovery probe: status %d degraded %q\n%s", rec.status, rec.degraded, rec.body)
+	}
+	if bytes.Contains(rec.body, []byte(`"executed": 0`)) {
+		return fmt.Errorf("recovery probe executed nothing — the measurement did not run:\n%s", rec.body)
+	}
+
+	// Phase E — overload burst: distinct cold keys, every one a real
+	// measurement holding an admission slot. With -max-inflight/-queue
+	// small, most of the burst must shed; whatever is admitted either
+	// finishes or 504s within its deadline budget plus slack.
+	if n < 8 {
+		n = 8
+	}
+	if n > 16 {
+		n = 16
+	}
+	type burstOut struct {
+		res chaosResult
+		err error
+	}
+	outs := make(chan burstOut, n)
+	for i := 0; i < n; i++ {
+		qs := variant("grid", "6",
+			"trips", fmt.Sprint(1+i%2),
+			"blocks", fmt.Sprint(1+(i/2)%2),
+			"passes", fmt.Sprint(1+(i/4)%2),
+			"chains", fmt.Sprint(2+(i/8)%2))
+		go func(qs string) {
+			// Latency is recorded by the collector below; chaosGet keeps
+			// the burst goroutines off the shared slice.
+			r, err := chaosGet(client, base+"/predict?"+qs)
+			outs <- burstOut{r, err}
+		}(qs)
+	}
+	var burstShed, burst504, burstOK int
+	for i := 0; i < n; i++ {
+		o := <-outs
+		if o.err != nil {
+			return o.err
+		}
+		latencies = append(latencies, o.res.elapsed)
+		switch o.res.status {
+		case http.StatusOK:
+			burstOK++
+		case http.StatusServiceUnavailable:
+			burstShed++
+			shed503++
+			if !strings.Contains(string(o.res.body), "request shed") &&
+				!strings.Contains(string(o.res.body), "breaker open") {
+				return fmt.Errorf("503 without a shed/breaker body:\n%s", o.res.body)
+			}
+			if strings.Contains(string(o.res.body), "request shed") &&
+				o.res.header.Get("Retry-After") == "" {
+				return fmt.Errorf("shed 503 carries no Retry-After header")
+			}
+		case http.StatusGatewayTimeout:
+			burst504++
+			if slack := o.res.elapsed - deadline; slack > 2*time.Second {
+				return fmt.Errorf("504 answered %v after a %v budget (slack %v > 2s): deadlines are not bounding latency",
+					o.res.elapsed, deadline, slack)
+			}
+		default:
+			return fmt.Errorf("burst request = %d:\n%s", o.res.status, o.res.body)
+		}
+	}
+	if burstShed == 0 {
+		return fmt.Errorf("overload burst of %d shed nothing (ok=%d, 504=%d) — admission control is not engaging",
+			n, burstOK, burst504)
+	}
+
+	// Phase F — byte stability through and after the chaos: the warm key
+	// keeps serving the exact baseline bytes, fresh and untagged.
+	for i := 0; i < 24; i++ {
+		r, err := fetch("/predict?" + query)
+		if err != nil {
+			return err
+		}
+		if r.status != http.StatusOK || r.degraded != "" || !bytes.Equal(r.body, ref.body) {
+			return fmt.Errorf("warm /predict drifted under chaos (status %d, degraded %q)", r.status, r.degraded)
+		}
+	}
+
+	// Phase G — the service's own accounting must agree with the client.
+	// The snapshot is taken while serving /metrics itself, so
+	// serve.inflight legitimately reads 1 (the observer); anything above
+	// that — or a nonzero admission gauge — is a stuck request. Drain is
+	// polled briefly: the previous response's deferred gauge decrement
+	// races the next request by design.
+	var snap obs.Snapshot
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Get(base + "/metrics")
+		if err != nil {
+			return err
+		}
+		mb, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		snap = obs.Snapshot{}
+		if err := json.Unmarshal(mb, &snap); err != nil {
+			return fmt.Errorf("/metrics: %w", err)
+		}
+		if drainErr := chaosDrained(snap); drainErr == nil {
+			break
+		} else if attempt >= 20 {
+			return drainErr
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	counter := func(name string) int64 {
+		c, _ := snap.Counter(name)
+		return c.Value
+	}
+	if got := counter("serve.shed"); got != int64(shed503) {
+		return fmt.Errorf("serve.shed = %d but the client saw %d 503s — shed accounting drifted", got, shed503)
+	}
+	if counter("guard.breaker.measure.opened") < 1 {
+		return fmt.Errorf("breaker never opened under injected failures")
+	}
+	if counter("guard.breaker.measure.closed") < 1 {
+		return fmt.Errorf("breaker never closed after recovery")
+	}
+	if counter("serve.degraded") < 1 {
+		return fmt.Errorf("no degraded answers were served")
+	}
+	// Quantiles and the archive record.
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	q := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	p50, p99, p999 := q(0.50), q(0.99), q(0.999)
+	shedRate := 100 * float64(shed503) / float64(len(latencies))
+	fmt.Printf("kcserved chaos: %d requests, shed %d (%.1f%%), p50 %v p99 %v p999 %v, breaker opened %d closed %d, degraded %d\n",
+		len(latencies), shed503, shedRate, p50, p99, p999,
+		counter("guard.breaker.measure.opened"), counter("guard.breaker.measure.closed"),
+		counter("serve.degraded"))
+	if benchOut != "" {
+		rec := map[string]any{
+			"name": "ChaosServe", "cpus": 0, "iterations": len(latencies),
+			"metrics": map[string]any{
+				"p50-ns":      p50.Nanoseconds(),
+				"p99-ns":      p99.Nanoseconds(),
+				"p999-ns":     p999.Nanoseconds(),
+				"shed-rate-%": shedRate,
+			},
+		}
+		if err := mergeBenchRecord(benchOut, rec); err != nil {
+			return fmt.Errorf("bench-out: %w", err)
+		}
+	}
+	return nil
+}
+
+// chaosDrained checks a /metrics snapshot for stuck requests after the
+// drill's load has returned: serve.inflight must be exactly 1 (the
+// in-progress /metrics request observing itself) and the admission
+// gauges zero (/metrics is unguarded, so it never occupies a slot).
+func chaosDrained(snap obs.Snapshot) error {
+	gauge := func(name string) (int64, bool) {
+		for _, g := range snap.Gauges {
+			if g.Name == name {
+				return g.Value, true
+			}
+		}
+		return 0, false
+	}
+	if v, ok := gauge("serve.inflight"); ok && v != 1 {
+		return fmt.Errorf("gauge serve.inflight = %d after drain, want 1 (the /metrics request itself) — something is stuck", v)
+	}
+	for _, name := range []string{"guard.admission.inflight", "guard.admission.queued"} {
+		if v, ok := gauge(name); ok && v != 0 {
+			return fmt.Errorf("gauge %s = %d after drain, want 0 — something is stuck", name, v)
+		}
+	}
+	return nil
+}
+
+type chaosResult struct {
+	status   int
+	body     []byte
+	header   http.Header
+	degraded string
+	elapsed  time.Duration
+}
+
+func chaosGet(client *http.Client, u string) (chaosResult, error) {
+	start := time.Now()
+	resp, err := client.Get(u)
+	if err != nil {
+		return chaosResult{}, fmt.Errorf("GET %s: %w", u, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return chaosResult{}, fmt.Errorf("GET %s: read: %w", u, err)
+	}
+	return chaosResult{
+		status:   resp.StatusCode,
+		body:     body,
+		header:   resp.Header,
+		degraded: resp.Header.Get("X-Degraded"),
+		elapsed:  time.Since(start),
+	}, nil
+}
+
+// mergeBenchRecord appends (or replaces) one benchmark record in a
+// BENCH_<date>.json document, preserving every other field the file
+// carries. A missing file gets a minimal valid document, so the chaos
+// gate can archive quantiles even before the day's `make bench` ran.
+func mergeBenchRecord(path string, rec map[string]any) error {
+	doc := map[string]any{
+		"date":       time.Now().UTC().Format(time.RFC3339),
+		"benchmarks": []any{},
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	benches, _ := doc["benchmarks"].([]any)
+	name, _ := rec["name"].(string)
+	kept := benches[:0]
+	for _, b := range benches {
+		if m, ok := b.(map[string]any); ok && m["name"] == name {
+			continue // replace the previous chaos record
+		}
+		kept = append(kept, b)
+	}
+	doc["benchmarks"] = append(kept, rec)
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

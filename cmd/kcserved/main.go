@@ -36,10 +36,27 @@
 // (including on-demand measurements) drain within -shutdown-grace, and
 // -metrics-out writes a final manifest.
 //
+// Overload and failure hardening is opt-in: passing any guard flag
+// (-deadline*, -max-inflight, -queue, -breaker-*, -retry-budget,
+// -stale) assembles the serving guard — per-endpoint deadline budgets
+// that answer 504 and detach in-flight measurements onto the
+// -deadline-measure budget, an admission controller that queues then
+// sheds 503 + Retry-After, seeded circuit breakers around on-demand
+// measurement and cache disk reads, a token-bucket retry budget, and a
+// degradation ladder that serves provenance-tagged stale or
+// nearby-family answers (X-Degraded header) before shedding. A plain
+// kcserved serves exactly the pre-hardening bytes. -fault-spec injects
+// serving-layer chaos (disk delays/errors, measurement failures,
+// handler latency) deterministically from -fault-seed.
+//
 // The -selfcheck mode turns the binary into its own integration client
 // for CI: it polls /healthz until the service is up, fires concurrent
 // mixed requests, and verifies /predict answers are byte-identical and
-// world-free.
+// world-free. With -selfcheck-chaos it becomes a chaos drill instead,
+// driving a hardened fault-injected server through the whole failure
+// ladder — breaker open/probe/close, degraded provenance, overload
+// shedding, deadline bounding — and optionally archiving latency
+// quantiles and the shed rate into -selfcheck-bench-out.
 package main
 
 import (
@@ -47,12 +64,13 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/obscli"
 	"repro/internal/plan"
@@ -73,21 +91,65 @@ func main() {
 		slowMs    = flag.Int("slow-ms", 0, "slow-request threshold in milliseconds (0 disables); slow requests auto-flush the flight recorder")
 		flightOut = flag.String("flight-out", "", "flight-recorder dump path, written on errors/slow requests and at shutdown")
 
-		selfcheck  = flag.String("selfcheck", "", "run as integration client against this base URL instead of serving")
-		checkQuery = flag.String("selfcheck-query", "bench=BT&chains=2", "query string for -selfcheck /predict probes")
-		checkN     = flag.Int("selfcheck-n", 16, "concurrent requests per -selfcheck round")
+		deadline     = flag.Duration("deadline", 0, "default per-request deadline budget for query endpoints (0 = none)")
+		deadlinePred = flag.Duration("deadline-predict", 0, "deadline budget override for /predict")
+		deadlineCoup = flag.Duration("deadline-couplings", 0, "deadline budget override for /couplings")
+		deadlineStud = flag.Duration("deadline-study", 0, "deadline budget override for /study")
+		deadlineMeas = flag.Duration("deadline-measure", 0, "detached on-demand measurement budget once a caller abandons (0 = unbounded)")
+		maxInflight  = flag.Int("max-inflight", 0, "bound on concurrently served query requests; excess queues then sheds 503 (0 = unbounded)")
+		queueDepth   = flag.Int("queue", 0, "admission queue depth (default 2x -max-inflight)")
+		brkFailures  = flag.Int("breaker-failures", 0, "consecutive dependency failures that open a circuit breaker (default 5)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (default 5s)")
+		brkProbes    = flag.Int("breaker-probes", 0, "concurrent half-open probes a breaker admits (default 1)")
+		retryBudget  = flag.Float64("retry-budget", 0, "retry tokens earned per request for the token-bucket retry budget (default 0.1)")
+		staleCap     = flag.Int("stale", 64, "stale-answer cache capacity for degraded serving (0 disables the ladder)")
+		faultSpec    = flag.String("fault-spec", "", "serving-layer chaos spec: diskslow:/diskerr:/measure:/handler: clauses joined by ';'")
+		faultSeed    = flag.Uint64("fault-seed", 1, "seed for fault injection decisions and breaker cooldown jitter")
+
+		httpReadHeader = flag.Duration("http-read-header-timeout", 0, "listener header-read timeout (0 = 5s default, negative disables)")
+		httpRead       = flag.Duration("http-read-timeout", 0, "listener request-read timeout (0 = 30s default, negative disables)")
+		httpWrite      = flag.Duration("http-write-timeout", 0, "listener response-write timeout (0 = 2m default, negative disables)")
+		httpIdle       = flag.Duration("http-idle-timeout", 0, "listener keep-alive idle timeout (0 = 2m default, negative disables)")
+
+		selfcheck     = flag.String("selfcheck", "", "run as integration client against this base URL instead of serving")
+		checkQuery    = flag.String("selfcheck-query", "bench=BT&chains=2", "query string for -selfcheck /predict probes")
+		checkN        = flag.Int("selfcheck-n", 16, "concurrent requests per -selfcheck round")
+		checkChaos    = flag.Bool("selfcheck-chaos", false, "run the chaos drill instead of the plain selfcheck (expects a hardened -measure server with 'measure:count=2' injected)")
+		checkDeadline = flag.Duration("selfcheck-deadline", 2*time.Second, "the server's -deadline, so the chaos drill can bound 504 latency")
+		checkBenchOut = flag.String("selfcheck-bench-out", "", "merge the chaos drill's latency quantiles and shed rate into this BENCH_<date>.json")
 	)
 	var oflags obscli.ServeFlags
 	oflags.Register(nil)
 	flag.Parse()
 
 	if *selfcheck != "" {
-		if err := runSelfcheck(*selfcheck, *checkQuery, *checkN); err != nil {
+		var err error
+		if *checkChaos {
+			err = runChaosCheck(*selfcheck, *checkQuery, *checkN, *checkDeadline, *checkBenchOut)
+		} else {
+			err = runSelfcheck(*selfcheck, *checkQuery, *checkN)
+		}
+		if err != nil {
 			fail("selfcheck: %v", err)
 		}
 		fmt.Println("kcserved selfcheck: ok")
 		return
 	}
+
+	// Hardening is assembled only when some guard flag was given, so a
+	// plain kcserved serves exactly the pre-hardening bytes and allocs.
+	guardFlags := map[string]bool{
+		"deadline": true, "deadline-predict": true, "deadline-couplings": true,
+		"deadline-study": true, "deadline-measure": true, "max-inflight": true,
+		"queue": true, "breaker-failures": true, "breaker-cooldown": true,
+		"breaker-probes": true, "retry-budget": true, "stale": true,
+	}
+	guardOn := false
+	flag.Visit(func(f *flag.Flag) {
+		if guardFlags[f.Name] {
+			guardOn = true
+		}
+	})
 
 	if *cacheDir == "" {
 		fail("-cache-dir is required")
@@ -112,6 +174,36 @@ func main() {
 	if logCloser != nil {
 		defer logCloser.Close()
 	}
+	var g *guard.Guard
+	if guardOn {
+		g = guard.New(guard.Config{
+			Deadline: *deadline,
+			DeadlineFor: map[string]time.Duration{
+				"predict":   *deadlinePred,
+				"couplings": *deadlineCoup,
+				"study":     *deadlineStud,
+			},
+			LeaderBudget:    *deadlineMeas,
+			MaxInflight:     *maxInflight,
+			QueueDepth:      *queueDepth,
+			BreakerFailures: *brkFailures,
+			BreakerCooldown: *brkCooldown,
+			BreakerProbes:   *brkProbes,
+			RetryRatio:      *retryBudget,
+			StaleCap:        *staleCap,
+			Seed:            *faultSeed,
+			Metrics:         reg,
+		})
+	}
+	var inj *fault.ServeInjector
+	if *faultSpec != "" {
+		spec, err := fault.ParseServe(*faultSpec)
+		if err != nil {
+			fail("%v", err)
+		}
+		inj = fault.NewServeInjector(spec, *faultSeed, reg)
+		fmt.Fprintf(os.Stderr, "kcserved: CHAOS fault injection active: %s (seed %d)\n", spec, *faultSeed)
+	}
 	srv, err := serve.New(serve.Config{
 		Cache:          cache,
 		Metrics:        reg,
@@ -120,6 +212,8 @@ func main() {
 		MeasureWorkers: *workers,
 		Tracer:         tracer,
 		AccessLog:      accessLog,
+		Guard:          g,
+		Inject:         inj,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -129,7 +223,12 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := serve.NewHTTPServer("", srv.Handler(), serve.HTTPTimeouts{
+		ReadHeader: *httpReadHeader,
+		Read:       *httpRead,
+		Write:      *httpWrite,
+		Idle:       *httpIdle,
+	})
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "kcserved: serving %s on http://%s (measure=%v)\n", *cacheDir, ln.Addr(), *measure)
 

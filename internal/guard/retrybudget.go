@@ -1,0 +1,69 @@
+package guard
+
+import "sync"
+
+// RetryBudget is a token bucket that bounds serving-side retries to a
+// fraction of observed traffic: each incoming request deposits Ratio
+// tokens (capped at Burst), each retry withdraws one. Under overload the
+// bucket drains and retries stop amplifying the load; in the steady
+// state occasional retries always have budget. Deliberately time-free —
+// refill is per-request, not per-second — so behaviour is deterministic
+// for a given request sequence.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	burst  float64
+}
+
+// NewRetryBudget builds a budget earning ratio tokens per request up to
+// burst (defaults 0.1 and 10). The bucket starts full so cold-start
+// retries aren't starved.
+func NewRetryBudget(ratio, burst float64) *RetryBudget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if burst <= 0 {
+		burst = 10
+	}
+	return &RetryBudget{tokens: burst, ratio: ratio, burst: burst}
+}
+
+// OnRequest credits the budget for one observed request. Nil-safe.
+func (rb *RetryBudget) OnRequest() {
+	if rb == nil {
+		return
+	}
+	rb.mu.Lock()
+	rb.tokens += rb.ratio
+	if rb.tokens > rb.burst {
+		rb.tokens = rb.burst
+	}
+	rb.mu.Unlock()
+}
+
+// Spend withdraws one retry token, reporting whether the retry may
+// proceed. Nil-safe: with no budget configured retries are always
+// allowed.
+func (rb *RetryBudget) Spend() bool {
+	if rb == nil {
+		return true
+	}
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.tokens < 1 {
+		return false
+	}
+	rb.tokens--
+	return true
+}
+
+// Tokens returns the current balance (tests, debug). Nil-safe.
+func (rb *RetryBudget) Tokens() float64 {
+	if rb == nil {
+		return 0
+	}
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.tokens
+}

@@ -1,0 +1,132 @@
+package guard
+
+import (
+	"container/list"
+	"sync"
+)
+
+// StaleCache backs the serving degradation ladder: every healthy full
+// answer is remembered here (bounded LRU), and when the full path fails
+// — deadline blown, breaker open, disk fault — the serving layer can
+// fall back to the stale copy for the exact key, or to a "nearby" answer
+// from the same workload family (same bench/class/procs/grid, different
+// chain or trip shape), tagged with degraded provenance instead of
+// shedding outright.
+//
+// Values are opaque (any) so guard stays below harness in the import
+// graph; the serving layer stores *harness.Study.
+type StaleCache struct {
+	mu  sync.Mutex
+	cap int
+	// m maps exact key → LRU element holding a *staleEntry.
+	m map[string]*list.Element
+	// family maps family key → the most recently stored exact key in
+	// that family, for "nearby" fallback.
+	family map[string]string
+	lru    *list.List // front = most recent
+}
+
+type staleEntry struct {
+	key    string
+	family string
+	val    any
+}
+
+// Degradation modes a Get can report.
+const (
+	// ModeStale is an exact-key hit on a previously served answer.
+	ModeStale = "stale"
+	// ModeStaleNearby is a same-family hit (different chain/trip shape).
+	ModeStaleNearby = "stale-nearby"
+)
+
+// NewStaleCache builds a cache retaining at most cap answers.
+func NewStaleCache(cap int) *StaleCache {
+	if cap <= 0 {
+		cap = 64
+	}
+	return &StaleCache{
+		cap:    cap,
+		m:      make(map[string]*list.Element),
+		family: make(map[string]string),
+		lru:    list.New(),
+	}
+}
+
+// Put remembers a healthy answer under its exact key and family key.
+// Nil-safe.
+func (c *StaleCache) Put(key, familyKey string, val any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*staleEntry).val = val
+		c.lru.MoveToFront(el)
+	} else {
+		el = c.lru.PushFront(&staleEntry{key: key, family: familyKey, val: val})
+		c.m[key] = el
+		for c.lru.Len() > c.cap {
+			c.evictOldestLocked()
+		}
+	}
+	if familyKey != "" {
+		c.family[familyKey] = key
+	}
+}
+
+// Get retrieves a fallback answer: the exact key when present
+// (ModeStale), else the family's freshest answer (ModeStaleNearby).
+// Hits refresh recency. Nil-safe.
+func (c *StaleCache) Get(key, familyKey string) (val any, mode string, ok bool) {
+	if c == nil {
+		return nil, "", false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, hit := c.m[key]; hit {
+		c.lru.MoveToFront(el)
+		return el.Value.(*staleEntry).val, ModeStale, true
+	}
+	if familyKey == "" {
+		return nil, "", false
+	}
+	near, hit := c.family[familyKey]
+	if !hit {
+		return nil, "", false
+	}
+	el, live := c.m[near]
+	if !live {
+		// The family pointer outlived its entry's eviction; drop it.
+		delete(c.family, familyKey)
+		return nil, "", false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*staleEntry).val, ModeStaleNearby, true
+}
+
+// Len reports the retained answer count (tests, debug). Nil-safe.
+func (c *StaleCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// evictOldestLocked drops the least recently used entry and any family
+// pointer that named it. Callers hold c.mu.
+func (c *StaleCache) evictOldestLocked() {
+	el := c.lru.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*staleEntry)
+	c.lru.Remove(el)
+	delete(c.m, e.key)
+	if e.family != "" && c.family[e.family] == e.key {
+		delete(c.family, e.family)
+	}
+}

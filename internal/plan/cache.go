@@ -211,7 +211,18 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
-// read goes through the test hook when one is installed.
+// SetReadFile replaces the function cold disk reads go through
+// (os.ReadFile when nil). The serving layer chains fault injection and
+// a circuit breaker in front of the real read; tests count or block
+// reads. A failing read — injected, broken disk, or breaker fail-fast —
+// is a cache miss, never a wrong result. Install before the cache is
+// shared across goroutines: the field is read without synchronization
+// on the hot path.
+func (c *Cache) SetReadFile(fn func(path string) ([]byte, error)) {
+	c.readFile = fn
+}
+
+// read goes through the installed read function when one is set.
 func (c *Cache) read(path string) ([]byte, error) {
 	if c.readFile != nil {
 		return c.readFile(path)

@@ -91,6 +91,15 @@ func (e Executor) Run(jobs []Job, run func(i int, j Job) (Result, error)) []Outc
 					outcomes[i] = Outcome{Err: ErrSkipped}
 					continue
 				}
+				// A dead context (deadline budget spent, caller gone)
+				// bounds the execution at job granularity: cached jobs
+				// above still serve, but no new world starts. The
+				// context error is the job's outcome so the caller sees
+				// exactly why the study stopped.
+				if err := ctx.Err(); err != nil {
+					outcomes[i] = Outcome{Err: err}
+					continue
+				}
 				r, err := run(i, j)
 				if err != nil {
 					outcomes[i] = Outcome{Err: err}

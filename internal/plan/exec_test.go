@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -195,6 +196,36 @@ func TestExecutorParallel(t *testing.T) {
 		}
 		if out[i].Result.Seconds != float64(i) {
 			t.Errorf("outcome %d misaligned: %+v", i, out[i])
+		}
+	}
+}
+
+// TestExecutorDeadContextBoundsExecution: a context that dies (deadline
+// budget spent, caller gone) stops new worlds at job granularity — but
+// cached jobs still serve, mirroring the degrade-don't-discard rule for
+// fatal failures.
+func TestExecutorDeadContextBoundsExecution(t *testing.T) {
+	jobs := testJobs(5)
+	cache := NewCache()
+	if err := cache.Put(jobs[3], Result{Seconds: 7}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // dead before the first job starts
+	var ran int32
+	out := Executor{Parallel: 1, Cache: cache, Ctx: ctx}.Run(jobs, func(i int, j Job) (Result, error) {
+		atomic.AddInt32(&ran, 1)
+		return Result{Seconds: 1}, nil
+	})
+	if ran != 0 {
+		t.Errorf("ran %d jobs under a dead context, want 0", ran)
+	}
+	if !out[3].Cached || out[3].Result.Seconds != 7 {
+		t.Errorf("cached job under dead context = %+v, want served from cache", out[3])
+	}
+	for _, i := range []int{0, 1, 2, 4} {
+		if !errors.Is(out[i].Err, context.Canceled) {
+			t.Errorf("job %d err = %v, want context.Canceled", i, out[i].Err)
 		}
 	}
 }

@@ -142,6 +142,24 @@ func ParseQuery(v url.Values) (Query, error) {
 // cannot amortize. The rendered bytes are identical to the previous
 // Sprintf("%s.%s.p%d g%d t%d b%d x%d c%s") formatting.
 //
+// FamilyKey groups queries that answer "the same workload, differently
+// sliced": same benchmark, class, rank count and grid, any chain/trip/
+// repetition shape. It is the stale-serving degradation ladder's
+// "nearby" notion — when a query's exact answer is unavailable and the
+// service is unhealthy, another member of its family is the closest
+// honest substitute.
+func (q Query) FamilyKey() string {
+	b := make([]byte, 0, 24)
+	b = append(b, q.Bench...)
+	b = append(b, '.')
+	b = append(b, string(q.Class)...)
+	b = append(b, ".p"...)
+	b = strconv.AppendInt(b, int64(q.Procs), 10)
+	b = append(b, ".g"...)
+	b = strconv.AppendInt(b, int64(q.Grid), 10)
+	return string(b)
+}
+
 //kcvet:hotpath runs once per request on the /predict warm path
 func (q Query) Key() string {
 	b := make([]byte, 0, 64)

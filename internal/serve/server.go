@@ -15,13 +15,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
+	"os"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/fault"
+	"repro/internal/guard"
 	"repro/internal/harness"
 	"repro/internal/mpi"
 	"repro/internal/obs"
@@ -63,6 +68,20 @@ type Config struct {
 	// singleflight role). Writes are serialized by the server; the writer
 	// itself need not be concurrency-safe.
 	AccessLog io.Writer
+	// Guard, when non-nil, hardens the query endpoints against overload
+	// and dependency failure: per-endpoint deadline budgets (504),
+	// bounded-concurrency admission with deadline-aware queue shedding
+	// (503 + Retry-After), circuit breakers around on-demand measurement
+	// and cache disk reads, a token-bucket retry budget, and a
+	// stale-answer degradation ladder. Nil serves unguarded — the
+	// pre-hardening behavior, byte for byte.
+	Guard *guard.Guard
+	// Inject, when non-nil, perturbs the serving layer for chaos drills:
+	// slow or failing cache disk reads, failing on-demand measurements,
+	// added handler latency. Injection never corrupts a measured value —
+	// it fails operations or delays them — so the measurement cache stays
+	// clean and warm healthy answers stay byte-identical.
+	Inject *fault.ServeInjector
 }
 
 // Server answers prediction queries over HTTP. Create one with New and
@@ -75,6 +94,8 @@ type Server struct {
 	measureSem chan struct{}
 	sf         singleflight.Group[string, *harness.Study]
 	tracer     *obs.RequestTracer
+	guard      *guard.Guard
+	inject     *fault.ServeInjector
 	// windows holds one sliding-window latency histogram per endpoint,
 	// fully populated at construction so handlers index without locking.
 	windows map[string]*obs.WindowHistogram
@@ -113,6 +134,8 @@ func New(cfg Config) (*Server, error) {
 		measure:    cfg.Measure,
 		measureSem: make(chan struct{}, workers),
 		tracer:     cfg.Tracer,
+		guard:      cfg.Guard,
+		inject:     cfg.Inject,
 		windows:    make(map[string]*obs.WindowHistogram, len(endpointNames)),
 		version:    buildVersion(),
 		accessLog:  cfg.AccessLog,
@@ -121,7 +144,72 @@ func New(cfg Config) (*Server, error) {
 		s.windows[name] = obs.NewWindowHistogram(0)
 	}
 	s.analyze = s.runQuery
+	if s.guard != nil || s.inject != nil {
+		// Chain fault injection and the disk breaker in front of the
+		// cache's cold reads. Installed here, before the cache is served
+		// from, because SetReadFile is read unsynchronized on the hot
+		// path. A failing or fast-failed read is a cache miss — never a
+		// wrong result.
+		s.cache.SetReadFile(s.readCacheFile)
+	}
 	return s, nil
+}
+
+// readCacheFile is the guarded disk read behind cache misses: injected
+// latency first (a slow disk is slow before it answers), then the disk
+// breaker's verdict, then injected failure, then the real read. A
+// missing file is a normal cold miss and never counts against the
+// breaker — only I/O failures (real or injected) do.
+func (s *Server) readCacheFile(path string) ([]byte, error) {
+	if d := s.inject.DiskDelay(); d > 0 {
+		time.Sleep(d)
+	}
+	tk, err := s.diskBreaker().Allow()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.inject.DiskErr(); err != nil {
+		tk.Done(err)
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		tk.Done(err)
+		return nil, err
+	}
+	tk.Done(nil)
+	return data, err
+}
+
+// diskBreaker, measureBreaker and retryBudget return the guard's parts
+// when a guard is configured; their nil returns feed nil-safe methods,
+// so call sites stay branch-free.
+func (s *Server) diskBreaker() *guard.Breaker {
+	if s.guard == nil {
+		return nil
+	}
+	return s.guard.Disk
+}
+
+func (s *Server) measureBreaker() *guard.Breaker {
+	if s.guard == nil {
+		return nil
+	}
+	return s.guard.Measure
+}
+
+func (s *Server) retryBudget() *guard.RetryBudget {
+	if s.guard == nil {
+		return nil
+	}
+	return s.guard.Retry
+}
+
+func (s *Server) staleCache() *guard.StaleCache {
+	if s.guard == nil {
+		return nil
+	}
+	return s.guard.Stale
 }
 
 // Tracer returns the server's request tracer (nil when tracing is off),
@@ -159,12 +247,21 @@ func (s *Server) engineFor(q Query) (harness.Engine, error) {
 	if err != nil {
 		return harness.Engine{}, statusError{http.StatusBadRequest, err}
 	}
-	return harness.Engine{Workload: w, Opts: harness.Options{
+	o := harness.Options{
 		Blocks: q.Blocks, Passes: q.Passes, ActualRuns: 3,
 		Cache:       s.cache,
 		Metrics:     s.reg,
 		WorldDigest: tables.WorldDigest(prob, netModel),
-	}}, nil
+	}
+	if s.guard != nil {
+		// On-demand measurement may retry a failed window once, but every
+		// retry spends a token from the shared retry budget — under
+		// brownout the bucket drains and measurements fail fast instead of
+		// amplifying the overload.
+		o.MaxRetries = 1
+		o.RetryGate = s.guard.Retry.Spend
+	}
+	return harness.Engine{Workload: w, Opts: o}, nil
 }
 
 // runQuery resolves one query: pure cache re-analysis first, on-demand
@@ -204,11 +301,47 @@ func (s *Server) runQuery(ctx context.Context, q Query) (*harness.Study, error) 
 	defer func() { <-s.measureSem }()
 	s.reg.Counter("serve.measure.ondemand").Inc()
 	tr.Annotate("measured", "ondemand")
-	msp, mctx := obs.StartSpan(ctx, "measure.ondemand", q.Key())
-	st, err = eng.RunCtx(mctx, q.Trips, q.Chains)
-	msp.End()
+	st, err = s.measureOnce(ctx, eng, q)
+	if err != nil && s.guard != nil && !errors.Is(err, guard.ErrBreakerOpen) &&
+		s.guard.Retry.Spend() {
+		// One guarded retry: the failure may have been an injected or
+		// transient fault, and the token bucket bounds how much retrying
+		// the fleet does in aggregate. A breaker fast-fail is never
+		// retried — the breaker's whole point is to stop hammering.
+		s.reg.Counter("serve.measure.retry").Inc()
+		st, err = s.measureOnce(ctx, eng, q)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("on-demand measurement: %w", err)
+	}
+	return st, nil
+}
+
+// measureOnce is one breaker-guarded on-demand measurement attempt:
+// breaker verdict, injected measurement failure, then the real study.
+// Every outcome — injected or real — is reported to the breaker, so
+// consecutive chaos failures open it and a clean probe closes it.
+func (s *Server) measureOnce(ctx context.Context, eng harness.Engine, q Query) (*harness.Study, error) {
+	tk, err := s.measureBreaker().Allow()
+	if err != nil {
+		return nil, err
+	}
+	msp, mctx := obs.StartSpan(ctx, "measure.ondemand", q.Key())
+	if tk.Probe() {
+		// A half-open probe is load-bearing for recovery; make it visible
+		// in the trace tree and on the trace itself.
+		psp, _ := obs.StartSpan(mctx, "breaker.probe", "measure")
+		psp.End()
+		obs.TraceFrom(ctx).Annotate("breaker.probe", "measure")
+	}
+	var st *harness.Study
+	if err = s.inject.MeasureErr(); err == nil {
+		st, err = eng.RunCtx(mctx, q.Trips, q.Chains)
+	}
+	msp.End()
+	tk.Done(err)
+	if err != nil {
+		return nil, err
 	}
 	return st, nil
 }
@@ -218,16 +351,55 @@ func (s *Server) runQuery(ctx context.Context, q Query) (*harness.Study, error) 
 // and the followers share the leader's study. The leader publishes its
 // trace ID through the flight token, so a follower's trace names the
 // request whose work it waited on.
+//
+// The flight body detaches from the requesting caller's cancellation:
+// followers piled onto a flight must survive the leader's own requester
+// giving up (deadline spent, connection dropped), so the leader runs on
+// the guard's leader budget instead of any one caller's. When the
+// request carries a deadline, resolve waits for the flight in a select
+// and answers deterministically the moment the budget runs out — the
+// flight keeps going for whoever is still waiting, and this request's
+// trace is finished only once the flight lands (see wrap), because the
+// detached work keeps writing spans into it.
 func (s *Server) resolve(ctx context.Context, q Query) (*harness.Study, error) {
 	tr := obs.TraceFrom(ctx)
 	sp, sfctx := obs.StartSpan(ctx, "singleflight", "")
-	st, err, shared, fl := s.sf.DoFlight(q.Key(), func(fl *singleflight.Flight) (*harness.Study, error) {
+	fn := func(fl *singleflight.Flight) (*harness.Study, error) {
 		if tr != nil {
 			fl.SetToken(tr.ID)
 		}
 		s.reg.Counter("serve.analysis.count").Inc()
-		return s.analyze(sfctx, q)
-	})
+		dctx, dcancel := s.guard.Detach(sfctx)
+		defer dcancel()
+		return s.analyze(dctx, q)
+	}
+	var st *harness.Study
+	var err error
+	var shared bool
+	var fl *singleflight.Flight
+	if _, hasDeadline := ctx.Deadline(); hasDeadline {
+		ch := s.sf.DoFlightCh(q.Key(), fn)
+		select {
+		case res := <-ch:
+			st, err, shared, fl = res.Val, res.Err, res.Shared, res.Flight
+		case <-ctx.Done():
+			// Budget spent while the flight was still working. Hand the
+			// flight channel to wrap so the trace outlives this answer,
+			// and answer with the deterministic deadline body.
+			if fin, ok := ctx.Value(finishCtxKey{}).(*deferredFinish); ok {
+				fin.wait = ch
+			}
+			tr.Annotate("singleflight", "abandoned")
+			sp.SetDetail("abandoned")
+			sp.End()
+			return nil, budgetErr(ctx, ctx.Err())
+		}
+	} else {
+		// No deadline: run the flight synchronously on this goroutine —
+		// the unguarded warm path stays allocation-identical to the
+		// pre-hardening server.
+		st, err, shared, fl = s.sf.DoFlight(q.Key(), fn)
+	}
 	if shared {
 		s.reg.Counter("serve.singleflight.shared").Inc()
 		tr.Annotate("singleflight", "follower")
@@ -242,28 +414,96 @@ func (s *Server) resolve(ctx context.Context, q Query) (*harness.Study, error) {
 	return st, err
 }
 
-// Handler returns the service's HTTP mux.
+// Handler returns the service's HTTP mux. Only the query endpoints are
+// guarded: under overload the admission controller sheds prediction
+// work, while /healthz, /metrics and /version stay answerable — an
+// operator diagnosing a brownout must not be shed by it.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("GET /predict", s.wrap("predict", true, s.handlePredict))
-	mux.Handle("GET /couplings", s.wrap("couplings", true, s.handleCouplings))
-	mux.Handle("GET /study", s.wrap("study", true, s.handleStudy))
-	mux.Handle("GET /healthz", s.wrap("healthz", true, s.handleHealthz))
-	mux.Handle("GET /metrics", s.wrap("metrics", true, s.handleMetrics))
-	mux.Handle("GET /version", s.wrap("version", true, s.handleVersion))
+	mux.Handle("GET /predict", s.wrap("predict", true, true, s.handlePredict))
+	mux.Handle("GET /couplings", s.wrap("couplings", true, true, s.handleCouplings))
+	mux.Handle("GET /study", s.wrap("study", true, true, s.handleStudy))
+	mux.Handle("GET /healthz", s.wrap("healthz", true, false, s.handleHealthz))
+	mux.Handle("GET /metrics", s.wrap("metrics", true, false, s.handleMetrics))
+	mux.Handle("GET /version", s.wrap("version", true, false, s.handleVersion))
 	// The dump endpoint is metered but never traced: a /debug/requests
 	// request must not insert itself into the flight recorder it is
 	// reading, or repeated dumps would perturb what they report.
-	mux.Handle("GET /debug/requests", s.wrap("debug", false, s.handleDebugRequests))
+	mux.Handle("GET /debug/requests", s.wrap("debug", false, false, s.handleDebugRequests))
 	return mux
 }
+
+// statusClientClosed is the non-standard status for a request whose
+// client went away before the answer (nginx's 499 convention) — distinct
+// from 504 so abandonment and budget expiry are separable in metrics.
+const statusClientClosed = 499
+
+// statusOf maps a handler error to its HTTP status. Statuses >= 500 are
+// the degradation ladder's trigger: service failures may fall back to a
+// stale answer, client mistakes (4xx) never do.
+func statusOf(err error) int {
+	var se statusError
+	var shed *guard.ShedError
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.As(err, &se):
+		return se.code
+	case errors.As(err, &shed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, guard.ErrBreakerOpen):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosed
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// budgetInfo rides the request context so layers that only see a dead
+// context can still render the deterministic deadline body (which budget,
+// which endpoint) instead of the bare context sentinel.
+type budgetInfo struct {
+	endpoint string
+	budget   time.Duration
+}
+
+type budgetCtxKey struct{}
+
+// budgetErr upgrades a context error into the deterministic guard error
+// for the request's configured budget; errors that are not context
+// expiry (shed, breaker) pass through unchanged.
+func budgetErr(ctx context.Context, err error) error {
+	if bi, ok := ctx.Value(budgetCtxKey{}).(budgetInfo); ok && errors.Is(err, context.DeadlineExceeded) {
+		return &guard.DeadlineError{Endpoint: bi.endpoint, Budget: bi.budget}
+	}
+	return err
+}
+
+// deferredFinish lets resolve hand an abandoned flight back to wrap. Set
+// and read on the handler goroutine only — no lock. While wait is
+// non-nil the detached leader is still writing spans into this request's
+// trace, so the trace must not be finished (snapshotted into the flight
+// recorder) until the flight lands.
+type deferredFinish struct {
+	wait <-chan singleflight.FlightResult[*harness.Study]
+}
+
+type finishCtxKey struct{}
 
 // wrap gives every endpoint the same observability: request and error
 // counters, cumulative and sliding-window latency histograms, the shared
 // in-flight gauge, and — when the server has a tracer and traced is true
 // — a request trace whose ID is echoed in the X-Trace-Id header and whose
 // span tree is installed in the request context for every layer below.
-func (s *Server) wrap(name string, traced bool, h func(http.ResponseWriter, *http.Request) error) http.Handler {
+//
+// Guarded endpoints additionally pass through the overload hardening:
+// injected handler latency (chaos), the endpoint's deadline budget, and
+// the admission controller. Shed requests answer 503 with Retry-After,
+// spent budgets answer 504; both bodies are deterministic.
+func (s *Server) wrap(name string, traced, guarded bool, h func(http.ResponseWriter, *http.Request) error) http.Handler {
 	window := s.windows[name]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.reg.Gauge("serve.inflight").Add(1)
@@ -273,12 +513,42 @@ func (s *Server) wrap(name string, traced bool, h func(http.ResponseWriter, *htt
 		if traced {
 			tr = s.tracer.Start(name) // nil tracer → nil trace, all hooks no-op
 		}
+		var fin *deferredFinish
 		if tr != nil {
 			w.Header().Set("X-Trace-Id", tr.ID)
-			r = r.WithContext(obs.ContextWithTrace(r.Context(), tr))
+			ctx := obs.ContextWithTrace(r.Context(), tr)
+			fin = &deferredFinish{}
+			ctx = context.WithValue(ctx, finishCtxKey{}, fin)
+			r = r.WithContext(ctx)
+		}
+		if guarded {
+			// Handler latency injection hits only guarded endpoints, so
+			// /healthz stays a stable liveness signal during chaos.
+			if d := s.inject.HandlerDelay(); d > 0 {
+				time.Sleep(d)
+			}
+			if budget := s.guard.Budget(name); budget > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), budget)
+				defer cancel()
+				ctx = context.WithValue(ctx, budgetCtxKey{}, budgetInfo{endpoint: name, budget: budget})
+				r = r.WithContext(ctx)
+			}
+			s.retryBudget().OnRequest()
 		}
 		start := time.Now()
-		err := h(w, r)
+		var err error
+		if guarded && s.guard != nil && s.guard.Admission != nil {
+			if err = s.admit(r.Context()); err == nil {
+				// The EWMA behind deadline-aware shedding wants pure
+				// service time, so the release measures from grant — the
+				// latency histogram above still sees queue wait.
+				hstart := time.Now()
+				err = h(w, r)
+				s.guard.Admission.Release(time.Since(hstart))
+			}
+		} else {
+			err = h(w, r)
+		}
 		dur := time.Since(start)
 		s.reg.Histogram("serve.req." + name + ".latency_ns").Observe(dur.Nanoseconds())
 		window.Observe(dur.Nanoseconds())
@@ -286,17 +556,51 @@ func (s *Server) wrap(name string, traced bool, h func(http.ResponseWriter, *htt
 		var errMsg string
 		if err != nil {
 			s.reg.Counter("serve.req." + name + ".errors").Inc()
-			status = http.StatusInternalServerError
-			var se statusError
-			if errors.As(err, &se) {
-				status = se.code
+			status = statusOf(err)
+			var shed *guard.ShedError
+			if errors.As(err, &shed) {
+				w.Header().Set("Retry-After", strconv.Itoa(shed.RetryAfter))
+			}
+			switch status {
+			case http.StatusServiceUnavailable:
+				s.reg.Counter("serve.shed").Inc()
+			case http.StatusGatewayTimeout:
+				s.reg.Counter("serve.deadline_exceeded").Inc()
 			}
 			errMsg = err.Error()
 			writeJSON(w, status, errorResponse{Error: errMsg})
 		}
-		s.tracer.Finish(tr, status, errMsg)
+		if fin != nil && fin.wait != nil {
+			// A detached flight is still writing spans into this trace;
+			// finish (and record) it only once the flight lands, so the
+			// flight recorder never snapshots a trace mid-write and the
+			// abandoned request's full span tree survives for debugging.
+			wait, st, em := fin.wait, status, errMsg
+			go func() {
+				<-wait
+				s.tracer.Finish(tr, st, em)
+			}()
+		} else {
+			s.tracer.Finish(tr, status, errMsg)
+		}
 		s.logAccess(name, tr, status, dur, errMsg)
 	})
+}
+
+// admit runs the request through the admission controller, recording the
+// queue wait and any shed as spans. Context expiry while queued maps to
+// the deterministic deadline body via budgetErr.
+func (s *Server) admit(ctx context.Context) error {
+	qsp, _ := obs.StartSpan(ctx, "guard.queue", "")
+	err := s.guard.Admission.Acquire(ctx)
+	qsp.End()
+	if err == nil {
+		return nil
+	}
+	err = budgetErr(ctx, err)
+	ssp, _ := obs.StartSpan(ctx, "guard.shed", err.Error())
+	ssp.End()
+	return err
 }
 
 // accessRecord is one access-log line. Fields are fixed-order JSON so the
@@ -373,6 +677,10 @@ type PredictResponse struct {
 	ActualSeconds float64           `json:"actual_seconds"`
 	Predictors    []Predictor       `json:"predictors"`
 	Exec          harness.ExecStats `json:"exec"`
+	// Degraded is empty for fresh answers; "stale" or "stale-nearby" when
+	// the service was unhealthy and an old answer was served instead of a
+	// 5xx. Omitted when empty so healthy bodies stay byte-identical.
+	Degraded string `json:"degraded,omitempty"`
 }
 
 // handlePredict is the service's main warm path: a cached query must not
@@ -380,10 +688,11 @@ type PredictResponse struct {
 //
 //kcvet:hotpath /predict on a warm cache is the serving benchmark's measured path
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
-	st, err := s.study(r)
+	st, degraded, err := s.study(r)
 	if err != nil {
 		return err
 	}
+	tagDegraded(w, degraded)
 	sp, _ := obs.StartSpan(r.Context(), "respond", "")
 	lens := st.ChainLens()
 	preds := make([]Predictor, len(lens)+1)
@@ -405,6 +714,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 		ActualSeconds: st.Actual,
 		Exec:          st.Exec,
 		Predictors:    preds,
+		Degraded:      degraded,
 	}
 	err = writeJSON(w, http.StatusOK, resp)
 	sp.End()
@@ -445,19 +755,23 @@ type CouplingsResponse struct {
 	Workload string           `json:"workload"`
 	Trips    int              `json:"trips"`
 	Chains   []ChainCouplings `json:"chains"`
+	// Degraded mirrors PredictResponse.Degraded.
+	Degraded string `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleCouplings(w http.ResponseWriter, r *http.Request) error {
-	st, err := s.study(r)
+	st, degraded, err := s.study(r)
 	if err != nil {
 		return err
 	}
+	tagDegraded(w, degraded)
 	sp, _ := obs.StartSpan(r.Context(), "respond", "")
 	lens := st.ChainLens()
 	resp := CouplingsResponse{
 		Workload: st.Workload,
 		Trips:    st.Trips,
 		Chains:   make([]ChainCouplings, len(lens)),
+		Degraded: degraded,
 	}
 	for ci, L := range lens {
 		det := st.Details[L]
@@ -486,29 +800,62 @@ func (s *Server) handleCouplings(w http.ResponseWriter, r *http.Request) error {
 }
 
 func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) error {
-	st, err := s.study(r)
+	st, degraded, err := s.study(r)
 	if err != nil {
 		return err
 	}
+	tagDegraded(w, degraded)
 	sp, _ := obs.StartSpan(r.Context(), "respond", "")
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if degraded != "" {
+		fmt.Fprintf(w, "DEGRADED: serving %s answer\n", degraded)
+	}
 	_, err = fmt.Fprintf(w, "study: %s  trips=%d\n\n%s", st.Workload, st.Trips, harness.RenderStudy(st))
 	sp.End()
 	return err
 }
 
-// study parses the request's query and resolves it to a study.
-func (s *Server) study(r *http.Request) (*harness.Study, error) {
+// study parses the request's query and resolves it to a study. The
+// returned mode is "" for a fresh healthy answer, or the degradation
+// mode (guard.ModeStale / guard.ModeStaleNearby) when the service is
+// unhealthy and an old answer was served in place of a 5xx — the last
+// rung of the ladder before shedding. Client errors never degrade: a
+// 400 query is wrong, and an old answer to it would lie.
+func (s *Server) study(r *http.Request) (*harness.Study, string, error) {
 	ctx := r.Context()
 	sp, _ := obs.StartSpan(ctx, "parse", "")
 	q, err := ParseQuery(r.URL.Query())
 	if err != nil {
 		sp.End()
-		return nil, statusError{http.StatusBadRequest, err}
+		return nil, "", statusError{http.StatusBadRequest, err}
 	}
 	sp.SetDetail(q.Key())
 	sp.End()
-	return s.resolve(ctx, q)
+	st, err := s.resolve(ctx, q)
+	if err == nil {
+		s.staleCache().Put(q.Key(), q.FamilyKey(), st)
+		return st, "", nil
+	}
+	if statusOf(err) >= 500 {
+		if v, mode, ok := s.staleCache().Get(q.Key(), q.FamilyKey()); ok {
+			s.reg.Counter("serve.degraded").Inc()
+			tr := obs.TraceFrom(ctx)
+			tr.Annotate("degraded", mode)
+			tr.Annotate("degraded_cause", err.Error())
+			return v.(*harness.Study), mode, nil
+		}
+	}
+	return nil, "", err
+}
+
+// tagDegraded marks a degraded response so clients and tests can tell a
+// stale answer from a fresh one without diffing bodies. Healthy
+// responses get no header and no body field — byte-identical to the
+// unguarded server.
+func tagDegraded(w http.ResponseWriter, mode string) {
+	if mode != "" {
+		w.Header().Set("X-Degraded", mode)
+	}
 }
 
 type healthResponse struct {

@@ -106,6 +106,34 @@ func (g *Group[K, V]) DoFlight(key K, fn func(*Flight) (V, error)) (v V, err err
 	return c.val, c.err, false, &c.flight
 }
 
+// FlightResult is one DoFlightCh outcome: the values DoFlight returns,
+// delivered over a channel instead of on the caller's stack.
+type FlightResult[V any] struct {
+	Val    V
+	Err    error
+	Shared bool
+	Flight *Flight
+}
+
+// DoFlightCh is DoFlight for callers that may not be able to wait: the
+// flight runs on its own goroutine and the result is delivered on the
+// returned channel (buffered, so an abandoned flight never blocks on a
+// caller that gave up). A serving layer selects between this channel
+// and its request's deadline — the computation keeps running for the
+// flight's other followers even after this caller stops listening. The
+// caller controls the computation's lifetime through the context
+// captured by fn, not through the wait: pass fn a context detached from
+// the caller's cancellation or the early-returning caller takes every
+// follower's work down with it.
+func (g *Group[K, V]) DoFlightCh(key K, fn func(*Flight) (V, error)) <-chan FlightResult[V] {
+	ch := make(chan FlightResult[V], 1)
+	go func() {
+		v, err, shared, fl := g.DoFlight(key, fn)
+		ch <- FlightResult[V]{Val: v, Err: err, Shared: shared, Flight: fl}
+	}()
+	return ch
+}
+
 // Waiters reports how many callers are currently blocked behind the key's
 // in-flight leader; zero when nothing is in flight. It is an observation
 // hook for tests and metrics — the value is stale the moment it returns,

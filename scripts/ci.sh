@@ -143,4 +143,45 @@ else
     echo "==> bench failed (non-gating, continuing)"
 fi
 
+# Chaos-serve gate: a race-built kcserved with the full guard stack and
+# deterministic fault injection must survive its own chaos drill — the
+# breaker opens on injected measurement failures, fast-fails, probes and
+# closes after cooldown; an unanswerable query degrades to a tagged
+# nearby answer; an overload burst sheds 503 + Retry-After with the
+# serve.shed counter matching the client's tally; warm answers stay
+# byte-identical throughout; and the service drains with no stuck
+# gauges and exits cleanly on SIGTERM. Latency quantiles under chaos
+# are merged into today's BENCH file (after make bench, so the archive
+# survives). The drill needs a freshly warmed cache: its own recovery
+# probe persists measurements, so a reused cache dir would no longer be
+# cold where the drill expects it.
+echo "==> chaos-serve: hardened kcserved survives injected faults and overload"
+go build -o /tmp/kc-couple ./cmd/couple
+go build -race -o /tmp/kc-chaos-serve ./cmd/kcserved
+rm -rf /tmp/kc-chaos-cache
+/tmp/kc-couple -bench BT -grid 8 -trips 2 -procs 4 -chains 2,5 -blocks 2 \
+    -cache-dir /tmp/kc-chaos-cache >/dev/null 2>&1
+/tmp/kc-chaos-serve -addr 127.0.0.1:18641 -cache-dir /tmp/kc-chaos-cache \
+    -measure -measure-workers 2 \
+    -deadline 2s -deadline-measure 10s -max-inflight 3 -queue 3 \
+    -breaker-failures 2 -breaker-cooldown 300ms -stale 16 \
+    -fault-spec 'measure:count=2;diskslow:p=0.3,mean=2ms;handler:delay=4ms,p=0.25' \
+    -fault-seed 7 2>/tmp/kc-chaos-serve.err &
+chaos_pid=$!
+if ! /tmp/kc-chaos-serve -selfcheck http://127.0.0.1:18641 -selfcheck-chaos \
+    -selfcheck-query 'bench=BT&grid=8&trips=2&procs=4&chains=2,5&blocks=2' \
+    -selfcheck-deadline 2s -selfcheck-bench-out "BENCH_$(date +%F).json"; then
+    echo "==> chaos-serve gate FAILED: chaos drill" >&2
+    cat /tmp/kc-chaos-serve.err >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+fi
+kill -TERM "$chaos_pid"
+if ! wait "$chaos_pid"; then
+    echo "==> chaos-serve gate FAILED: kcserved did not exit cleanly on SIGTERM after chaos" >&2
+    cat /tmp/kc-chaos-serve.err >&2
+    exit 1
+fi
+rm -rf /tmp/kc-chaos-cache /tmp/kc-chaos-serve /tmp/kc-chaos-serve.err /tmp/kc-couple
+
 echo "==> ci: all gates passed"

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/serve"
@@ -25,19 +26,39 @@ import (
 // BenchmarkServePredictTraced is the same load with request tracing and
 // the flight recorder on; the two archived together bound the
 // observability overhead (the acceptance bar is within 5% ns/op).
+//
+// BenchmarkServePredictGuarded runs the same load through the full
+// serving guard — deadline budgets, admission control, circuit
+// breakers, retry budget and the stale-answer ladder, all sized so
+// nothing sheds — so the archive bounds the guard's warm fast-path
+// overhead the same way (kcvet -benchdiff gates ns/op and allocs/op).
 func BenchmarkServePredict(b *testing.B) {
-	benchServePredict(b, nil)
+	benchServePredict(b, nil, nil)
 }
 
 func BenchmarkServePredictTraced(b *testing.B) {
 	benchServePredict(b, obs.NewRequestTracer(obs.TracerConfig{
 		Recorder: obs.NewFlightRecorder(0, 0),
+	}), nil)
+}
+
+func BenchmarkServePredictGuarded(b *testing.B) {
+	benchServePredict(b, nil, guard.New(guard.Config{
+		Deadline:        10 * time.Second,
+		LeaderBudget:    10 * time.Second,
+		MaxInflight:     64,
+		QueueDepth:      128,
+		BreakerFailures: 5,
+		BreakerCooldown: 5 * time.Second,
+		RetryRatio:      0.1,
+		StaleCap:        64,
+		Seed:            1,
 	}))
 }
 
-func benchServePredict(b *testing.B, tracer *obs.RequestTracer) {
+func benchServePredict(b *testing.B, tracer *obs.RequestTracer, g *guard.Guard) {
 	cache := plan.NewCache()
-	srv, err := serve.New(serve.Config{Cache: cache, Measure: true, Tracer: tracer})
+	srv, err := serve.New(serve.Config{Cache: cache, Measure: true, Tracer: tracer, Guard: g})
 	if err != nil {
 		b.Fatal(err)
 	}
