@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obscli"
 	"repro/internal/plan"
+	"repro/internal/predict"
 	"repro/internal/prophesy"
 	"repro/internal/stats"
 	"repro/internal/tables"
@@ -52,6 +54,15 @@ func main() {
 		parallel  = flag.Int("parallel", 1, "measurement worker count (1 = sequential, preserves timing fidelity)")
 		cacheDir  = flag.String("cache-dir", "", "persist the content-addressed measurement cache in this directory")
 		fromCache = flag.Bool("from-cache", false, "re-analyze from the -cache-dir cache without running any world")
+
+		backend = flag.String("backend", "measured",
+			"predictor backend: measured, cached, interpolated, analytic, or measured+analytic (measure, then compare against the analytic model)")
+		lattice = flag.String("lattice", "",
+			"interpolation lattice: ';'-separated query items, e.g. \"bench=BT&grid=6;bench=BT&grid=8\"")
+		agreeMax = flag.Int("agree-max", -1,
+			"with -backend measured+analytic, fail when more than this many windows fall outside the analytic band (-1 = report only)")
+		analyticBand = flag.Float64("analytic-band", 0,
+			"minimum relative half-width of the analytic confidence band (0 = model default)")
 	)
 	var obsFlags obscli.Flags
 	obsFlags.Register(nil)
@@ -102,6 +113,20 @@ func main() {
 	w, err := tables.NewWorkload(benchName, cls, prob, *procs, worldOpts)
 	if err != nil {
 		fail("%v", err)
+	}
+
+	q := predict.Query{
+		Bench: benchName, Class: cls, Procs: *procs, Chains: chainLens,
+		Trips: nTrips, Blocks: *blocks, Passes: *passes, Grid: *grid,
+	}
+	backendName := strings.ToLower(strings.TrimSpace(*backend))
+	switch backendName {
+	case "", "measured", "measured+analytic":
+		// The measured path continues below; measured+analytic decorates
+		// its study with the analytic comparison before rendering.
+	default:
+		runBackend(backendName, *lattice, *cacheDir, *net, *parallel, *analyticBand, q)
+		return
 	}
 
 	if *reuse != "" {
@@ -208,9 +233,24 @@ func main() {
 		fmt.Printf("saved %d measurements for %s to %s\n\n", db.Len(), key, *saveDB)
 	}
 
+	if backendName == "measured+analytic" {
+		if err := analyticCompare(study, q, *analyticBand); err != nil {
+			fail("analytic comparison: %v", err)
+		}
+	}
+
 	// The full report: tables, predictions, and — only when the study
 	// degraded — the degradation section.
 	fmt.Print(harness.RenderStudy(study))
+
+	if backendName == "measured+analytic" {
+		dis := study.AnalyticDisagreements()
+		total := len(study.AnalyticCmp)
+		fmt.Printf("analytic agreement: %d/%d windows in band\n", total-dis, total)
+		if *agreeMax >= 0 && dis > *agreeMax {
+			fail("analytic model disagrees with measurement on %d windows (max allowed %d)", dis, *agreeMax)
+		}
+	}
 
 	// Cache statistics go to stderr so the study report on stdout stays
 	// byte-identical whether or not the cache served it.
@@ -283,6 +323,79 @@ func runReuse(w *harness.NPBWorkload, dbPath, refSpec string, cls npb.Class, tri
 			stats.Seconds(pred.Total), stats.Percent(stats.RelativeError(pred.Total, actual)))
 	}
 	fmt.Println(pt.String())
+}
+
+// runBackend answers the study question through a non-measured predictor
+// backend: the same interface kcserved serves, driven from the command
+// line. Cached and interpolated need a warmed -cache-dir; analytic needs
+// nothing but the query's geometry.
+func runBackend(name, latticeSpec, cacheDir string, net bool, parallel int, bandFloor float64, q predict.Query) {
+	cfg := tables.BackendConfig{Parallel: parallel}
+	if net {
+		m := mpi.IBMSPModel()
+		cfg.Net = &m
+	}
+	if cacheDir != "" {
+		cache, err := plan.NewDirCache(cacheDir)
+		if err != nil {
+			fail("%v", err)
+		}
+		cfg.Cache = cache
+	}
+	if latticeSpec != "" {
+		l, err := tables.ParseLattice(latticeSpec)
+		if err != nil {
+			fail("%v", err)
+		}
+		cfg.Lattice = l
+	}
+	b, err := tables.NewBackend(name, cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+	if a, ok := b.(*predict.Analytic); ok && bandFloor > 0 {
+		a.BandFloor = bandFloor
+	}
+	pr, err := b.Predict(context.Background(), q)
+	if err != nil {
+		fail("backend %s: %v", name, err)
+	}
+	fmt.Printf("backend: %s (provenance %s)\n", name, pr.Provenance)
+	fmt.Printf("prediction: %s in [%s, %s]\n\n",
+		stats.Seconds(pr.Value), stats.Seconds(pr.Band.Lo), stats.Seconds(pr.Band.Hi))
+	if pr.Study != nil {
+		fmt.Print(harness.RenderStudy(pr.Study))
+	}
+}
+
+// analyticCompare attaches the per-window measured-vs-analytic
+// comparison to a measured study, feeding the report's disagreement
+// columns.
+func analyticCompare(study *harness.Study, q predict.Query, bandFloor float64) error {
+	ab := tables.NewAnalytic()
+	if bandFloor > 0 {
+		ab.BandFloor = bandFloor
+	}
+	bands, err := ab.WindowBands(q)
+	if err != nil {
+		return err
+	}
+	byKey := make(map[string]predict.WindowBand, len(bands))
+	for _, b := range bands {
+		byKey[core.Key(b.Window)] = b
+	}
+	for _, L := range study.ChainLens() {
+		for _, wc := range study.Details[L].Couplings {
+			b, ok := byKey[wc.Key()]
+			if !ok {
+				continue
+			}
+			study.AnalyticCmp = append(study.AnalyticCmp, harness.AnalyticWindow{
+				Key: wc.Key(), Measured: wc.C, Analytic: b.C, Lo: b.Lo, Hi: b.Hi,
+			})
+		}
+	}
+	return nil
 }
 
 func fail(format string, args ...any) {

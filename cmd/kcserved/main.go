@@ -66,6 +66,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -74,7 +75,9 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obscli"
 	"repro/internal/plan"
+	"repro/internal/predict"
 	"repro/internal/serve"
+	"repro/internal/tables"
 )
 
 func main() {
@@ -84,6 +87,8 @@ func main() {
 		measure  = flag.Bool("measure", false, "measure cache misses on demand instead of returning 404")
 		workers  = flag.Int("measure-workers", 1, "bound on concurrent on-demand measurement studies")
 		netModel = flag.Bool("net", false, "serve the net-modeled cache namespace (must match the warming run's -net)")
+		backends = flag.String("backends", "", "comma-separated default predictor chain, tried in order (measured, cached, interpolated, analytic; empty = cached then measured when -measure)")
+		lattice  = flag.String("lattice", "", "interpolation lattice: ';'-separated query items, e.g. \"bench=BT&grid=6;bench=BT&grid=8\"")
 		metrics  = flag.String("metrics-out", "", "write a run manifest with the final metric snapshot on shutdown")
 		grace    = flag.Duration("shutdown-grace", 30*time.Second, "how long shutdown waits for in-flight requests to drain")
 
@@ -204,6 +209,17 @@ func main() {
 		inj = fault.NewServeInjector(spec, *faultSeed, reg)
 		fmt.Fprintf(os.Stderr, "kcserved: CHAOS fault injection active: %s (seed %d)\n", spec, *faultSeed)
 	}
+	var chain []string
+	if *backends != "" {
+		chain = strings.Split(*backends, ",")
+	}
+	var latticeQs []predict.Query
+	if *lattice != "" {
+		latticeQs, err = tables.ParseLattice(*lattice)
+		if err != nil {
+			fail("%v", err)
+		}
+	}
 	srv, err := serve.New(serve.Config{
 		Cache:          cache,
 		Metrics:        reg,
@@ -214,6 +230,8 @@ func main() {
 		AccessLog:      accessLog,
 		Guard:          g,
 		Inject:         inj,
+		Backends:       chain,
+		Lattice:        latticeQs,
 	})
 	if err != nil {
 		fail("%v", err)

@@ -20,6 +20,10 @@
 //  5. measure the target for real and report the errors.
 //
 //     go run ./examples/crosssize
+//
+// The same workflow runs in CI as internal/tables' cross-size
+// interpolation regression test, which drives it through the
+// predict.Interpolated backend instead of hand-wiring the steps.
 package main
 
 import (

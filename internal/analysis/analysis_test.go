@@ -25,6 +25,7 @@ var fixtureCases = []struct {
 	{"faultpkg", Determinism},
 	{"obsregistry", Determinism},
 	{"planpkg", Determinism},
+	{"predictpkg", Determinism},
 	{"floatsum", FloatSum},
 	{"errcheckmpi", ErrcheckMPI},
 	{"lockio", LockIO},

@@ -23,6 +23,7 @@ var determinismScope = map[string]bool{
 	"repro/internal/memmodel": true,
 	"repro/internal/obs":      true,
 	"repro/internal/plan":     true,
+	"repro/internal/predict":  true,
 	"repro/internal/stats":    true,
 	"repro/internal/tables":   true,
 	"repro/internal/trace":    true,

@@ -1,0 +1,50 @@
+// Package fixture exercises the determinism analyzer against the
+// mistakes that would break the predictor backends: a chain must try its
+// backends in the configured order on every run (which backend answers
+// is part of the response's provenance contract), and a prediction's
+// identity must not fold in wall-clock state — two processes asking the
+// same question must agree byte for byte.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+type prediction struct {
+	value      float64
+	provenance string
+}
+
+type backend func() (prediction, bool)
+
+type chain struct {
+	backends map[string]backend
+}
+
+func (c *chain) predict() (prediction, bool) {
+	for name, b := range c.backends { // finding: map order varies per run
+		if pr, ok := b(); ok {
+			pr.provenance = name
+			return pr, true
+		}
+	}
+	return prediction{}, false
+}
+
+func (c *chain) names() []string {
+	names := make([]string, 0, len(c.backends))
+	for name := range c.backends { // ok: collecting keys for sorting
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func stampedKey(bench string, procs int) string {
+	// A timestamp in the prediction key makes every lookup a miss and
+	// every run's provenance different.
+	stamp := time.Now().UnixNano() // finding
+	return fmt.Sprintf("%s.p%d.at=%d", bench, procs, stamp)
+}

@@ -263,6 +263,42 @@ type Study struct {
 	// Exec summarizes how the planned jobs were satisfied (executed vs
 	// served from cache).
 	Exec ExecStats
+	// AnalyticCmp, when non-empty, compares each measured window coupling
+	// against the analytic backend's predicted band; the report renders
+	// it as a per-window disagreement column. Empty on plain studies, so
+	// clean output stays byte-identical.
+	AnalyticCmp []AnalyticWindow
+}
+
+// AnalyticWindow is one window's measured-vs-analytic coupling
+// comparison: the measured C_S against the analytic model's prediction
+// and its stated confidence band.
+type AnalyticWindow struct {
+	// Key is the window's canonical key (core.Key).
+	Key string
+	// Measured is the study's measured coupling value.
+	Measured float64
+	// Analytic is the model's predicted coupling value.
+	Analytic float64
+	// Lo and Hi are the model's own confidence band.
+	Lo, Hi float64
+}
+
+// InBand reports whether the measured value lies inside the analytic
+// band (inclusive).
+func (a AnalyticWindow) InBand() bool { return a.Measured >= a.Lo && a.Measured <= a.Hi }
+
+// AnalyticDisagreements counts the compared windows whose measured
+// coupling left the analytic band — the quantity the CI backend-
+// agreement gate thresholds.
+func (s *Study) AnalyticDisagreements() int {
+	n := 0
+	for _, a := range s.AnalyticCmp {
+		if !a.InBand() {
+			n++
+		}
+	}
+	return n
 }
 
 // RunStudy measures the workload and produces predictions for every chain

@@ -29,12 +29,36 @@ func RenderStudy(s *Study) string {
 	for _, d := range s.Health.Degraded {
 		degradedAt[fmt.Sprintf("%d/%s", d.ChainLen, d.Kernel)] = d.Mode
 	}
+	analytic := make(map[string]AnalyticWindow, len(s.AnalyticCmp))
+	for _, aw := range s.AnalyticCmp {
+		analytic[aw.Key] = aw
+	}
 	for _, L := range s.ChainLens() {
 		det := s.Details[L]
-		ct := stats.NewTable(fmt.Sprintf("Coupling values, chain length %d", L), "Window", "P_S", "C_S", "Regime")
+		cols := []string{"Window", "P_S", "C_S", "Regime"}
+		if len(analytic) > 0 {
+			// The disagreement columns appear only when an analytic
+			// comparison was requested, so plain reports keep their
+			// pre-backend bytes.
+			cols = append(cols, "C_analytic", "Analytic band", "In band")
+		}
+		ct := stats.NewTable(fmt.Sprintf("Coupling values, chain length %d", L), cols...)
 		for _, wc := range det.Couplings {
-			ct.AddRow(strings.Join(wc.Window, ", "), stats.Seconds(wc.Chained),
-				fmt.Sprintf("%.4f", wc.C), wc.Regime(0.02).String())
+			row := []string{strings.Join(wc.Window, ", "), stats.Seconds(wc.Chained),
+				fmt.Sprintf("%.4f", wc.C), wc.Regime(0.02).String()}
+			if len(analytic) > 0 {
+				if aw, ok := analytic[wc.Key()]; ok {
+					inBand := "no"
+					if aw.InBand() {
+						inBand = "yes"
+					}
+					row = append(row, fmt.Sprintf("%.4f", aw.Analytic),
+						fmt.Sprintf("[%.4f, %.4f]", aw.Lo, aw.Hi), inBand)
+				} else {
+					row = append(row, "-", "-", "-")
+				}
+			}
+			ct.AddRow(row...)
 		}
 		b.WriteString(ct.String())
 		b.WriteByte('\n')

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// A study carrying an analytic comparison must render the per-window
+// disagreement columns; a plain study must not (its bytes are pinned by
+// the golden report test).
+func TestRenderStudyAnalyticColumns(t *testing.T) {
+	w := &Synthetic{
+		SyntheticName: "cmp",
+		Loop:          []string{"a", "b", "c"},
+		Base:          map[string]float64{"a": 1, "b": 2, "c": 3},
+		Delta:         map[string]float64{core.Key([]string{"a", "b"}): 0.5},
+	}
+	st, err := Engine{Workload: w}.Run(2, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain := RenderStudy(st)
+	if strings.Contains(plain, "C_analytic") {
+		t.Fatal("plain study must not render analytic columns")
+	}
+
+	ab, err := st.Measurements.CouplingOf([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AnalyticCmp = []AnalyticWindow{
+		{Key: core.Key([]string{"a", "b"}), Measured: ab.C, Analytic: 1.0, Lo: 0.9, Hi: 2.0},
+		{Key: core.Key([]string{"b", "c"}), Measured: 1.0, Analytic: 1.5, Lo: 1.2, Hi: 1.8},
+	}
+	if st.AnalyticDisagreements() != 1 {
+		t.Fatalf("disagreements = %d, want 1 (b|c measured 1.0 outside [1.2, 1.8])", st.AnalyticDisagreements())
+	}
+
+	out := RenderStudy(st)
+	for _, want := range []string{"C_analytic", "Analytic band", "In band", "[0.9000, 2.0000]", "yes", "no"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("analytic report missing %q:\n%s", want, out)
+		}
+	}
+	// The c|a window has no comparison entry: rendered as dashes, not
+	// dropped and not fabricated.
+	if !strings.Contains(out, "-") {
+		t.Fatalf("uncompared window should render dashes:\n%s", out)
+	}
+}

@@ -1,0 +1,322 @@
+package predict
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/memmodel"
+	"repro/internal/model"
+	"repro/internal/npb"
+	"repro/internal/obs"
+)
+
+// Defaults for the interpolated backend's tunables.
+const (
+	// DefaultTransitionThreshold is the relative coupling change that
+	// counts as a cache-capacity transition when fitting the step model —
+	// the same scale memmodel's sweep tests use.
+	DefaultTransitionThreshold = 0.08
+	// DefaultBandFloor is the minimum relative half-width of a model-based
+	// confidence band: even a perfectly fitting lattice never claims
+	// better than ±25%, because the backend extrapolates structure, not
+	// noise.
+	DefaultBandFloor = 0.25
+)
+
+// Interpolated answers a query from a lattice of already-measured
+// neighboring configurations, with no new measurement: per-kernel isolated
+// times come from least-squares scaling models calibrated on the lattice,
+// and per-window coupling values come from the paper's §4.1
+// finite-transition observation — C_S is piecewise-constant in the
+// per-processor working set, so a step model fitted over the lattice's
+// coupling series evaluates at the target's working-set size and the
+// containing plateau's spread becomes the confidence band.
+type Interpolated struct {
+	// Source resolves a lattice point to its study; a point whose study
+	// cannot be loaded (cache miss) is skipped, not fatal.
+	Source StudyFn
+	// Lattice lists the candidate seed configurations. Points matching
+	// the target's key, or a different benchmark, are ignored.
+	Lattice []Query
+	// Problem maps a query to its problem geometry, for the model
+	// parameters and the working-set axis.
+	Problem func(Query) (npb.Problem, error)
+	// Threshold is the step-model transition threshold;
+	// DefaultTransitionThreshold when zero.
+	Threshold float64
+	// BandFloor is the minimum relative band half-width;
+	// DefaultBandFloor when zero.
+	BandFloor float64
+}
+
+// Name implements Predictor.
+func (ip *Interpolated) Name() string { return string(ProvInterpolated) }
+
+// latticePoint is one loaded lattice study with its model parameters.
+type latticePoint struct {
+	q      Query
+	st     *harness.Study
+	params model.Params
+	// x is the per-rank cell count — the working-set axis the step model
+	// is fitted over (cache capacity is contended per processor).
+	x float64
+}
+
+// Predict implements Predictor. It refuses (ErrUnanswerable) when fewer
+// than two lattice points are loadable for the target's benchmark — one
+// point cannot distinguish a plateau from a transition.
+func (ip *Interpolated) Predict(ctx context.Context, q Query) (Prediction, error) {
+	if ip.Problem == nil {
+		return Prediction{}, fmt.Errorf("predict: interpolated backend needs a Problem builder")
+	}
+	pts, err := ip.load(ctx, q)
+	if err != nil {
+		return Prediction{}, err
+	}
+	if len(pts) < 2 {
+		return Prediction{}, Unanswerable(fmt.Errorf(
+			"predict: interpolation needs >= 2 cached lattice studies for %s, have %d", q.Bench, len(pts)))
+	}
+	obs.TraceFrom(ctx).Annotate("lattice", fmt.Sprintf("%d points", len(pts)))
+
+	prob, err := ip.Problem(q)
+	if err != nil {
+		return Prediction{}, err
+	}
+	target := model.Params{N1: prob.N1, N2: prob.N2, N3: prob.N3, Procs: q.Procs}
+	targetX := target.Cells() / float64(q.Procs)
+
+	// The target app keeps the lattice's kernel structure — same
+	// benchmark, same ring — with the target's trip count.
+	app := pts[0].st.App
+	app.Trips = q.Trips
+	app.Name = q.Workload()
+
+	m, maxResid, err := ip.isolatedTimes(app, pts, target)
+	if err != nil {
+		return Prediction{}, err
+	}
+	windows, maxSpread, err := ip.windowCouplings(app, pts, q, targetX, m)
+	if err != nil {
+		return Prediction{}, err
+	}
+
+	st, err := synthesizeStudy(app, m, q)
+	if err != nil {
+		return Prediction{}, err
+	}
+	pr := FromStudy(st, ProvInterpolated)
+	pr.Windows = windows
+	rel := ip.bandFloor() + maxResid + maxSpread
+	pr.Band = relBand(pr.Value, pr.Band, rel)
+	return pr, nil
+}
+
+func (ip *Interpolated) threshold() float64 {
+	if ip.Threshold > 0 {
+		return ip.Threshold
+	}
+	return DefaultTransitionThreshold
+}
+
+func (ip *Interpolated) bandFloor() float64 {
+	if ip.BandFloor > 0 {
+		return ip.BandFloor
+	}
+	return DefaultBandFloor
+}
+
+// load resolves the usable lattice points, sorted ascending by working-set
+// axis. The target itself is excluded so held-out validation stays honest.
+func (ip *Interpolated) load(ctx context.Context, q Query) ([]latticePoint, error) {
+	tkey := q.Key()
+	pts := make([]latticePoint, 0, len(ip.Lattice))
+	for _, lq := range ip.Lattice {
+		if lq.Bench != q.Bench || lq.Key() == tkey {
+			continue
+		}
+		prob, err := ip.Problem(lq)
+		if err != nil {
+			return nil, fmt.Errorf("predict: lattice point %s: %w", lq.Key(), err)
+		}
+		st, err := ip.Source(ctx, lq)
+		if err != nil {
+			// An unloadable point shrinks the lattice; the >= 2 floor
+			// decides whether the backend can still answer.
+			continue
+		}
+		p := model.Params{N1: prob.N1, N2: prob.N2, N3: prob.N3, Procs: lq.Procs}
+		pts = append(pts, latticePoint{
+			q:      lq,
+			st:     st,
+			params: p,
+			x:      p.Cells() / float64(lq.Procs),
+		})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+	return pts, nil
+}
+
+// isolatedTimes calibrates one scaling model per kernel on the lattice's
+// isolated measurements and evaluates it at the target, returning the
+// synthesized measurement set (isolated entries only) and the largest
+// relative calibration residual across kernels — the model's own error
+// estimate, folded into the band.
+//
+// The terms are Constant + CellsTotal: the simulated ranks are goroutines
+// time-sharing the host's CPUs, so kernel wall-clock tracks total work,
+// not per-rank work (the examples/crosssize calibration note).
+func (ip *Interpolated) isolatedTimes(app core.App, pts []latticePoint, target model.Params) (core.Measurements, float64, error) {
+	m := core.NewMeasurements()
+	var maxResid float64
+	for _, k := range app.KernelsSorted() {
+		km := model.NewKernelModel(k, model.Constant(), model.CellsTotal())
+		obsv := make([]model.Observation, 0, len(pts))
+		for _, pt := range pts {
+			iso, ok := pt.st.Measurements.Isolated[k]
+			if !ok {
+				return core.Measurements{}, 0, Unanswerable(fmt.Errorf(
+					"predict: lattice study %s has no isolated measurement for kernel %q", pt.q.Key(), k))
+			}
+			obsv = append(obsv, model.Observation{Params: pt.params, Seconds: iso})
+		}
+		if err := km.Calibrate(obsv); err != nil {
+			return core.Measurements{}, 0, Unanswerable(fmt.Errorf("predict: calibrating %q: %w", k, err))
+		}
+		resid, err := km.Residuals(obsv)
+		if err != nil {
+			return core.Measurements{}, 0, err
+		}
+		for _, r := range resid {
+			if a := math.Abs(r); a > maxResid && !math.IsInf(a, 1) {
+				maxResid = a
+			}
+		}
+		v, err := km.Predict(target)
+		if err != nil {
+			return core.Measurements{}, 0, err
+		}
+		// A least-squares extrapolation can undershoot into nonsense;
+		// clamp to a tiny positive time so the composition algebra's
+		// non-negativity invariants hold.
+		if v <= 0 {
+			v = 1e-12
+		}
+		m.Isolated[k] = v
+	}
+	return m, maxResid, nil
+}
+
+// windowCouplings predicts every requested window's coupling value by
+// fitting a step model over the lattice's measured C series (ordered by
+// per-rank working set) and evaluating at the target size. The synthesized
+// window measurements P_S = C·ΣP_k are written into m; the returned bands
+// carry the plateau spread, and maxSpread is the largest relative spread —
+// the finite-transition model's own uncertainty.
+func (ip *Interpolated) windowCouplings(app core.App, pts []latticePoint, q Query, targetX float64, m core.Measurements) ([]WindowBand, float64, error) {
+	xs := make([]float64, len(pts))
+	for i, pt := range pts {
+		xs[i] = pt.x
+	}
+	var bands []WindowBand
+	var maxSpread float64
+	for _, L := range sortedChains(q.Chains) {
+		if L < 2 {
+			continue
+		}
+		windows, err := app.Loop.Windows(L)
+		if err != nil {
+			return nil, 0, Unanswerable(fmt.Errorf("predict: target windows at L=%d: %w", L, err))
+		}
+		for _, w := range windows {
+			key := core.Key(w)
+			if _, done := m.Window[key]; done {
+				continue
+			}
+			cs := make([]float64, len(pts))
+			for i, pt := range pts {
+				wc, err := pt.st.Measurements.CouplingOf(w)
+				if err != nil {
+					return nil, 0, Unanswerable(fmt.Errorf(
+						"predict: lattice study %s has no coupling for window %s: %w", pt.q.Key(), key, err))
+				}
+				cs[i] = wc.C
+			}
+			step, err := memmodel.FitStep(xs, cs, ip.threshold())
+			if err != nil {
+				return nil, 0, err
+			}
+			c, lo, hi := step.Eval(targetX)
+			var iso float64
+			for _, k := range w {
+				iso += m.Isolated[k]
+			}
+			m.Window[key] = c * iso
+			bands = append(bands, WindowBand{Window: append([]string(nil), w...), C: c, Lo: lo, Hi: hi})
+			if c > 0 {
+				if spread := (hi - lo) / (2 * c); spread > maxSpread {
+					maxSpread = spread
+				}
+			}
+		}
+	}
+	return bands, maxSpread, nil
+}
+
+// sortedChains returns the chain lengths ascending without mutating the
+// query's slice.
+func sortedChains(chains []int) []int {
+	s := append([]int(nil), chains...)
+	sort.Ints(s)
+	return s
+}
+
+// synthesizeStudy runs the pure analysis tail over synthesized
+// measurements, producing a study shaped exactly like a measured one so
+// every rendering layer works unchanged. There is no ground truth, so
+// Actual stays zero and the relative errors are cleared rather than left
+// at +Inf (which would poison JSON encoding downstream).
+func synthesizeStudy(app core.App, m core.Measurements, q Query) (*harness.Study, error) {
+	chains := sortedChains(q.Chains)
+	an, err := harness.Analyze(app, m, 0, chains, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	an.Summation.RelErr = 0
+	for _, l := range chains {
+		if pr, ok := an.Couplings[l]; ok {
+			pr.RelErr = 0
+			an.Couplings[l] = pr
+		}
+	}
+	return &harness.Study{
+		Workload:     q.Workload(),
+		Trips:        q.Trips,
+		App:          app,
+		Measurements: m,
+		Summation:    an.Summation,
+		Couplings:    an.Couplings,
+		Details:      an.Details,
+	}, nil
+}
+
+// relBand widens a prediction's band to at least ±rel around the value,
+// keeping any wider model-choice spread it already had.
+func relBand(v float64, b Band, rel float64) Band {
+	lo := v * (1 - rel)
+	hi := v * (1 + rel)
+	if b.Lo < lo {
+		lo = b.Lo
+	}
+	if b.Hi > hi {
+		hi = b.Hi
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	return Band{Lo: lo, Hi: hi}
+}

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/predict"
+)
+
+// TestBackendChainWarmBytesIdentical: configuring an explicit backend
+// chain must not change a single byte of a warm cached answer. The chain
+// resolves to the cached backend, whose body carries no provenance
+// fields, so the measured-path bytes match a default server's exactly.
+func TestBackendChainWarmBytesIdentical(t *testing.T) {
+	plain, err := New(Config{Cache: warmedCache(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chained, err := New(Config{Cache: warmedCache(t), Backends: []string{"cached", "analytic"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(plain.Handler())
+	defer ts1.Close()
+	ts2 := httptest.NewServer(chained.Handler())
+	defer ts2.Close()
+
+	b1 := get(t, ts1.URL, "/predict?"+warmQS, http.StatusOK)
+	b2 := get(t, ts2.URL, "/predict?"+warmQS, http.StatusOK)
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("warm /predict with a backend chain differs from the default server:\n%s\n---\n%s", b1, b2)
+	}
+
+	// The header names the answering backend; the body stays pinned.
+	resp, err := http.Get(ts2.URL + "/predict?" + warmQS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Backend"); got != "cached" {
+		t.Errorf("X-Backend = %q, want cached", got)
+	}
+}
+
+// TestAnalyticAnswersNeverMeasuredQuery is the tentpole acceptance
+// criterion: a query for a configuration no campaign ever measured comes
+// back 200 with an analytic prediction, a confidence band, and the
+// provenance visible in all three places — header, JSON body, trace.
+func TestAnalyticAnswersNeverMeasuredQuery(t *testing.T) {
+	tracer := obs.NewRequestTracer(obs.TracerConfig{Recorder: obs.NewFlightRecorder(8, 8)})
+	srv, err := New(Config{
+		Cache:    warmedCache(t),
+		Backends: []string{"cached", "analytic"},
+		Tracer:   tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// LU class W on 8 ranks: nothing in the warm cache, so the chain
+	// falls through cached to analytic.
+	const coldQS = "bench=LU&class=W&procs=8&chains=2,3&trips=1"
+	resp, err := http.Get(ts.URL + "/predict?" + coldQS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("never-measured query = %d, want 200\n%s", resp.StatusCode, body.String())
+	}
+	if got := resp.Header.Get("X-Backend"); got != "analytic" {
+		t.Errorf("X-Backend = %q, want analytic", got)
+	}
+
+	var pr PredictResponse
+	if err := json.Unmarshal(body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Provenance != string(predict.ProvAnalytic) || pr.Backend != "analytic" {
+		t.Errorf("provenance = %q backend = %q, want analytic/analytic", pr.Provenance, pr.Backend)
+	}
+	if pr.Confidence == nil || !(pr.Confidence.Lo <= pr.Confidence.Hi) || pr.Confidence.Lo <= 0 {
+		t.Errorf("confidence band = %+v, want a positive ordered band", pr.Confidence)
+	}
+	if len(pr.WindowBands) == 0 {
+		t.Error("analytic answer carries no per-window bands")
+	}
+	for _, wb := range pr.WindowBands {
+		if !(wb.Lo <= wb.C && wb.C <= wb.Hi) {
+			t.Errorf("window %v coupling %v outside its own band [%v, %v]", wb.Window, wb.C, wb.Lo, wb.Hi)
+		}
+	}
+	// A synthesized study has no measured full-chain run to compare to.
+	if pr.ActualSeconds != 0 {
+		t.Errorf("synthesized study reports actual = %v, want 0", pr.ActualSeconds)
+	}
+
+	// The trace records which backend answered.
+	dump := tracer.Recorder().Snapshot()
+	if len(dump.Slowest) == 0 {
+		t.Fatal("recorder retained no traces")
+	}
+	found := false
+	for _, tr := range dump.Slowest {
+		for _, a := range tr.Attrs {
+			if a.Key == "backend" && a.Value == "analytic" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no trace annotates backend=analytic: %+v", dump.Slowest)
+	}
+
+	// Identical cold queries answer byte-identically: the analytic model
+	// is deterministic and the prediction is stale-cached per key.
+	if b2 := get(t, ts.URL, "/predict?"+coldQS, http.StatusOK); !bytes.Equal(body.Bytes(), b2) {
+		t.Error("repeated analytic /predict bodies differ")
+	}
+}
+
+// TestBackendPinSelectsOneBackend: ?backend= pins the query to a single
+// named backend even when the default chain would answer differently.
+func TestBackendPinSelectsOneBackend(t *testing.T) {
+	srv, err := New(Config{Cache: warmedCache(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The warm query pinned to analytic must ignore the cache.
+	var pr PredictResponse
+	if err := json.Unmarshal(get(t, ts.URL, "/predict?"+warmQS+"&backend=analytic", http.StatusOK), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Provenance != string(predict.ProvAnalytic) {
+		t.Errorf("pinned provenance = %q, want analytic", pr.Provenance)
+	}
+
+	// Pinned to cached, the warm body must match the default chain's.
+	b1 := get(t, ts.URL, "/predict?"+warmQS, http.StatusOK)
+	b2 := get(t, ts.URL, "/predict?"+warmQS+"&backend=cached", http.StatusOK)
+	if !bytes.Equal(b1, b2) {
+		t.Error("backend=cached body differs from the default chain's warm body")
+	}
+
+	// Unknown backend: client error naming the valid pins. Measured is
+	// not selectable while measurement is off.
+	body := get(t, ts.URL, "/predict?"+warmQS+"&backend=psychic", http.StatusBadRequest)
+	if !strings.Contains(string(body), "unknown backend") {
+		t.Errorf("unknown-backend body = %s", body)
+	}
+	body = get(t, ts.URL, "/predict?"+warmQS+"&backend=measured", http.StatusBadRequest)
+	if !strings.Contains(string(body), "unknown backend") {
+		t.Errorf("measured pin without -measure = %s, want unknown backend", body)
+	}
+}
+
+// TestMissErrorShape is the 404-on-miss fix: when no backend can answer,
+// the JSON error body carries the degradation-ladder vocabulary —
+// degraded "none", provenance "miss", and the chain that was tried —
+// instead of a bare error string.
+func TestMissErrorShape(t *testing.T) {
+	srv, err := New(Config{Cache: warmedCache(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := get(t, ts.URL, "/predict?bench=LU&class=W&procs=8", http.StatusNotFound)
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, "cache has no result") {
+		t.Errorf("miss error = %q, want a cache-miss explanation", er.Error)
+	}
+	if !strings.Contains(er.Error, "measurement is disabled") {
+		t.Errorf("miss error = %q, want the operator hint", er.Error)
+	}
+	if er.Degraded != "none" || er.Provenance != "miss" {
+		t.Errorf("miss shape = degraded %q provenance %q, want none/miss", er.Degraded, er.Provenance)
+	}
+	if len(er.BackendsTried) != 1 || er.BackendsTried[0] != "cached" {
+		t.Errorf("backends_tried = %v, want [cached]", er.BackendsTried)
+	}
+
+	// A parse error keeps the bare shape — no provenance fields leak.
+	bad := get(t, ts.URL, "/predict?bench=XX", http.StatusBadRequest)
+	if bytes.Contains(bad, []byte("backends_tried")) || bytes.Contains(bad, []byte("provenance")) {
+		t.Errorf("parse-error body carries miss fields: %s", bad)
+	}
+}
+
+// TestBuildChainsRejectsBadConfig: misconfigured backends fail at
+// construction, not at first query.
+func TestBuildChainsRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Cache: warmedCache(t), Backends: []string{"measured"}}); err == nil {
+		t.Error("measured backend without Measure must fail construction")
+	}
+	if _, err := New(Config{Cache: warmedCache(t), Backends: []string{"cached", "cached"}}); err == nil {
+		t.Error("duplicate backend must fail construction")
+	}
+	if _, err := New(Config{Cache: warmedCache(t), Backends: []string{"vibes"}}); err == nil {
+		t.Error("unknown backend must fail construction")
+	}
+}

@@ -15,9 +15,9 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/guard"
-	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/predict"
 )
 
 // TestGuardedWarmPredictByteIdentical: the hardening contract's
@@ -74,14 +74,14 @@ func TestFollowerSurvivesLeaderAbandonment(t *testing.T) {
 	var once sync.Once
 	entered := make(chan struct{})
 	release := make(chan struct{})
-	srv.analyze = func(ctx context.Context, q Query) (*harness.Study, error) {
+	srv.analyze = func(ctx context.Context, q Query) (predict.Prediction, error) {
 		once.Do(func() { close(entered) })
 		select {
 		case <-release:
 		case <-ctx.Done():
 			// An undetached leader dies here with its caller's budget —
 			// exactly the failure mode the detach exists to prevent.
-			return nil, ctx.Err()
+			return predict.Prediction{}, ctx.Err()
 		}
 		return inner(ctx, q)
 	}
@@ -141,7 +141,7 @@ func TestAdmissionShedsWith503AndRetryAfter(t *testing.T) {
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	inner := srv.analyze
-	srv.analyze = func(ctx context.Context, q Query) (*harness.Study, error) {
+	srv.analyze = func(ctx context.Context, q Query) (predict.Prediction, error) {
 		once.Do(func() { close(entered) })
 		<-release
 		return inner(ctx, q)
@@ -298,8 +298,8 @@ func TestStaleDegradationLadder(t *testing.T) {
 	}
 
 	// The service goes dark: every analysis now fails.
-	srv.analyze = func(ctx context.Context, q Query) (*harness.Study, error) {
-		return nil, errors.New("analysis backend down")
+	srv.analyze = func(ctx context.Context, q Query) (predict.Prediction, error) {
+		return predict.Prediction{}, errors.New("analysis backend down")
 	}
 
 	resp, err := http.Get(ts.URL + "/predict?" + warmQS)

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/npb"
+	"repro/internal/predict"
 	"repro/internal/tables"
 )
 
@@ -36,20 +37,35 @@ type Query struct {
 	// Grid is the n³ (n² for FT) grid override; zero means the class
 	// problem size.
 	Grid int
+	// Backend, when non-empty, pins the query to one named predictor
+	// backend instead of the server's default chain. Empty on ordinary
+	// queries, so warm-path keys keep their pre-backend bytes.
+	Backend string
+}
+
+// PredictQuery converts the HTTP query to the predictor interface's
+// query type (the backend pin is routing state, not query identity at
+// that layer).
+func (q Query) PredictQuery() predict.Query {
+	return predict.Query{
+		Bench: q.Bench, Class: q.Class, Procs: q.Procs, Chains: q.Chains,
+		Trips: q.Trips, Blocks: q.Blocks, Passes: q.Passes, Grid: q.Grid,
+	}
 }
 
 // queryParams is the complete set of accepted URL parameters; anything
 // else is a client error, because a typo'd parameter would otherwise
 // silently fall back to a default and answer the wrong question.
 var queryParams = map[string]string{
-	"bench":  "benchmark: BT, SP, LU or FT",
-	"class":  "problem class: S, W, A or B",
-	"procs":  "rank count",
-	"chains": "comma-separated coupling chain lengths",
-	"trips":  "loop trip count (0 = scaled class default)",
-	"blocks": "timed blocks per measurement",
-	"passes": "window passes per block",
-	"grid":   "grid override (n³, n² for FT)",
+	"bench":   "benchmark: BT, SP, LU or FT",
+	"class":   "problem class: S, W, A or B",
+	"procs":   "rank count",
+	"chains":  "comma-separated coupling chain lengths",
+	"trips":   "loop trip count (0 = scaled class default)",
+	"blocks":  "timed blocks per measurement",
+	"passes":  "window passes per block",
+	"grid":    "grid override (n³, n² for FT)",
+	"backend": "predictor backend: measured, cached, interpolated or analytic (default: the server's chain)",
 }
 
 // ParseQuery builds a Query from URL parameters, applying cmd/couple's
@@ -87,8 +103,9 @@ func ParseQuery(v url.Values) (Query, error) {
 	}
 
 	q := Query{
-		Bench: strings.ToUpper(get("bench", "BT")),
-		Class: npb.Class(strings.ToUpper(get("class", "S"))),
+		Bench:   strings.ToUpper(get("bench", "BT")),
+		Class:   npb.Class(strings.ToUpper(get("class", "S"))),
+		Backend: strings.ToLower(get("backend", "")),
 	}
 	if _, err := tables.BenchProblem(q.Bench, q.Class); err != nil {
 		return Query{}, err
@@ -183,6 +200,13 @@ func (q Query) Key() string {
 			b = append(b, ',')
 		}
 		b = strconv.AppendInt(b, int64(c), 10)
+	}
+	if q.Backend != "" {
+		// Backend-pinned queries resolve in their own singleflight and
+		// stale-cache identity; the suffix is absent on default-chain
+		// queries so warm keys keep their pre-backend bytes.
+		b = append(b, " k"...)
+		b = append(b, q.Backend...)
 	}
 	return string(b)
 }

@@ -31,6 +31,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/predict"
 	"repro/internal/singleflight"
 	"repro/internal/tables"
 )
@@ -82,6 +83,14 @@ type Config struct {
 	// it fails operations or delays them — so the measurement cache stays
 	// clean and warm healthy answers stay byte-identical.
 	Inject *fault.ServeInjector
+	// Backends names the default predictor chain, tried in order; each
+	// must be one of measured, cached, interpolated, analytic (measured
+	// requires Measure). Empty means cached, then measured when Measure
+	// is on — the pre-backend behavior, byte for byte.
+	Backends []string
+	// Lattice seeds the interpolated backend with neighboring
+	// configurations whose cached studies anchor its step models.
+	Lattice []predict.Query
 }
 
 // Server answers prediction queries over HTTP. Create one with New and
@@ -92,7 +101,7 @@ type Server struct {
 	net        bool
 	measure    bool
 	measureSem chan struct{}
-	sf         singleflight.Group[string, *harness.Study]
+	sf         singleflight.Group[string, predict.Prediction]
 	tracer     *obs.RequestTracer
 	guard      *guard.Guard
 	inject     *fault.ServeInjector
@@ -104,9 +113,15 @@ type Server struct {
 	logMu     sync.Mutex
 	accessLog io.Writer
 
-	// analyze resolves one query to a study; overridable in tests to
-	// observe or stall resolution. The context carries the request trace.
-	analyze func(ctx context.Context, q Query) (*harness.Study, error)
+	// chains maps a backend pin ("measured", "analytic", ...) to its
+	// single-backend chain; the "" entry is the server's default chain.
+	// Built once at construction — the warm path only does a map lookup.
+	chains map[string]*predict.Chain
+
+	// analyze resolves one query to a prediction; overridable in tests
+	// to observe or stall resolution. The context carries the request
+	// trace.
+	analyze func(ctx context.Context, q Query) (predict.Prediction, error)
 }
 
 // endpointNames lists every endpoint wrap() meters, in the fixed order
@@ -142,6 +157,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	for _, name := range endpointNames {
 		s.windows[name] = obs.NewWindowHistogram(0)
+	}
+	if err := s.buildChains(cfg); err != nil {
+		return nil, err
 	}
 	s.analyze = s.runQuery
 	if s.guard != nil || s.inject != nil {
@@ -230,7 +248,7 @@ func (e statusError) Unwrap() error { return e.err }
 // (tables.BenchProblem / GridProblem / NewWorkload), which is the whole
 // cache-compatibility contract: a couple campaign and a kcserved query
 // with the same parameters produce the same job keys.
-func (s *Server) engineFor(q Query) (harness.Engine, error) {
+func (s *Server) engineFor(q predict.Query) (harness.Engine, error) {
 	prob, err := tables.BenchProblem(q.Bench, q.Class)
 	if err != nil {
 		return harness.Engine{}, statusError{http.StatusBadRequest, err}
@@ -264,64 +282,11 @@ func (s *Server) engineFor(q Query) (harness.Engine, error) {
 	return harness.Engine{Workload: w, Opts: o}, nil
 }
 
-// runQuery resolves one query: pure cache re-analysis first, on-demand
-// measurement (when enabled) second. The context carries the request
-// trace, so cache loads and on-demand executions attribute their time to
-// the request that paid for them.
-func (s *Server) runQuery(ctx context.Context, q Query) (*harness.Study, error) {
-	tr := obs.TraceFrom(ctx)
-	eng, err := s.engineFor(q)
-	if err != nil {
-		return nil, err
-	}
-	st, err := eng.RunFromCacheCtx(ctx, q.Trips, q.Chains)
-	if err == nil {
-		tr.Annotate("cache", "hit")
-		return st, nil
-	}
-	if !errors.Is(err, harness.ErrCacheMiss) {
-		// Planning or analysis failed — a malformed study (chain longer
-		// than the loop, say), not a cold cache.
-		return nil, statusError{http.StatusBadRequest, err}
-	}
-	tr.Annotate("cache", "miss")
-	if !s.measure {
-		return nil, statusError{http.StatusNotFound,
-			fmt.Errorf("%w (measurement is disabled; warm the cache with couple, or start kcserved with -measure)", err)}
-	}
-	// On-demand measurement, bounded: at most MeasureWorkers studies run
-	// worlds at once. Engine.Run still consults the cache per job, so a
-	// partially warm study only measures what is actually missing, and
-	// persists every fresh result for the next query. The queue wait gets
-	// its own span — a saturated measure pool must read as queueing, not
-	// as slow worlds.
-	qsp, _ := obs.StartSpan(ctx, "measure.queue", "")
-	s.measureSem <- struct{}{}
-	qsp.End()
-	defer func() { <-s.measureSem }()
-	s.reg.Counter("serve.measure.ondemand").Inc()
-	tr.Annotate("measured", "ondemand")
-	st, err = s.measureOnce(ctx, eng, q)
-	if err != nil && s.guard != nil && !errors.Is(err, guard.ErrBreakerOpen) &&
-		s.guard.Retry.Spend() {
-		// One guarded retry: the failure may have been an injected or
-		// transient fault, and the token bucket bounds how much retrying
-		// the fleet does in aggregate. A breaker fast-fail is never
-		// retried — the breaker's whole point is to stop hammering.
-		s.reg.Counter("serve.measure.retry").Inc()
-		st, err = s.measureOnce(ctx, eng, q)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("on-demand measurement: %w", err)
-	}
-	return st, nil
-}
-
 // measureOnce is one breaker-guarded on-demand measurement attempt:
 // breaker verdict, injected measurement failure, then the real study.
 // Every outcome — injected or real — is reported to the breaker, so
 // consecutive chaos failures open it and a clean probe closes it.
-func (s *Server) measureOnce(ctx context.Context, eng harness.Engine, q Query) (*harness.Study, error) {
+func (s *Server) measureOnce(ctx context.Context, eng harness.Engine, q predict.Query) (*harness.Study, error) {
 	tk, err := s.measureBreaker().Allow()
 	if err != nil {
 		return nil, err
@@ -361,10 +326,10 @@ func (s *Server) measureOnce(ctx context.Context, eng harness.Engine, q Query) (
 // flight keeps going for whoever is still waiting, and this request's
 // trace is finished only once the flight lands (see wrap), because the
 // detached work keeps writing spans into it.
-func (s *Server) resolve(ctx context.Context, q Query) (*harness.Study, error) {
+func (s *Server) resolve(ctx context.Context, q Query) (predict.Prediction, error) {
 	tr := obs.TraceFrom(ctx)
 	sp, sfctx := obs.StartSpan(ctx, "singleflight", "")
-	fn := func(fl *singleflight.Flight) (*harness.Study, error) {
+	fn := func(fl *singleflight.Flight) (predict.Prediction, error) {
 		if tr != nil {
 			fl.SetToken(tr.ID)
 		}
@@ -373,7 +338,7 @@ func (s *Server) resolve(ctx context.Context, q Query) (*harness.Study, error) {
 		defer dcancel()
 		return s.analyze(dctx, q)
 	}
-	var st *harness.Study
+	var pr predict.Prediction
 	var err error
 	var shared bool
 	var fl *singleflight.Flight
@@ -381,7 +346,7 @@ func (s *Server) resolve(ctx context.Context, q Query) (*harness.Study, error) {
 		ch := s.sf.DoFlightCh(q.Key(), fn)
 		select {
 		case res := <-ch:
-			st, err, shared, fl = res.Val, res.Err, res.Shared, res.Flight
+			pr, err, shared, fl = res.Val, res.Err, res.Shared, res.Flight
 		case <-ctx.Done():
 			// Budget spent while the flight was still working. Hand the
 			// flight channel to wrap so the trace outlives this answer,
@@ -392,13 +357,13 @@ func (s *Server) resolve(ctx context.Context, q Query) (*harness.Study, error) {
 			tr.Annotate("singleflight", "abandoned")
 			sp.SetDetail("abandoned")
 			sp.End()
-			return nil, budgetErr(ctx, ctx.Err())
+			return predict.Prediction{}, budgetErr(ctx, ctx.Err())
 		}
 	} else {
 		// No deadline: run the flight synchronously on this goroutine —
 		// the unguarded warm path stays allocation-identical to the
 		// pre-hardening server.
-		st, err, shared, fl = s.sf.DoFlight(q.Key(), fn)
+		pr, err, shared, fl = s.sf.DoFlight(q.Key(), fn)
 	}
 	if shared {
 		s.reg.Counter("serve.singleflight.shared").Inc()
@@ -411,7 +376,7 @@ func (s *Server) resolve(ctx context.Context, q Query) (*harness.Study, error) {
 		tr.Annotate("singleflight", "leader")
 	}
 	sp.End()
-	return st, err
+	return pr, err
 }
 
 // Handler returns the service's HTTP mux. Only the query endpoints are
@@ -488,7 +453,7 @@ func budgetErr(ctx context.Context, err error) error {
 // trace, so the trace must not be finished (snapshotted into the flight
 // recorder) until the flight lands.
 type deferredFinish struct {
-	wait <-chan singleflight.FlightResult[*harness.Study]
+	wait <-chan singleflight.FlightResult[predict.Prediction]
 }
 
 type finishCtxKey struct{}
@@ -568,7 +533,7 @@ func (s *Server) wrap(name string, traced, guarded bool, h func(http.ResponseWri
 				s.reg.Counter("serve.deadline_exceeded").Inc()
 			}
 			errMsg = err.Error()
-			writeJSON(w, status, errorResponse{Error: errMsg})
+			writeJSON(w, status, errorBody(err, errMsg))
 		}
 		if fin != nil && fin.wait != nil {
 			// A detached flight is still writing spans into this trace;
@@ -639,6 +604,30 @@ func (s *Server) logAccess(name string, tr *obs.ReqTrace, status int, dur time.D
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Degraded, Provenance and BackendsTried give a no-answer miss the
+	// same shape vocabulary as degraded successes: degraded "none"
+	// (nothing stale could stand in), provenance "miss", and the chain
+	// that was tried. Omitted on every other error, so pre-backend error
+	// bodies keep their bytes.
+	Degraded      string   `json:"degraded,omitempty"`
+	Provenance    string   `json:"provenance,omitempty"`
+	BackendsTried []string `json:"backends_tried,omitempty"`
+}
+
+// errorBody shapes one error response. A chain-wide miss gets the
+// degradation-ladder-consistent fields; everything else stays a bare
+// error string.
+func errorBody(err error, errMsg string) errorResponse {
+	var miss *missError
+	if errors.As(err, &miss) {
+		return errorResponse{
+			Error:         errMsg,
+			Degraded:      "none",
+			Provenance:    "miss",
+			BackendsTried: miss.backends,
+		}
+	}
+	return errorResponse{Error: errMsg}
 }
 
 // writeJSON writes v indented with a trailing newline. Responses are
@@ -681,6 +670,23 @@ type PredictResponse struct {
 	// the service was unhealthy and an old answer was served instead of a
 	// 5xx. Omitted when empty so healthy bodies stay byte-identical.
 	Degraded string `json:"degraded,omitempty"`
+	// Backend and Provenance identify a model-based answer (the backend
+	// that produced it, and its provenance class), Confidence bounds it,
+	// and WindowBands carries its per-window coupling bands. All four
+	// are set only for interpolated and analytic answers — measured and
+	// cached bodies keep their pre-backend bytes (the X-Backend header
+	// carries the routing for those).
+	Backend     string               `json:"backend,omitempty"`
+	Provenance  string               `json:"provenance,omitempty"`
+	Confidence  *predict.Band        `json:"confidence,omitempty"`
+	WindowBands []predict.WindowBand `json:"window_bands,omitempty"`
+}
+
+// synthetic reports whether a prediction was produced by a model rather
+// than measurement — the provenances whose answers carry bands in the
+// body.
+func synthetic(pr predict.Prediction) bool {
+	return pr.Provenance == predict.ProvInterpolated || pr.Provenance == predict.ProvAnalytic
 }
 
 // handlePredict is the service's main warm path: a cached query must not
@@ -688,9 +694,13 @@ type PredictResponse struct {
 //
 //kcvet:hotpath /predict on a warm cache is the serving benchmark's measured path
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
-	st, degraded, err := s.study(r)
+	pr, degraded, err := s.study(r)
 	if err != nil {
 		return err
+	}
+	st := pr.Study
+	if pr.Backend != "" {
+		w.Header().Set("X-Backend", pr.Backend)
 	}
 	tagDegraded(w, degraded)
 	sp, _ := obs.StartSpan(r.Context(), "respond", "")
@@ -715,6 +725,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 		Exec:          st.Exec,
 		Predictors:    preds,
 		Degraded:      degraded,
+	}
+	if synthetic(pr) {
+		resp.Backend = pr.Backend
+		resp.Provenance = string(pr.Provenance)
+		resp.Confidence = &predict.Band{Lo: pr.Band.Lo, Hi: pr.Band.Hi}
+		resp.WindowBands = pr.Windows
 	}
 	err = writeJSON(w, http.StatusOK, resp)
 	sp.End()
@@ -760,9 +776,13 @@ type CouplingsResponse struct {
 }
 
 func (s *Server) handleCouplings(w http.ResponseWriter, r *http.Request) error {
-	st, degraded, err := s.study(r)
+	pr, degraded, err := s.study(r)
 	if err != nil {
 		return err
+	}
+	st := pr.Study
+	if pr.Backend != "" {
+		w.Header().Set("X-Backend", pr.Backend)
 	}
 	tagDegraded(w, degraded)
 	sp, _ := obs.StartSpan(r.Context(), "respond", "")
@@ -800,9 +820,13 @@ func (s *Server) handleCouplings(w http.ResponseWriter, r *http.Request) error {
 }
 
 func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) error {
-	st, degraded, err := s.study(r)
+	pr, degraded, err := s.study(r)
 	if err != nil {
 		return err
+	}
+	st := pr.Study
+	if pr.Backend != "" {
+		w.Header().Set("X-Backend", pr.Backend)
 	}
 	tagDegraded(w, degraded)
 	sp, _ := obs.StartSpan(r.Context(), "respond", "")
@@ -821,20 +845,20 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) error {
 // unhealthy and an old answer was served in place of a 5xx — the last
 // rung of the ladder before shedding. Client errors never degrade: a
 // 400 query is wrong, and an old answer to it would lie.
-func (s *Server) study(r *http.Request) (*harness.Study, string, error) {
+func (s *Server) study(r *http.Request) (predict.Prediction, string, error) {
 	ctx := r.Context()
 	sp, _ := obs.StartSpan(ctx, "parse", "")
 	q, err := ParseQuery(r.URL.Query())
 	if err != nil {
 		sp.End()
-		return nil, "", statusError{http.StatusBadRequest, err}
+		return predict.Prediction{}, "", statusError{http.StatusBadRequest, err}
 	}
 	sp.SetDetail(q.Key())
 	sp.End()
-	st, err := s.resolve(ctx, q)
+	pr, err := s.resolve(ctx, q)
 	if err == nil {
-		s.staleCache().Put(q.Key(), q.FamilyKey(), st)
-		return st, "", nil
+		s.staleCache().Put(q.Key(), q.FamilyKey(), pr)
+		return pr, "", nil
 	}
 	if statusOf(err) >= 500 {
 		if v, mode, ok := s.staleCache().Get(q.Key(), q.FamilyKey()); ok {
@@ -842,10 +866,10 @@ func (s *Server) study(r *http.Request) (*harness.Study, string, error) {
 			tr := obs.TraceFrom(ctx)
 			tr.Annotate("degraded", mode)
 			tr.Annotate("degraded_cause", err.Error())
-			return v.(*harness.Study), mode, nil
+			return v.(predict.Prediction), mode, nil
 		}
 	}
-	return nil, "", err
+	return predict.Prediction{}, "", err
 }
 
 // tagDegraded marks a degraded response so clients and tests can tell a

@@ -15,9 +15,9 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/predict"
 )
 
 // The tests share one disk cache warmed with exactly this configuration
@@ -217,7 +217,7 @@ func TestPredictSingleflightCollapse(t *testing.T) {
 	inner := srv.analyze
 	entered := make(chan struct{})
 	release := make(chan struct{})
-	srv.analyze = func(ctx context.Context, q Query) (*harness.Study, error) {
+	srv.analyze = func(ctx context.Context, q Query) (predict.Prediction, error) {
 		close(entered) // only the singleflight leader runs this
 		<-release
 		return inner(ctx, q)

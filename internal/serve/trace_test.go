@@ -9,8 +9,8 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/predict"
 	"repro/internal/timing"
 )
 
@@ -76,7 +76,7 @@ func TestTraceIDPropagatesAcrossSingleflight(t *testing.T) {
 	inner := srv.analyze
 	entered := make(chan struct{})
 	release := make(chan struct{})
-	srv.analyze = func(ctx context.Context, q Query) (*harness.Study, error) {
+	srv.analyze = func(ctx context.Context, q Query) (predict.Prediction, error) {
 		close(entered)
 		<-release
 		return inner(ctx, q)

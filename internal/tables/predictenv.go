@@ -1,0 +1,284 @@
+package tables
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/npb/bt"
+	"repro/internal/npb/ft"
+	"repro/internal/npb/lu"
+	"repro/internal/npb/sp"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/predict"
+)
+
+// This file is the canonical binding between the predict package's
+// backend interfaces and the experiment substrate: cmd/couple,
+// cmd/kcserved and the experiment index all build predictors through it,
+// which keeps the cache keys a measured/cached backend produces
+// interchangeable across binaries (the same contract workload.go states
+// for workloads).
+
+// BackendNames lists the constructible backend names in default chain
+// order, cheapest-first after measured: the order NewBackendChain uses
+// for "cached,measured" style specs.
+var BackendNames = []string{
+	string(predict.ProvMeasured),
+	string(predict.ProvCached),
+	string(predict.ProvInterpolated),
+	string(predict.ProvAnalytic),
+}
+
+// PredictProblem is the canonical problem builder for backend queries:
+// the class problem with the query's grid override applied — exactly the
+// geometry the cache keys embed via WorldDigest.
+func PredictProblem(q predict.Query) (npb.Problem, error) {
+	prob, err := BenchProblem(q.Bench, q.Class)
+	if err != nil {
+		return npb.Problem{}, err
+	}
+	return GridProblem(q.Bench, prob, q.Grid), nil
+}
+
+// PredictApp is the canonical application-structure builder for backend
+// queries: the benchmark's kernel ring with the query's trip count.
+func PredictApp(q predict.Query) (core.App, error) {
+	var pre, loop, post []string
+	switch strings.ToUpper(q.Bench) {
+	case "BT":
+		pre, loop, post = bt.KernelNames()
+	case "SP":
+		pre, loop, post = sp.KernelNames()
+	case "LU":
+		pre, loop, post = lu.KernelNames()
+	case "FT":
+		pre, loop, post = ft.KernelNames()
+	default:
+		return core.App{}, fmt.Errorf("tables: unknown benchmark %q", q.Bench)
+	}
+	return core.App{Name: q.Workload(), Pre: pre, Loop: core.Ring(loop), Post: post, Trips: q.Trips}, nil
+}
+
+// BackendConfig carries the substrate a constructed backend runs
+// against. The zero value works: the process-wide job cache, no network
+// model, defaults for every analytic tunable.
+type BackendConfig struct {
+	// Cache is the measurement cache; the process-wide jobCache when nil.
+	Cache *plan.Cache
+	// Net, when non-nil, attaches an interconnect cost model (and flows
+	// into the cache keys via WorldDigest).
+	Net *mpi.NetModel
+	// Metrics receives harness counters; may be nil.
+	Metrics *obs.Registry
+	// Parallel is the measured backend's executor width (0/1 = serial).
+	Parallel int
+	// Lattice seeds the interpolated backend.
+	Lattice []predict.Query
+	// Run and RunFromCache, when non-nil, replace the engine-based study
+	// functions — the serving layer injects its guarded paths here.
+	Run, RunFromCache predict.StudyFn
+}
+
+func (c BackendConfig) cache() *plan.Cache {
+	if c.Cache != nil {
+		return c.Cache
+	}
+	return jobCache
+}
+
+// engineFor builds the measurement engine for one backend query, with
+// the same workload construction and options every other binary uses.
+func (c BackendConfig) engineFor(q predict.Query) (harness.Engine, error) {
+	prob, err := PredictProblem(q)
+	if err != nil {
+		return harness.Engine{}, err
+	}
+	var worldOpts []mpi.Option
+	if c.Net != nil {
+		worldOpts = append(worldOpts, mpi.WithNetModel(*c.Net))
+	}
+	w, err := NewWorkload(q.Bench, q.Class, prob, q.Procs, worldOpts)
+	if err != nil {
+		return harness.Engine{}, err
+	}
+	return harness.Engine{Workload: w, Opts: harness.Options{
+		Blocks: q.Blocks, Passes: q.Passes, ActualRuns: 3,
+		Parallel:    c.Parallel,
+		Cache:       c.cache(),
+		Metrics:     c.Metrics,
+		WorldDigest: WorldDigest(prob, c.Net),
+	}}, nil
+}
+
+// StudyRunner returns the measured StudyFn: plan, execute (or reuse) and
+// analyze the full study.
+func (c BackendConfig) StudyRunner() predict.StudyFn {
+	if c.Run != nil {
+		return c.Run
+	}
+	return func(ctx context.Context, q predict.Query) (*harness.Study, error) {
+		eng, err := c.engineFor(q)
+		if err != nil {
+			return nil, err
+		}
+		return eng.RunCtx(ctx, q.Trips, q.Chains)
+	}
+}
+
+// CacheRunner returns the cached StudyFn: pure re-analysis of the warmed
+// cache, failing with harness.ErrCacheMiss (which the cached backend
+// turns into a refusal) when any measurement is missing.
+func (c BackendConfig) CacheRunner() predict.StudyFn {
+	if c.RunFromCache != nil {
+		return c.RunFromCache
+	}
+	return func(ctx context.Context, q predict.Query) (*harness.Study, error) {
+		eng, err := c.engineFor(q)
+		if err != nil {
+			return nil, err
+		}
+		return eng.RunFromCacheCtx(ctx, q.Trips, q.Chains)
+	}
+}
+
+// NewBackend constructs one backend by name: measured, cached,
+// interpolated or analytic.
+func NewBackend(name string, cfg BackendConfig) (predict.Predictor, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case string(predict.ProvMeasured):
+		return &predict.Measured{Run: cfg.StudyRunner()}, nil
+	case string(predict.ProvCached):
+		return &predict.Cached{Run: cfg.CacheRunner()}, nil
+	case string(predict.ProvInterpolated):
+		return &predict.Interpolated{
+			Source:  cfg.CacheRunner(),
+			Lattice: cfg.Lattice,
+			Problem: PredictProblem,
+		}, nil
+	case string(predict.ProvAnalytic):
+		return NewAnalytic(), nil
+	}
+	return nil, fmt.Errorf("tables: unknown backend %q (have %s)", name, strings.Join(BackendNames, ", "))
+}
+
+// NewAnalytic returns the canonical analytic backend: default cache
+// hierarchy and traffic model over the canonical problem geometry.
+func NewAnalytic() *predict.Analytic {
+	return &predict.Analytic{Problem: PredictProblem, App: PredictApp}
+}
+
+// NewBackendChain builds a chain over the named backends in order. reg
+// may be nil (counters are dropped).
+func NewBackendChain(reg *obs.Registry, names []string, cfg BackendConfig) (*predict.Chain, error) {
+	backends := make([]predict.Predictor, len(names))
+	for i, n := range names {
+		b, err := NewBackend(n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		backends[i] = b
+	}
+	return predict.NewChain(reg, backends...), nil
+}
+
+// ParseLattice parses a lattice specification: ';'-separated URL-query
+// items, each one configuration in kcserved's query-parameter syntax,
+// e.g. "bench=BT&grid=6&procs=4;bench=BT&grid=8&procs=4". Defaults
+// mirror the serving layer's: BT class S on 4 ranks, chains 2, 3 blocks
+// × 1 pass, class-default trips.
+func ParseLattice(spec string) ([]predict.Query, error) {
+	var lattice []predict.Query
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		v, err := url.ParseQuery(item)
+		if err != nil {
+			return nil, fmt.Errorf("tables: lattice item %q: %w", item, err)
+		}
+		q, err := latticeQuery(v)
+		if err != nil {
+			return nil, fmt.Errorf("tables: lattice item %q: %w", item, err)
+		}
+		lattice = append(lattice, q)
+	}
+	if len(lattice) == 0 {
+		return nil, fmt.Errorf("tables: empty lattice spec %q", spec)
+	}
+	return lattice, nil
+}
+
+func latticeQuery(v url.Values) (predict.Query, error) {
+	get := func(key, def string) string {
+		if s := strings.TrimSpace(v.Get(key)); s != "" {
+			return s
+		}
+		return def
+	}
+	getInt := func(key string, def, min int) (int, error) {
+		s := strings.TrimSpace(v.Get(key))
+		if s == "" {
+			return def, nil
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("bad %s %q", key, s)
+		}
+		if n < min {
+			return 0, fmt.Errorf("%s must be >= %d, got %d", key, min, n)
+		}
+		return n, nil
+	}
+	q := predict.Query{
+		Bench: strings.ToUpper(get("bench", "BT")),
+		Class: npb.Class(strings.ToUpper(get("class", "S"))),
+	}
+	if _, err := BenchProblem(q.Bench, q.Class); err != nil {
+		return predict.Query{}, err
+	}
+	var err error
+	if q.Procs, err = getInt("procs", 4, 1); err != nil {
+		return predict.Query{}, err
+	}
+	if q.Blocks, err = getInt("blocks", 3, 1); err != nil {
+		return predict.Query{}, err
+	}
+	if q.Passes, err = getInt("passes", 1, 1); err != nil {
+		return predict.Query{}, err
+	}
+	if q.Grid, err = getInt("grid", 0, 0); err != nil {
+		return predict.Query{}, err
+	}
+	if q.Trips, err = getInt("trips", 0, 0); err != nil {
+		return predict.Query{}, err
+	}
+	if q.Trips == 0 {
+		q.Trips = DefaultTrips(q.Class)
+	}
+	seen := map[int]bool{}
+	for _, s := range strings.Split(get("chains", "2"), ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return predict.Query{}, fmt.Errorf("bad chains value %q", s)
+		}
+		if n < 2 {
+			return predict.Query{}, fmt.Errorf("chain length must be >= 2, got %d", n)
+		}
+		if !seen[n] {
+			seen[n] = true
+			q.Chains = append(q.Chains, n)
+		}
+	}
+	sort.Ints(q.Chains)
+	return q, nil
+}

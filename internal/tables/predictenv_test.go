@@ -1,0 +1,149 @@
+package tables
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/plan"
+	"repro/internal/predict"
+)
+
+func TestParseLattice(t *testing.T) {
+	lat, err := ParseLattice("bench=BT&grid=6&procs=4&trips=2&chains=2,5&blocks=2 ; bench=BT&grid=8&procs=4&trips=2&chains=2,5&blocks=2")
+	if err != nil {
+		t.Fatalf("ParseLattice: %v", err)
+	}
+	if len(lat) != 2 {
+		t.Fatalf("lattice = %d points, want 2", len(lat))
+	}
+	q := lat[0]
+	if q.Bench != "BT" || q.Grid != 6 || q.Procs != 4 || q.Trips != 2 || q.Blocks != 2 || q.Passes != 1 {
+		t.Fatalf("first point = %+v, want the spec's values with serve defaults", q)
+	}
+	if len(q.Chains) != 2 || q.Chains[0] != 2 || q.Chains[1] != 5 {
+		t.Fatalf("chains = %v, want [2 5]", q.Chains)
+	}
+
+	// Defaults mirror the serving layer: an empty item inherits BT.S.p4.
+	lat, err = ParseLattice("grid=6")
+	if err != nil {
+		t.Fatalf("ParseLattice(defaults): %v", err)
+	}
+	if q := lat[0]; q.Bench != "BT" || string(q.Class) != "S" || q.Procs != 4 || q.Trips != DefaultTrips("S") || q.Blocks != 3 {
+		t.Fatalf("defaulted point = %+v, want serve's defaults", q)
+	}
+
+	for _, bad := range []string{"", " ; ", "bench=XX&grid=6", "grid=-1", "chains=1", "procs=zero"} {
+		if _, err := ParseLattice(bad); err == nil {
+			t.Fatalf("ParseLattice(%q) should fail", bad)
+		}
+	}
+}
+
+func TestNewBackendNames(t *testing.T) {
+	for _, n := range BackendNames {
+		b, err := NewBackend(n, BackendConfig{})
+		if err != nil {
+			t.Fatalf("NewBackend(%q): %v", n, err)
+		}
+		if b.Name() != n {
+			t.Fatalf("backend %q reports name %q", n, b.Name())
+		}
+	}
+	if _, err := NewBackend("psychic", BackendConfig{}); err == nil || !strings.Contains(err.Error(), "psychic") {
+		t.Fatalf("unknown backend error = %v, want it named", err)
+	}
+}
+
+// The cached backend built by NewBackend must refuse on a cold cache and
+// answer after the measured backend warms the same cache — the cross-
+// binary cache-key compatibility contract, exercised within one process.
+func TestBackendCacheKeyCompatibility(t *testing.T) {
+	cfg := BackendConfig{Cache: plan.NewCache()}
+	q := predict.Query{Bench: "BT", Class: "S", Procs: 4, Chains: []int{2}, Trips: 1, Blocks: 1, Passes: 1, Grid: 6}
+
+	cached, err := NewBackend("cached", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.Predict(context.Background(), q); err == nil {
+		t.Fatal("cold cached backend should refuse")
+	}
+
+	measured, err := NewBackend("measured", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := measured.Predict(context.Background(), q)
+	if err != nil {
+		t.Fatalf("measured: %v", err)
+	}
+	if mp.Provenance != predict.ProvMeasured || mp.Study == nil || mp.Study.Actual <= 0 {
+		t.Fatalf("measured prediction = %+v, want a real study", mp)
+	}
+
+	cp, err := cached.Predict(context.Background(), q)
+	if err != nil {
+		t.Fatalf("cached after warm: %v", err)
+	}
+	if cp.Provenance != predict.ProvCached {
+		t.Fatalf("provenance = %q, want cached", cp.Provenance)
+	}
+	if cp.Value != mp.Value {
+		t.Fatalf("cached value %g != measured value %g: cache keys disagree", cp.Value, mp.Value)
+	}
+}
+
+// Scale.Backend must route a table's studies through the named backend:
+// analytic regenerates the table with no measurements (Actual == 0).
+func TestScaleBackendRouting(t *testing.T) {
+	e, ok := Find("2a")
+	if !ok {
+		t.Fatal("table 2a missing")
+	}
+	e.Procs = []int{4}
+	res, err := e.Run(Scale{Trips: 2, Blocks: 1, GridOverride: 6, Backend: "analytic"})
+	if err != nil {
+		t.Fatalf("analytic table run: %v", err)
+	}
+	if len(res.Studies) != 1 {
+		t.Fatalf("studies = %d, want 1", len(res.Studies))
+	}
+	st := res.Studies[0].Study
+	if st.Actual != 0 {
+		t.Fatalf("analytic study Actual = %g, want 0 (no measurement happened)", st.Actual)
+	}
+	if len(st.Measurements.Isolated) == 0 || st.Summation.Predicted <= 0 {
+		t.Fatalf("analytic study lacks synthesized measurements: %+v", st)
+	}
+	if !strings.Contains(res.Text, "Coupling values") {
+		t.Fatalf("rendering missing: %q", res.Text)
+	}
+
+	if _, err := e.Run(Scale{Trips: 2, Backend: "psychic"}); err == nil {
+		t.Fatal("unknown Scale.Backend should fail")
+	}
+}
+
+// The injected Run override must replace the engine path entirely.
+func TestBackendConfigRunOverride(t *testing.T) {
+	called := false
+	cfg := BackendConfig{Run: func(ctx context.Context, q predict.Query) (*harness.Study, error) {
+		called = true
+		w := &harness.Synthetic{SyntheticName: "stub", Loop: []string{"a", "b"},
+			Base: map[string]float64{"a": 1, "b": 2}}
+		return harness.Engine{Workload: w}.Run(q.Trips, q.Chains)
+	}}
+	b, err := NewBackend("measured", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Predict(context.Background(), predict.Query{Trips: 2, Chains: []int{2}}); err != nil {
+		t.Fatalf("override predict: %v", err)
+	}
+	if !called {
+		t.Fatal("Run override was not used")
+	}
+}

@@ -6,6 +6,7 @@
 package tables
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/npb"
 	"repro/internal/plan"
+	"repro/internal/predict"
 	"repro/internal/stats"
 )
 
@@ -119,6 +121,14 @@ type Scale struct {
 	// CacheDir, when non-empty, persists the measurement cache there so
 	// repeated campaigns reuse results across processes.
 	CacheDir string
+	// Backend, when non-empty, routes every study through the named
+	// predictor backend (measured, cached, interpolated, analytic)
+	// instead of the default measured path — the paper tables can be
+	// regenerated per-backend to compare what each one would report.
+	Backend string
+	// Lattice seeds the interpolated backend's step models; ignored by
+	// the other backends.
+	Lattice []predict.Query
 }
 
 // DefaultTrips returns the scaled-down loop trip count used for a class
@@ -241,6 +251,9 @@ func WorldDigest(prob npb.Problem, net *mpi.NetModel) string {
 }
 
 func (e Experiment) studyFor(s Scale, procs, trips int) (*harness.Study, error) {
+	if s.Backend != "" && s.Backend != string(predict.ProvMeasured) {
+		return e.backendStudy(s, procs, trips)
+	}
 	w, err := e.workload(s, procs)
 	if err != nil {
 		return nil, err
@@ -262,6 +275,31 @@ func (e Experiment) studyFor(s Scale, procs, trips int) (*harness.Study, error) 
 		WorldDigest: WorldDigest(prob, s.Net),
 	}}
 	return eng.Run(trips, e.ChainLens)
+}
+
+// backendStudy answers one processor count's study through the predictor
+// interface instead of the measured engine path.
+func (e Experiment) backendStudy(s Scale, procs, trips int) (*harness.Study, error) {
+	cache, err := s.cache()
+	if err != nil {
+		return nil, err
+	}
+	b, err := NewBackend(s.Backend, BackendConfig{
+		Cache: cache, Net: s.Net, Parallel: s.Parallel, Lattice: s.Lattice,
+	})
+	if err != nil {
+		return nil, err
+	}
+	q := predict.Query{
+		Bench: e.Bench, Class: e.Class, Procs: procs,
+		Chains: e.ChainLens, Trips: trips,
+		Blocks: s.blocksFor(e.Class), Passes: s.Passes, Grid: s.GridOverride,
+	}
+	pr, err := b.Predict(context.Background(), q)
+	if err != nil {
+		return nil, err
+	}
+	return pr.Study, nil
 }
 
 // ResetCache clears the in-memory measurement cache (tests and benchmarks

@@ -61,6 +61,16 @@ if ! cmp -s /tmp/kc-cache-cold.out /tmp/kc-cache-warm.out; then
 fi
 rm -rf /tmp/kc-cache-gate /tmp/kc-cache-cold.out /tmp/kc-cache-warm.out /tmp/kc-cache-warm.err
 
+# Backend-agreement gate: the analytic backend's per-window coupling
+# bands must contain the measured coupling values on most windows of the
+# seeded BT study. The band is widened to ±60% — the model is structural,
+# not precise — and up to 3 of the 6 windows may disagree (tiny-grid
+# measurements are noisy); a systematic analytic drift fails the gate.
+echo "==> backends: analytic couplings agree with the measured BT study"
+go build -o /tmp/kc-couple ./cmd/couple
+/tmp/kc-couple -bench BT -grid 8 -trips 2 -procs 4 -chains 2,5 -blocks 2 \
+    -backend measured+analytic -analytic-band 0.6 -agree-max 3 >/dev/null
+
 # Chaos gate: the measurement pipeline must degrade, never crash, under a
 # fixed-seed fault schedule. Two invariants:
 #   1. couple under mild message jitter completes with a report (exit 0);

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,7 +13,9 @@ import (
 	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/predict"
 	"repro/internal/serve"
+	"repro/internal/tables"
 )
 
 // BenchmarkServePredict measures the query service's warm-cache /predict
@@ -56,16 +59,51 @@ func BenchmarkServePredictGuarded(b *testing.B) {
 	}))
 }
 
+// BenchmarkServePredictAnalytic and BenchmarkServePredictInterpolated
+// measure the synthetic backends' /predict latency the same way: the
+// analytic backend answers from pure geometry (no cache at all), the
+// interpolated backend from a two-point warmed lattice. Archived next to
+// the warm-cache numbers they bound the backend-dispatch overhead —
+// the chain lookup, provenance plumbing and per-prediction stale-cache
+// identity added by the backend layer.
+func BenchmarkServePredictAnalytic(b *testing.B) {
+	benchServeBackend(b, serve.Config{Backends: []string{"analytic"}}, nil,
+		"bench=BT&grid=6&trips=1&procs=4&chains=2&blocks=1")
+}
+
+func BenchmarkServePredictInterpolated(b *testing.B) {
+	lattice, err := tables.ParseLattice(
+		"bench=BT&grid=6&trips=1&procs=4&chains=2&blocks=1;bench=BT&grid=8&trips=1&procs=4&chains=2&blocks=1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchServeBackend(b, serve.Config{Backends: []string{"interpolated"}, Lattice: lattice},
+		lattice, "bench=BT&grid=10&trips=1&procs=4&chains=2&blocks=1")
+}
+
 func benchServePredict(b *testing.B, tracer *obs.RequestTracer, g *guard.Guard) {
+	benchServeBackend(b, serve.Config{Measure: true, Tracer: tracer, Guard: g}, nil,
+		"bench=BT&grid=6&trips=1&procs=4&chains=2&blocks=1")
+}
+
+// benchServeBackend drives b.N /predict round-trips against a server
+// with the given config (Cache filled in here), measuring the tiny
+// studies in warm first, and reports p50/p99 next to ns/op.
+func benchServeBackend(b *testing.B, cfg serve.Config, warm []predict.Query, qs string) {
 	cache := plan.NewCache()
-	srv, err := serve.New(serve.Config{Cache: cache, Measure: true, Tracer: tracer, Guard: g})
+	cfg.Cache = cache
+	for _, q := range warm {
+		if _, err := (tables.BackendConfig{Cache: cache}).StudyRunner()(context.Background(), q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	const qs = "bench=BT&grid=6&trips=1&procs=4&chains=2&blocks=1"
 	fetch := func() {
 		resp, err := http.Get(ts.URL + "/predict?" + qs)
 		if err != nil {
@@ -79,7 +117,7 @@ func benchServePredict(b *testing.B, tracer *obs.RequestTracer, g *guard.Guard) 
 			b.Fatal(fmt.Errorf("GET /predict = %d", resp.StatusCode))
 		}
 	}
-	fetch() // the warming request measures the tiny study once
+	fetch() // the warming request measures (or synthesizes) the tiny study once
 
 	lat := make([]time.Duration, 0, b.N)
 	b.ResetTimer()
