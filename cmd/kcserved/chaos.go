@@ -7,11 +7,11 @@ import (
 	"io"
 	"net/http"
 	"net/url"
-	"os"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/benchdiff"
 	"repro/internal/obs"
 )
 
@@ -289,7 +289,7 @@ func runChaosCheck(base, query string, n int, deadline time.Duration, benchOut s
 				"shed-rate-%": shedRate,
 			},
 		}
-		if err := mergeBenchRecord(benchOut, rec); err != nil {
+		if err := benchdiff.MergeRecord(benchOut, rec); err != nil {
 			return fmt.Errorf("bench-out: %w", err)
 		}
 	}
@@ -346,41 +346,4 @@ func chaosGet(client *http.Client, u string) (chaosResult, error) {
 		degraded: resp.Header.Get("X-Degraded"),
 		elapsed:  time.Since(start),
 	}, nil
-}
-
-// mergeBenchRecord appends (or replaces) one benchmark record in a
-// BENCH_<date>.json document, preserving every other field the file
-// carries. A missing file gets a minimal valid document, so the chaos
-// gate can archive quantiles even before the day's `make bench` ran.
-func mergeBenchRecord(path string, rec map[string]any) error {
-	doc := map[string]any{
-		"date":       time.Now().UTC().Format(time.RFC3339),
-		"benchmarks": []any{},
-	}
-	if data, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(data, &doc); err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-	} else if !os.IsNotExist(err) {
-		return err
-	}
-	benches, _ := doc["benchmarks"].([]any)
-	name, _ := rec["name"].(string)
-	kept := benches[:0]
-	for _, b := range benches {
-		if m, ok := b.(map[string]any); ok && m["name"] == name {
-			continue // replace the previous chaos record
-		}
-		kept = append(kept, b)
-	}
-	doc["benchmarks"] = append(kept, rec)
-	out, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(out, '\n'), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
 }

@@ -19,6 +19,16 @@
 //	                 Accept: text/plain for Prometheus text exposition)
 //	/version         build identity of the serving binary (JSON)
 //	/debug/requests  flight-recorder dump: slowest + errored traces (JSON)
+//	/internal/fill   peer-internal fill endpoint (requires X-Peer-Hop)
+//
+// With -peers and -self, N kcserved processes form a peer-filling
+// cluster: consistent hashing over plan keys gives each key one owner
+// node, non-owners proxy /predict-family queries to the owner over
+// /internal/fill (replicating hot keys locally), and the owner's
+// singleflight group collapses the whole fleet's identical in-flight
+// queries — a cold key is measured exactly once cluster-wide. Per-peer
+// circuit breakers rehash a dead peer's keys to the survivors, and any
+// fill failure falls back to resolving locally.
 //
 // Every request (except /debug/requests itself) carries a trace: a
 // deterministic ID echoed in the X-Trace-Id header and a span tree
@@ -70,6 +80,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/guard"
 	"repro/internal/obs"
@@ -108,8 +119,15 @@ func main() {
 		brkProbes    = flag.Int("breaker-probes", 0, "concurrent half-open probes a breaker admits (default 1)")
 		retryBudget  = flag.Float64("retry-budget", 0, "retry tokens earned per request for the token-bucket retry budget (default 0.1)")
 		staleCap     = flag.Int("stale", 64, "stale-answer cache capacity for degraded serving (0 disables the ladder)")
-		faultSpec    = flag.String("fault-spec", "", "serving-layer chaos spec: diskslow:/diskerr:/measure:/handler: clauses joined by ';'")
+		faultSpec    = flag.String("fault-spec", "", "serving-layer chaos spec: diskslow:/diskerr:/measure:/handler:/peerdelay:/peererr: clauses joined by ';'")
 		faultSeed    = flag.Uint64("fault-seed", 1, "seed for fault injection decisions and breaker cooldown jitter")
+
+		peers       = flag.String("peers", "", "comma-separated fleet member addresses (enables clustering; every node must get the same set)")
+		self        = flag.String("self", "", "this node's own entry in -peers (required with -peers)")
+		peerHot     = flag.Int("peer-hot", 0, "requests per window that make a foreign-owned key hot enough to replicate locally (default 8, negative disables)")
+		peerHotWin  = flag.Duration("peer-hot-window", 0, "hot-key tracking window (default 10s)")
+		peerReplica = flag.Int("peer-replicas", 0, "local replica cache capacity for hot foreign-owned keys (default 512)")
+		peerTimeout = flag.Duration("peer-fill-timeout", 0, "peer-fill round-trip budget, including owner-side on-demand measurement (default 30s)")
 
 		httpReadHeader = flag.Duration("http-read-header-timeout", 0, "listener header-read timeout (0 = 5s default, negative disables)")
 		httpRead       = flag.Duration("http-read-timeout", 0, "listener request-read timeout (0 = 30s default, negative disables)")
@@ -209,6 +227,32 @@ func main() {
 		inj = fault.NewServeInjector(spec, *faultSeed, reg)
 		fmt.Fprintf(os.Stderr, "kcserved: CHAOS fault injection active: %s (seed %d)\n", spec, *faultSeed)
 	}
+	var cl *cluster.Cluster
+	if *peers != "" {
+		if *self == "" {
+			fail("-peers requires -self (this node's own entry in the peer list)")
+		}
+		cl, err = cluster.New(cluster.Config{
+			Self:            *self,
+			Peers:           strings.Split(*peers, ","),
+			HotThreshold:    *peerHot,
+			HotWindow:       *peerHotWin,
+			ReplicaCap:      *peerReplica,
+			FillTimeout:     *peerTimeout,
+			BreakerFailures: *brkFailures,
+			BreakerCooldown: *brkCooldown,
+			BreakerProbes:   *brkProbes,
+			Seed:            *faultSeed,
+			Metrics:         reg,
+			Inject:          inj,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "kcserved: cluster node %s of %v\n", *self, cl.Nodes())
+	} else if *self != "" {
+		fail("-self without -peers (give the full member list, this node included)")
+	}
 	var chain []string
 	if *backends != "" {
 		chain = strings.Split(*backends, ",")
@@ -232,6 +276,7 @@ func main() {
 		Inject:         inj,
 		Backends:       chain,
 		Lattice:        latticeQs,
+		Cluster:        cl,
 	})
 	if err != nil {
 		fail("%v", err)

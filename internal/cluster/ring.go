@@ -1,0 +1,163 @@
+// Package cluster turns N kcserved processes into one peer-filling
+// fleet: consistent hashing over the serving layer's content-addressed
+// plan keys assigns each key exactly one owner node, non-owners proxy to
+// the owner (and locally replicate keys hot enough to earn it), and the
+// owner's per-key singleflight group becomes the fleet-wide collapse
+// point — a cold key is measured exactly once across the cluster.
+//
+// Membership is static (-peers/-self flags): the unit of scale here is
+// the content-addressed key, not the process, so the ring only needs to
+// agree across nodes that were started with the same peer list. Failure
+// handling is dynamic: per-peer circuit breakers take a dead peer out of
+// the ownership walk (keys rehash to the survivors) and any individual
+// fetch failure falls back to resolving locally — every node can answer
+// every query from the shared cache; the ring is an optimization for
+// where work and memory concentrate, never a correctness dependency.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// defaultVnodes is the virtual-node count per member. 128 points per
+// node keeps the largest ownership share within a few percent of fair
+// for small fleets while the ring stays cheap to search (3 nodes × 128
+// points = one 384-entry binary search per request).
+const defaultVnodes = 128
+
+// fnv1a64 is the 64-bit FNV-1a hash. Written out here (not hash/fnv) so
+// the ring's hot path hashes a key with zero allocations — and so the
+// placement function is a frozen constant of the deployment: owner
+// assignment must be identical across binaries, restarts and
+// architectures, because every node computes ownership independently.
+func fnv1a64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix64 finalizes a hash with the SplitMix64 avalanche, the same
+// construction the fault injector and guard use. FNV alone clusters
+// similar strings (vnode labels differ in one digit); the finalizer
+// spreads them over the full ring.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ringPoint is one virtual node: a position on the hash circle and the
+// member that owns it.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over a fixed member set.
+// Build one with NewRing; concurrent readers need no locking.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []string    // sorted, deduplicated member list
+}
+
+// NewRing builds a ring with vnodes virtual nodes per member (0 selects
+// the default). The member list is deduplicated and sorted first, so two
+// nodes handed the same set in different flag order build identical
+// rings — owner assignment is a pure function of (member set, key).
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node name in peer list")
+		}
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		nodes:  uniq,
+		points: make([]ringPoint, 0, len(uniq)*vnodes),
+	}
+	for _, n := range uniq {
+		for i := 0; i < vnodes; i++ {
+			// The vnode label is node#index; mixing decorrelates the
+			// near-identical labels across the circle.
+			h := mix64(fnv1a64(fmt.Sprintf("%s#%d", n, i)))
+			r.points = append(r.points, ringPoint{hash: h, node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by node name so the sort —
+		// and therefore ownership — stays deterministic.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Nodes returns the ring's member list, sorted. Callers must not mutate.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Owner returns the key's owner: the first virtual node clockwise from
+// the key's hash.
+//
+//kcvet:hotpath one binary search per clustered /predict request
+func (r *Ring) Owner(key string) string {
+	return r.points[r.search(mix64(fnv1a64(key)))].node
+}
+
+// OwnerAvoiding returns the key's owner after skipping members the
+// alive predicate rejects — the rehash-to-survivors walk used when a
+// peer's breaker is open. It continues clockwise from the key's home
+// position, so keys owned by healthy nodes keep their owner and only
+// the dead member's keys move (to the next distinct survivor on the
+// circle). With every member rejected it falls back to the home owner:
+// the caller is then on its own and resolves locally anyway.
+func (r *Ring) OwnerAvoiding(key string, alive func(node string) bool) string {
+	start := r.search(mix64(fnv1a64(key)))
+	home := r.points[start].node
+	if alive == nil || alive(home) {
+		return home
+	}
+	tried := map[string]bool{home: true}
+	for i := 1; i < len(r.points) && len(tried) < len(r.nodes); i++ {
+		n := r.points[(start+i)%len(r.points)].node
+		if tried[n] {
+			continue
+		}
+		if alive(n) {
+			return n
+		}
+		tried[n] = true
+	}
+	return home
+}
+
+// search finds the index of the first point at or clockwise past h.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0 // wrap: the circle's first point
+	}
+	return i
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real plan keys so the distribution checks reflect
+		// what the ring actually hashes in production.
+		keys[i] = fmt.Sprintf("BT.S.p4 g%d t60 b3 x1 c2", i)
+	}
+	return keys
+}
+
+// TestRingDeterministicAcrossConstructions: ownership must be a pure
+// function of (member set, key) — two rings built independently (and
+// from differently ordered, duplicated peer lists) agree on every key.
+// This is what lets every node compute ownership locally, and what makes
+// assignments survive a full-fleet restart.
+func TestRingDeterministicAcrossConstructions(t *testing.T) {
+	a, err := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3:3", "n1:1", "n2:2", "n1:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(500) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("ring views disagree on %q: %q vs %q", k, ao, bo)
+		}
+	}
+}
+
+// TestRingDistribution: with 128 vnodes each member of a 3-node ring
+// must own a meaningful share of real-shaped keys (no starved node).
+func TestRingDistribution(t *testing.T) {
+	r, err := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := testKeys(3000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, n := range r.Nodes() {
+		if frac := float64(counts[n]) / float64(len(keys)); frac < 0.15 {
+			t.Errorf("node %s owns only %.1f%% of keys: %v", n, 100*frac, counts)
+		}
+	}
+}
+
+// TestOwnerAvoidingMovesOnlyDeadKeys: taking one node out of the walk
+// must leave every other node's keys where they were — the whole point
+// of consistent hashing — and move the dead node's keys to survivors.
+func TestOwnerAvoidingMovesOnlyDeadKeys(t *testing.T) {
+	r, err := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dead = "n2:2"
+	alive := func(n string) bool { return n != dead }
+	moved := 0
+	for _, k := range testKeys(1000) {
+		home := r.Owner(k)
+		got := r.OwnerAvoiding(k, alive)
+		if home != dead {
+			if got != home {
+				t.Fatalf("key %q owned by healthy %q moved to %q", k, home, got)
+			}
+			continue
+		}
+		if got == dead {
+			t.Fatalf("key %q still assigned to dead node", k)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("dead node owned no test keys; distribution test should have caught this")
+	}
+
+	// All members rejected: fall back to the home owner.
+	if got := r.OwnerAvoiding("any", func(string) bool { return false }); got != r.Owner("any") {
+		t.Errorf("all-dead fallback = %q, want home owner %q", got, r.Owner("any"))
+	}
+	// Nil predicate: plain ownership.
+	if got := r.OwnerAvoiding("any", nil); got != r.Owner("any") {
+		t.Errorf("nil predicate = %q, want %q", got, r.Owner("any"))
+	}
+}
+
+func TestRingRejectsBadMemberLists(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty member list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty member name accepted")
+	}
+}

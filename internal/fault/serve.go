@@ -54,6 +54,25 @@ type HandlerDelaySpec struct {
 	Delay time.Duration
 }
 
+// PeerDelaySpec delays peer-fill fetches: each fetch is, with
+// probability P, delayed by Mean scaled by a deterministic jitter
+// factor in [1-Jitter, 1+Jitter]. The shape a slow (but alive) peer
+// drill needs.
+type PeerDelaySpec struct {
+	P      float64
+	Mean   time.Duration
+	Jitter float64
+}
+
+// PeerErrSpec fails peer-fill fetches before they leave the node, same
+// Count/P semantics as DiskErrSpec — count bursts are how the cluster
+// gate trips one peer's breaker on schedule (a "dead peer" as seen from
+// this node).
+type PeerErrSpec struct {
+	P     float64
+	Count uint64
+}
+
 // ServeSpec is a parsed serving-side fault specification. The zero
 // ServeSpec injects nothing.
 type ServeSpec struct {
@@ -61,6 +80,8 @@ type ServeSpec struct {
 	DiskErr    *DiskErrSpec
 	MeasureErr *MeasureErrSpec
 	Handler    *HandlerDelaySpec
+	PeerDelay  *PeerDelaySpec
+	PeerErr    *PeerErrSpec
 }
 
 // ParseServe parses the serving-side -fault-spec grammar (same clause
@@ -70,6 +91,8 @@ type ServeSpec struct {
 //	diskerr:p=<0..1>|count=<n>                    failing cache disk reads
 //	measure:p=<0..1>|count=<n>                    failing on-demand measurements
 //	handler:delay=<dur>[,p=<0..1>]                handler latency (p default 1)
+//	peerdelay:p=<0..1>,mean=<dur>[,jitter=<0..1>] slow peer-fill fetches (jitter default 0.5)
+//	peererr:p=<0..1>|count=<n>                    failing peer-fill fetches
 //
 // count=<n> fails exactly the first n operations — the deterministic
 // burst shape the chaos gate uses to demonstrate a breaker opening and
@@ -145,8 +168,33 @@ func ParseServe(s string) (ServeSpec, error) {
 				return ServeSpec{}, fmt.Errorf("fault: handler: delay duration required")
 			}
 			spec.Handler = h
+		case "peerdelay":
+			d := &PeerDelaySpec{P: 1, Jitter: 0.5}
+			if err := kv.apply(map[string]func(string) error{
+				"p":      probInto(&d.P),
+				"mean":   durInto(&d.Mean),
+				"jitter": probInto(&d.Jitter),
+			}); err != nil {
+				return ServeSpec{}, fmt.Errorf("fault: peerdelay: %w", err)
+			}
+			if d.Mean <= 0 {
+				return ServeSpec{}, fmt.Errorf("fault: peerdelay: mean duration required")
+			}
+			spec.PeerDelay = d
+		case "peererr":
+			p := &PeerErrSpec{}
+			if err := kv.apply(map[string]func(string) error{
+				"p":     probInto(&p.P),
+				"count": uintInto(&p.Count),
+			}); err != nil {
+				return ServeSpec{}, fmt.Errorf("fault: peererr: %w", err)
+			}
+			if p.P <= 0 && p.Count == 0 {
+				return ServeSpec{}, fmt.Errorf("fault: peererr: p or count required")
+			}
+			spec.PeerErr = p
 		default:
-			return ServeSpec{}, fmt.Errorf("fault: unknown serving class %q (want diskslow, diskerr, measure or handler)", name)
+			return ServeSpec{}, fmt.Errorf("fault: unknown serving class %q (want diskslow, diskerr, measure, handler, peerdelay or peererr)", name)
 		}
 	}
 	return spec, nil
@@ -154,7 +202,8 @@ func ParseServe(s string) (ServeSpec, error) {
 
 // Empty reports whether the spec injects nothing.
 func (s ServeSpec) Empty() bool {
-	return s.DiskSlow == nil && s.DiskErr == nil && s.MeasureErr == nil && s.Handler == nil
+	return s.DiskSlow == nil && s.DiskErr == nil && s.MeasureErr == nil &&
+		s.Handler == nil && s.PeerDelay == nil && s.PeerErr == nil
 }
 
 // String renders the spec canonically in the ParseServe grammar.
@@ -171,6 +220,12 @@ func (s ServeSpec) String() string {
 	}
 	if h := s.Handler; h != nil {
 		parts = append(parts, fmt.Sprintf("handler:delay=%s,p=%g", h.Delay, h.P))
+	}
+	if d := s.PeerDelay; d != nil {
+		parts = append(parts, fmt.Sprintf("peerdelay:p=%g,mean=%s,jitter=%g", d.P, d.Mean, d.Jitter))
+	}
+	if p := s.PeerErr; p != nil {
+		parts = append(parts, "peererr:"+countOrP(p.Count, p.P))
 	}
 	return strings.Join(parts, ";")
 }
@@ -190,14 +245,18 @@ var (
 	ErrInjectedDisk = errors.New("fault: injected disk read error")
 	// ErrInjectedMeasure is the injected on-demand-measurement failure.
 	ErrInjectedMeasure = errors.New("fault: injected measurement failure")
+	// ErrInjectedPeer is the injected peer-fill-fetch failure.
+	ErrInjectedPeer = errors.New("fault: injected peer fetch failure")
 )
 
 // Per-class salts decorrelate decision streams that share a seed.
 const (
-	saltDiskSlow = 0x6469736b736c6f77 // "diskslow"
-	saltDiskErr  = 0x6469736b65727221
-	saltMeasure  = 0x6d65617375726521
-	saltHandler  = 0x68616e646c657221
+	saltDiskSlow  = 0x6469736b736c6f77 // "diskslow"
+	saltDiskErr   = 0x6469736b65727221
+	saltMeasure   = 0x6d65617375726521
+	saltHandler   = 0x68616e646c657221
+	saltPeerDelay = 0x7065657264656c61 // "peerdela"
+	saltPeerErr   = 0x7065657265727221
 )
 
 // ServeInjector makes seed-deterministic serving-layer fault decisions.
@@ -209,15 +268,19 @@ type ServeInjector struct {
 	spec ServeSpec
 	seed uint64
 
-	diskSlowSeq atomic.Uint64
-	diskErrSeq  atomic.Uint64
-	measureSeq  atomic.Uint64
-	handlerSeq  atomic.Uint64
+	diskSlowSeq  atomic.Uint64
+	diskErrSeq   atomic.Uint64
+	measureSeq   atomic.Uint64
+	handlerSeq   atomic.Uint64
+	peerDelaySeq atomic.Uint64
+	peerErrSeq   atomic.Uint64
 
 	diskSlowed   *obs.Counter
 	diskFailed   *obs.Counter
 	measFailed   *obs.Counter
 	handlerSlews *obs.Counter
+	peerSlowed   *obs.Counter
+	peerFailed   *obs.Counter
 }
 
 // NewServeInjector builds an injector; a nil return for an empty spec
@@ -236,6 +299,8 @@ func NewServeInjector(spec ServeSpec, seed uint64, reg *obs.Registry) *ServeInje
 		diskFailed:   reg.Counter("fault.serve.diskerr"),
 		measFailed:   reg.Counter("fault.serve.measure"),
 		handlerSlews: reg.Counter("fault.serve.handler"),
+		peerSlowed:   reg.Counter("fault.serve.peerdelay"),
+		peerFailed:   reg.Counter("fault.serve.peererr"),
 	}
 }
 
@@ -309,6 +374,39 @@ func (i *ServeInjector) HandlerDelay() time.Duration {
 	}
 	i.handlerSlews.Add(1)
 	return h.Delay
+}
+
+// PeerDelay returns the injected delay for the next peer-fill fetch
+// (zero for none). The caller sleeps; the injector only decides.
+func (i *ServeInjector) PeerDelay() time.Duration {
+	if i == nil || i.spec.PeerDelay == nil {
+		return 0
+	}
+	d := i.spec.PeerDelay
+	n := i.peerDelaySeq.Add(1)
+	h := splitmix64(i.seed ^ saltPeerDelay ^ n)
+	if u01(h) >= d.P {
+		return 0
+	}
+	f := 1 + d.Jitter*(2*u01(splitmix64(h))-1)
+	i.peerSlowed.Add(1)
+	return time.Duration(float64(d.Mean) * f)
+}
+
+// PeerErr returns the injected failure for the next peer-fill fetch
+// (nil for none). Fired before the request leaves the node, so it
+// exercises the breaker-and-fallback path without any real peer dying.
+func (i *ServeInjector) PeerErr() error {
+	if i == nil || i.spec.PeerErr == nil {
+		return nil
+	}
+	p := i.spec.PeerErr
+	n := i.peerErrSeq.Add(1)
+	if !decide(i.seed, saltPeerErr, n, p.Count, p.P) {
+		return nil
+	}
+	i.peerFailed.Add(1)
+	return ErrInjectedPeer
 }
 
 // decide resolves one count-or-probability fault decision: with a count

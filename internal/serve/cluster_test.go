@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// fleetNode is one in-process cluster member: its own registry, cluster
+// view and HTTP listener, sharing a cache directory with its peers.
+type fleetNode struct {
+	addr string
+	reg  *obs.Registry
+	cl   *cluster.Cluster
+	srv  *Server
+	ts   *httptest.Server
+}
+
+// startFleet brings up n kcserved-shaped nodes on real listeners (the
+// peer list must be known before construction, so listeners come first)
+// over the given shared cache directory. mutate, when non-nil, adjusts
+// each node's configs before construction.
+func startFleet(t *testing.T, n int, cacheDir string, mutate func(i int, cc *cluster.Config, sc *Config)) []*fleetNode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	fleet := make([]*fleetNode, n)
+	for i := range fleet {
+		cache, err := plan.NewDirCache(cacheDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		cc := cluster.Config{
+			Self:            addrs[i],
+			Peers:           addrs,
+			BreakerFailures: 1,
+			BreakerCooldown: time.Hour, // a dead peer stays dead for the whole test
+			Metrics:         reg,
+		}
+		sc := Config{Cache: cache, Metrics: reg, Measure: true}
+		if mutate != nil {
+			mutate(i, &cc, &sc)
+		}
+		cl, err := cluster.New(cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Cluster = cl
+		srv, err := New(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := &httptest.Server{Listener: lns[i], Config: &http.Server{Handler: srv.Handler()}}
+		ts.Start()
+		fleet[i] = &fleetNode{addr: addrs[i], reg: reg, cl: cl, srv: srv, ts: ts}
+	}
+	t.Cleanup(func() {
+		for _, fn := range fleet {
+			fn.ts.Close()
+		}
+	})
+	return fleet
+}
+
+// ownerIndex returns which fleet node owns the key, per node i's view.
+func ownerIndex(t *testing.T, fleet []*fleetNode, i int, key string) int {
+	t.Helper()
+	owner, _ := fleet[i].cl.Owner(key)
+	for j, fn := range fleet {
+		if fn.addr == owner {
+			return j
+		}
+	}
+	t.Fatalf("owner %q not in fleet", owner)
+	return -1
+}
+
+// TestClusterViewsAgree: every node was started with the same peer list,
+// so all of them must compute the same owner for every key — the
+// property that lets each node route independently, and that keeps
+// assignments stable across a full-fleet restart (ownership is a pure
+// function of the member set and the key).
+func TestClusterViewsAgree(t *testing.T) {
+	fleet := startFleet(t, 3, t.TempDir(), nil)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("BT.S.p4 g%d t2 b2 x1 c2", i)
+		want := ownerIndex(t, fleet, 0, key)
+		for node := 1; node < len(fleet); node++ {
+			if got := ownerIndex(t, fleet, node, key); got != want {
+				t.Fatalf("key %q: node 0 says owner %d, node %d says %d", key, want, node, got)
+			}
+		}
+	}
+}
+
+// TestClusterProxiesToOwner: a request landing on a non-owner is served
+// through the owner's fill endpoint, and the proxied body is
+// byte-identical to the owner's own answer — clients cannot tell which
+// node they hit.
+func TestClusterProxiesToOwner(t *testing.T) {
+	fleet := startFleet(t, 2, warmedDir(t), nil)
+	key := warmQuery(t).Key()
+	owner := ownerIndex(t, fleet, 0, key)
+	other := 1 - owner
+
+	fromOwner := get(t, fleet[owner].ts.URL, "/predict?"+warmQS, http.StatusOK)
+	fromOther := get(t, fleet[other].ts.URL, "/predict?"+warmQS, http.StatusOK)
+	if !bytes.Equal(fromOwner, fromOther) {
+		t.Errorf("proxied body differs from owner's:\nowner: %s\nproxy: %s", fromOwner, fromOther)
+	}
+	if got := fleet[other].reg.Counter("cluster.proxied").Value(); got != 1 {
+		t.Errorf("non-owner cluster.proxied = %d, want 1", got)
+	}
+	if got := fleet[owner].reg.Counter("cluster.fill.served").Value(); got != 1 {
+		t.Errorf("owner cluster.fill.served = %d, want 1", got)
+	}
+	if got := fleet[owner].reg.Counter("cluster.proxied").Value(); got != 0 {
+		t.Errorf("owner proxied its own key %d times", got)
+	}
+}
+
+// TestClusterExactlyOnceMeasurement is the tentpole's core promise: a
+// cold key queried concurrently through every node of the fleet is
+// measured exactly once cluster-wide — non-owners proxy to the owner,
+// and the owner's singleflight collapses the rest.
+func TestClusterExactlyOnceMeasurement(t *testing.T) {
+	fleet := startFleet(t, 3, t.TempDir(), nil)
+	const coldQS = "bench=BT&class=S&procs=4&chains=2&trips=2&blocks=1&passes=1&grid=6"
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 9)
+	for round := 0; round < 3; round++ {
+		for _, fn := range fleet {
+			wg.Add(1)
+			go func(base string) {
+				defer wg.Done()
+				resp, err := http.Get(base + "/predict?" + coldQS)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}(fn.ts.URL)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	var measured int64
+	for _, fn := range fleet {
+		measured += fn.reg.Counter("serve.measure.ondemand").Value()
+	}
+	if measured != 1 {
+		t.Errorf("fleet measured the cold key %d times, want exactly 1", measured)
+	}
+}
+
+// TestClusterHopGuard: a request already carrying the hop header must
+// resolve locally even on a non-owner — the one-hop forwarding loop
+// guard that makes disagreeing ring views safe.
+func TestClusterHopGuard(t *testing.T) {
+	fleet := startFleet(t, 2, warmedDir(t), nil)
+	key := warmQuery(t).Key()
+	other := 1 - ownerIndex(t, fleet, 0, key)
+
+	req, err := http.NewRequest(http.MethodGet, fleet[other].ts.URL+"/predict?"+warmQS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(cluster.HopHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hopped request status %d", resp.StatusCode)
+	}
+	if got := fleet[other].reg.Counter("cluster.proxied").Value(); got != 0 {
+		t.Errorf("hopped request was re-proxied %d times — forwarding loops possible", got)
+	}
+	if got := fleet[other].reg.Counter("cluster.hop.local").Value(); got != 1 {
+		t.Errorf("cluster.hop.local = %d, want 1", got)
+	}
+}
+
+// TestClusterReplicatesHotKeys: a foreign-owned key hammered at one node
+// crosses the replication threshold, after which that node answers from
+// its local replica instead of re-proxying every request.
+func TestClusterReplicatesHotKeys(t *testing.T) {
+	fleet := startFleet(t, 2, warmedDir(t), func(i int, cc *cluster.Config, sc *Config) {
+		cc.HotThreshold = 2
+	})
+	key := warmQuery(t).Key()
+	owner := ownerIndex(t, fleet, 0, key)
+	other := 1 - owner
+
+	for i := 0; i < 4; i++ {
+		get(t, fleet[other].ts.URL, "/predict?"+warmQS, http.StatusOK)
+	}
+	if got := fleet[other].reg.Counter("cluster.replica.stored").Value(); got < 1 {
+		t.Fatalf("hot key never replicated (stored=%d)", got)
+	}
+	if got := fleet[other].reg.Counter("cluster.replica.hits").Value(); got < 1 {
+		t.Errorf("replica never served (hits=%d)", got)
+	}
+	// Requests 1 and 2 proxied (the second stores the replica); 3 and 4
+	// must be replica-served, so the owner saw exactly two fills.
+	if got := fleet[owner].reg.Counter("cluster.fill.served").Value(); got != 2 {
+		t.Errorf("owner served %d fills, want 2 (replica should absorb the rest)", got)
+	}
+}
+
+// TestClusterSurvivesNodeKill: killing one node mid-run must not cost a
+// single warm-key request — the first fetch failure opens the dead
+// peer's breaker and falls back to local resolution, and every later
+// request rehashes to a survivor. Every node can answer every key from
+// the shared cache; the ring only concentrates where work lands.
+func TestClusterSurvivesNodeKill(t *testing.T) {
+	fleet := startFleet(t, 3, warmedDir(t), nil)
+	key := warmQuery(t).Key()
+	owner := ownerIndex(t, fleet, 0, key)
+	requester := (owner + 1) % 3
+
+	// Healthy: the requester proxies to the owner.
+	get(t, fleet[requester].ts.URL, "/predict?"+warmQS, http.StatusOK)
+	if got := fleet[requester].reg.Counter("cluster.proxied").Value(); got != 1 {
+		t.Fatalf("healthy proxy count %d, want 1", got)
+	}
+
+	// Kill the owner mid-run.
+	fleet[owner].ts.Close()
+
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(fleet[requester].ts.URL + "/predict?" + warmQS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			t.Fatalf("request %d after node kill: status %d — a dead peer cost a warm answer", i, resp.StatusCode)
+		}
+	}
+	r := fleet[requester].reg
+	if got := r.Counter("cluster.fill.fallback").Value(); got < 1 {
+		t.Errorf("no fallback recorded after killing the owner (fallback=%d)", got)
+	}
+	if got := r.Counter("cluster.rehash").Value(); got < 1 {
+		t.Errorf("ownership never rehashed off the dead peer (rehash=%d)", got)
+	}
+	// The dead peer's breaker is open on the requester, so later requests
+	// route straight to a survivor (or self) without touching it.
+	if b := fleet[requester].cl.Breaker(fleet[owner].addr); b.State().String() != "open" {
+		t.Errorf("dead peer's breaker is %v, want open", b.State())
+	}
+}
+
+// warmedDir exposes the shared warmed cache directory for fleet tests
+// (warmedCache builds it on first use).
+func warmedDir(t *testing.T) string {
+	t.Helper()
+	warmedCache(t) // ensure warmed
+	if !strings.Contains(warmDir, "serve-warm-cache-") {
+		t.Fatalf("unexpected warm dir %q", warmDir)
+	}
+	return warmDir
+}

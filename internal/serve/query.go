@@ -80,6 +80,14 @@ func ParseQuery(v url.Values) (Query, error) {
 		if len(v[key]) > 1 {
 			return Query{}, fmt.Errorf("parameter %q given %d times", key, len(v[key]))
 		}
+		// An explicitly empty value (?chains= or bare ?chains) is a
+		// client mistake, not a request for the default: silently
+		// substituting the default would answer a question the caller
+		// never asked. Same "never answer the wrong question" contract as
+		// the unknown-parameter rejection above.
+		if strings.TrimSpace(v[key][0]) == "" {
+			return Query{}, fmt.Errorf("parameter %q has an empty value (omit it to use the default)", key)
+		}
 	}
 	get := func(key, def string) string {
 		if s := strings.TrimSpace(v.Get(key)); s != "" {
@@ -148,6 +156,32 @@ func ParseQuery(v url.Values) (Query, error) {
 	return q, nil
 }
 
+// Encode renders the query back into URL parameters, every resolved
+// field explicit — the peer-fill wire form. ParseQuery(Encode()) is the
+// identity: the owner re-parses to the same Query (and therefore the
+// same Key), so a proxied question cannot drift from the local one.
+func (q Query) Encode() string {
+	v := url.Values{}
+	v.Set("bench", q.Bench)
+	v.Set("class", string(q.Class))
+	v.Set("procs", strconv.Itoa(q.Procs))
+	v.Set("trips", strconv.Itoa(q.Trips))
+	v.Set("blocks", strconv.Itoa(q.Blocks))
+	v.Set("passes", strconv.Itoa(q.Passes))
+	v.Set("grid", strconv.Itoa(q.Grid))
+	if len(q.Chains) > 0 {
+		parts := make([]string, len(q.Chains))
+		for i, c := range q.Chains {
+			parts[i] = strconv.Itoa(c)
+		}
+		v.Set("chains", strings.Join(parts, ","))
+	}
+	if q.Backend != "" {
+		v.Set("backend", q.Backend)
+	}
+	return v.Encode()
+}
+
 // Key is the query's canonical identity: two requests with the same key
 // describe the same study and may share one in-flight resolution. All
 // defaults are resolved before the key is formed, so ?bench=BT and an
@@ -165,8 +199,15 @@ func ParseQuery(v url.Values) (Query, error) {
 // "nearby" notion — when a query's exact answer is unavailable and the
 // service is unhealthy, another member of its family is the closest
 // honest substitute.
+//
+// The backend pin is part of the family, exactly as it is part of Key:
+// a ?backend=analytic request asked for analytic provenance, and the
+// only honest "nearby" substitute is another answer with the same pin.
+// Without the suffix, the degradation ladder could hand a pinned request
+// a stale answer of a different provenance — a measured answer to an
+// analytic question.
 func (q Query) FamilyKey() string {
-	b := make([]byte, 0, 24)
+	b := make([]byte, 0, 32)
 	b = append(b, q.Bench...)
 	b = append(b, '.')
 	b = append(b, string(q.Class)...)
@@ -174,6 +215,10 @@ func (q Query) FamilyKey() string {
 	b = strconv.AppendInt(b, int64(q.Procs), 10)
 	b = append(b, ".g"...)
 	b = strconv.AppendInt(b, int64(q.Grid), 10)
+	if q.Backend != "" {
+		b = append(b, ".k"...)
+		b = append(b, q.Backend...)
+	}
 	return string(b)
 }
 

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/guard"
 	"repro/internal/harness"
@@ -91,6 +92,13 @@ type Config struct {
 	// Lattice seeds the interpolated backend with neighboring
 	// configurations whose cached studies anchor its step models.
 	Lattice []predict.Query
+	// Cluster, when non-nil, makes this server one node of a peer-filling
+	// fleet: queries whose plan key hashes to another node are proxied to
+	// that owner over the peer-fill protocol (and locally replicated when
+	// hot), so each key's singleflight collapse — and any on-demand
+	// measurement — happens on exactly one node fleet-wide. Nil serves
+	// standalone, byte for byte the single-node behavior.
+	Cluster *cluster.Cluster
 }
 
 // Server answers prediction queries over HTTP. Create one with New and
@@ -113,6 +121,9 @@ type Server struct {
 	logMu     sync.Mutex
 	accessLog io.Writer
 
+	// cluster is the peer-filling fleet view (nil standalone).
+	cluster *cluster.Cluster
+
 	// chains maps a backend pin ("measured", "analytic", ...) to its
 	// single-backend chain; the "" entry is the server's default chain.
 	// Built once at construction — the warm path only does a map lookup.
@@ -127,7 +138,7 @@ type Server struct {
 // endpointNames lists every endpoint wrap() meters, in the fixed order
 // publishWindows walks so the quantile gauges land in the registry
 // deterministically.
-var endpointNames = []string{"couplings", "debug", "healthz", "metrics", "predict", "study", "version"}
+var endpointNames = []string{"couplings", "debug", "fill", "healthz", "metrics", "predict", "study", "version"}
 
 // New builds a Server over the given cache.
 func New(cfg Config) (*Server, error) {
@@ -151,6 +162,7 @@ func New(cfg Config) (*Server, error) {
 		tracer:     cfg.Tracer,
 		guard:      cfg.Guard,
 		inject:     cfg.Inject,
+		cluster:    cfg.Cluster,
 		windows:    make(map[string]*obs.WindowHistogram, len(endpointNames)),
 		version:    buildVersion(),
 		accessLog:  cfg.AccessLog,
@@ -311,22 +323,39 @@ func (s *Server) measureOnce(ctx context.Context, eng harness.Engine, q predict.
 	return st, nil
 }
 
-// resolve answers a query through the singleflight group: N identical
-// in-flight queries cost one analysis (or one on-demand measurement),
-// and the followers share the leader's study. The leader publishes its
-// trace ID through the flight token, so a follower's trace names the
-// request whose work it waited on.
+// resolve answers a query: in a cluster, by routing it to the key's
+// owner (resolvePeer) unless this node is the owner or the request
+// already crossed a peer hop; standalone (or as owner), by resolving
+// locally. The hop check is the forwarding loop guard — a query never
+// travels more than one hop, whatever the peers' ring views claim.
+func (s *Server) resolve(ctx context.Context, q Query) (predict.Prediction, error) {
+	if s.cluster != nil && !peerHopFrom(ctx) {
+		if owner, self := s.cluster.Owner(q.Key()); !self {
+			return s.resolvePeer(ctx, q, owner)
+		}
+	}
+	pr, _, err := s.resolveLocal(ctx, q)
+	return pr, err
+}
+
+// resolveLocal answers a query through the local singleflight group: N
+// identical in-flight queries cost one analysis (or one on-demand
+// measurement), and the followers share the leader's study. The leader
+// publishes its trace ID through the flight token, so a follower's trace
+// names the request whose work it waited on; the token is also returned
+// so the fill endpoint can hand it to a filling peer — the cluster-wide
+// extension of the same attribution.
 //
 // The flight body detaches from the requesting caller's cancellation:
 // followers piled onto a flight must survive the leader's own requester
 // giving up (deadline spent, connection dropped), so the leader runs on
 // the guard's leader budget instead of any one caller's. When the
-// request carries a deadline, resolve waits for the flight in a select
-// and answers deterministically the moment the budget runs out — the
-// flight keeps going for whoever is still waiting, and this request's
-// trace is finished only once the flight lands (see wrap), because the
-// detached work keeps writing spans into it.
-func (s *Server) resolve(ctx context.Context, q Query) (predict.Prediction, error) {
+// request carries a deadline, resolveLocal waits for the flight in a
+// select and answers deterministically the moment the budget runs out —
+// the flight keeps going for whoever is still waiting, and this
+// request's trace is finished only once the flight lands (see wrap),
+// because the detached work keeps writing spans into it.
+func (s *Server) resolveLocal(ctx context.Context, q Query) (predict.Prediction, string, error) {
 	tr := obs.TraceFrom(ctx)
 	sp, sfctx := obs.StartSpan(ctx, "singleflight", "")
 	fn := func(fl *singleflight.Flight) (predict.Prediction, error) {
@@ -357,7 +386,7 @@ func (s *Server) resolve(ctx context.Context, q Query) (predict.Prediction, erro
 			tr.Annotate("singleflight", "abandoned")
 			sp.SetDetail("abandoned")
 			sp.End()
-			return predict.Prediction{}, budgetErr(ctx, ctx.Err())
+			return predict.Prediction{}, "", budgetErr(ctx, ctx.Err())
 		}
 	} else {
 		// No deadline: run the flight synchronously on this goroutine —
@@ -376,7 +405,8 @@ func (s *Server) resolve(ctx context.Context, q Query) (predict.Prediction, erro
 		tr.Annotate("singleflight", "leader")
 	}
 	sp.End()
-	return pr, err
+	token, _ := fl.Token().(string)
+	return pr, token, err
 }
 
 // Handler returns the service's HTTP mux. Only the query endpoints are
@@ -395,6 +425,11 @@ func (s *Server) Handler() http.Handler {
 	// request must not insert itself into the flight recorder it is
 	// reading, or repeated dumps would perturb what they report.
 	mux.Handle("GET /debug/requests", s.wrap("debug", false, false, s.handleDebugRequests))
+	// The peer-fill endpoint is traced and metered but unguarded:
+	// admission and deadline budgets were already spent at the edge node
+	// that accepted the public request, and shedding here would double-
+	// charge a query the fleet has already admitted once.
+	mux.Handle("GET "+cluster.FillPath, s.wrap("fill", true, false, s.handleFill))
 	return mux
 }
 
@@ -847,6 +882,13 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) error {
 // 400 query is wrong, and an old answer to it would lie.
 func (s *Server) study(r *http.Request) (predict.Prediction, string, error) {
 	ctx := r.Context()
+	if s.cluster != nil && r.Header.Get(cluster.HopHeader) != "" {
+		// A peer's ring view routed this request here; honor it and
+		// resolve locally whatever our own view says — the one-hop
+		// forwarding loop guard, on the public endpoints too.
+		ctx = withPeerHop(ctx)
+		s.reg.Counter("cluster.hop.local").Inc()
+	}
 	sp, _ := obs.StartSpan(ctx, "parse", "")
 	q, err := ParseQuery(r.URL.Query())
 	if err != nil {

@@ -11,9 +11,16 @@
 package singleflight
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrLeaderPanicked is what followers receive when the leader's fn
+// panicked instead of returning: the flight produced no value, and a
+// zero value with a nil error would be a false success. The panic itself
+// propagates to the leader's caller; only the waiters see this sentinel.
+var ErrLeaderPanicked = errors.New("singleflight: leader panicked")
 
 // Flight is the observable identity of one in-flight execution, shared
 // by the leader and every follower of a key. The leader may publish a
@@ -66,8 +73,9 @@ type Group[K comparable, V any] struct {
 // running fn itself. Once a flight completes, the key is forgotten — Do
 // deduplicates concurrent work, it does not memoize.
 //
-// fn must not panic: a panicking leader releases its waiters with the
-// zero value and a nil error before the panic propagates.
+// A panicking fn never produces a false success: the leader's waiters
+// are released with the zero value and ErrLeaderPanicked, and the panic
+// propagates to the leader's caller.
 func (g *Group[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared bool) {
 	v, err, shared, _ = g.DoFlight(key, func(*Flight) (V, error) { return fn() })
 	return v, err, shared
@@ -96,13 +104,25 @@ func (g *Group[K, V]) DoFlight(key K, fn func(*Flight) (V, error)) (v V, err err
 	g.m[key] = c
 	g.mu.Unlock()
 
+	// The completion flag distinguishes a normal return from a panic
+	// unwinding through the defer: if fn panicked, c.val/c.err were never
+	// assigned, and releasing the waiters as-is would hand every follower
+	// the zero value with a nil error — a false success. Followers get
+	// the sentinel instead, and the panic keeps propagating to the
+	// leader's caller (no recover here).
+	completed := false
 	defer func() {
+		if !completed {
+			var zero V
+			c.val, c.err = zero, ErrLeaderPanicked
+		}
 		g.mu.Lock()
 		delete(g.m, key)
 		g.mu.Unlock()
 		c.wg.Done()
 	}()
 	c.val, c.err = fn(&c.flight)
+	completed = true
 	return c.val, c.err, false, &c.flight
 }
 
@@ -125,6 +145,11 @@ type FlightResult[V any] struct {
 // captured by fn, not through the wait: pass fn a context detached from
 // the caller's cancellation or the early-returning caller takes every
 // follower's work down with it.
+//
+// A panicking fn releases its waiters with ErrLeaderPanicked first, but
+// the panic then unwinds the flight's own goroutine — with no caller
+// stack to recover on, it crashes the process, as any unrecovered
+// goroutine panic does.
 func (g *Group[K, V]) DoFlightCh(key K, fn func(*Flight) (V, error)) <-chan FlightResult[V] {
 	ch := make(chan FlightResult[V], 1)
 	go func() {

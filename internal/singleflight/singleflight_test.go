@@ -197,3 +197,65 @@ func TestDoWrapsDoFlight(t *testing.T) {
 		t.Fatalf("Do = %q %v %v", v, err, shared)
 	}
 }
+
+// TestLeaderPanicReleasesFollowersWithSentinel is the leader-panic fix's
+// regression test: before the fix, a panicking leader released its
+// followers with the zero value and a nil error — a false success. Now
+// followers receive ErrLeaderPanicked and the panic still propagates to
+// the leader's own caller.
+func TestLeaderPanicReleasesFollowersWithSentinel(t *testing.T) {
+	var g Group[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderPanicked := make(chan any, 1)
+	go func() {
+		defer func() { leaderPanicked <- recover() }()
+		g.Do("k", func() (int, error) {
+			close(started)
+			<-release
+			panic("leader exploded")
+		})
+	}()
+	<-started
+
+	type out struct {
+		v      int
+		err    error
+		shared bool
+	}
+	followerDone := make(chan out, 1)
+	go func() {
+		v, err, shared := g.Do("k", func() (int, error) {
+			t.Error("follower ran fn — it should have waited on the leader")
+			return 99, nil
+		})
+		followerDone <- out{v, err, shared}
+	}()
+	for g.Waiters("k") < 1 {
+		runtime.Gosched()
+	}
+	close(release)
+
+	fo := <-followerDone
+	if !fo.shared {
+		t.Error("follower did not share the leader's flight")
+	}
+	if !errors.Is(fo.err, ErrLeaderPanicked) {
+		t.Errorf("follower err = %v, want ErrLeaderPanicked — a panicking leader must not report success", fo.err)
+	}
+	if fo.v != 0 {
+		t.Errorf("follower value = %d, want the zero value", fo.v)
+	}
+	if p := <-leaderPanicked; p == nil {
+		t.Error("leader's panic was swallowed instead of propagating")
+	} else if p != "leader exploded" {
+		t.Errorf("leader panic = %v, want the original panic value", p)
+	}
+
+	// The key must be forgotten: the next call runs fresh.
+	v, err, shared := g.Do("k", func() (int, error) { return 7, nil })
+	if v != 7 || err != nil || shared {
+		t.Errorf("post-panic Do = %d %v %v, want a fresh 7", v, err, shared)
+	}
+}

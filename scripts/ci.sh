@@ -194,4 +194,63 @@ if ! wait "$chaos_pid"; then
 fi
 rm -rf /tmp/kc-chaos-cache /tmp/kc-chaos-serve /tmp/kc-chaos-serve.err /tmp/kc-couple
 
+# Cluster gate: a race-built 3-node peer-filling fleet over one shared
+# cache dir must serve a kcload run — zipf traffic with bursts and a
+# mid-run SIGTERM of one node — without a single 5xx (kcload retries a
+# dead listener against the survivors; the fleet rehashes the dead
+# node's keys), measure each cold key exactly once fleet-wide, and
+# drain every node cleanly. The kill lands after the deterministic
+# sweep, so every cold key was measured (and persisted) before a node
+# dies; the exactly-once count is summed from the three shutdown
+# manifests. kcload's latency quantiles are archived into today's BENCH
+# file under custom metric keys benchdiff never gates.
+echo "==> cluster: 3-node fleet survives a node kill; cold keys measure once fleet-wide"
+go build -race -o /tmp/kc-cluster-serve ./cmd/kcserved
+go build -o /tmp/kc-load ./cmd/kcload
+rm -rf /tmp/kc-cluster-cache /tmp/kc-cluster-metrics*.json /tmp/kc-cluster-node*.err
+cluster_peers="127.0.0.1:18651,127.0.0.1:18652,127.0.0.1:18653"
+cluster_pids=()
+for i in 1 2 3; do
+    /tmp/kc-cluster-serve -addr "127.0.0.1:1865$i" -cache-dir /tmp/kc-cluster-cache \
+        -measure -peers "$cluster_peers" -self "127.0.0.1:1865$i" -peer-hot 3 \
+        -breaker-failures 1 -breaker-cooldown 1h \
+        -metrics-out "/tmp/kc-cluster-metrics$i.json" 2>"/tmp/kc-cluster-node$i.err" &
+    cluster_pids[$i]=$!
+done
+if ! /tmp/kc-load -targets "$cluster_peers" -n 240 -keys 6 -concurrency 8 \
+    -burst 6 -burst-every 40 -kill "${cluster_pids[2]}@100" -max-5xx 0 \
+    -bench-out "BENCH_$(date +%F).json" -bench-name LoadCluster; then
+    echo "==> cluster gate FAILED: kcload saw 5xx or could not finish" >&2
+    cat /tmp/kc-cluster-node*.err >&2
+    kill "${cluster_pids[1]}" "${cluster_pids[3]}" 2>/dev/null || true
+    exit 1
+fi
+if ! wait "${cluster_pids[2]}"; then
+    echo "==> cluster gate FAILED: killed node did not drain cleanly on SIGTERM" >&2
+    cat /tmp/kc-cluster-node2.err >&2
+    kill "${cluster_pids[1]}" "${cluster_pids[3]}" 2>/dev/null || true
+    exit 1
+fi
+kill -TERM "${cluster_pids[1]}" "${cluster_pids[3]}"
+for i in 1 3; do
+    if ! wait "${cluster_pids[$i]}"; then
+        echo "==> cluster gate FAILED: node $i did not drain cleanly on SIGTERM" >&2
+        cat "/tmp/kc-cluster-node$i.err" >&2
+        exit 1
+    fi
+done
+cluster_measured=0
+for i in 1 2 3; do
+    v=$(grep -A1 '"serve.measure.ondemand"' "/tmp/kc-cluster-metrics$i.json" \
+        | sed -n 's/.*"value": \([0-9][0-9]*\).*/\1/p')
+    cluster_measured=$((cluster_measured + ${v:-0}))
+done
+if [ "$cluster_measured" -ne 6 ]; then
+    echo "==> cluster gate FAILED: fleet measured $cluster_measured cold keys, want exactly 6" >&2
+    cat /tmp/kc-cluster-node*.err >&2
+    exit 1
+fi
+rm -rf /tmp/kc-cluster-cache /tmp/kc-cluster-serve /tmp/kc-load \
+    /tmp/kc-cluster-metrics*.json /tmp/kc-cluster-node*.err
+
 echo "==> ci: all gates passed"
